@@ -1,0 +1,19 @@
+//! Tape-based reverse-mode automatic differentiation over dense matrices.
+//!
+//! This is the neural-network substrate of the FreeHGC reproduction: the
+//! HGNN heads of `freehgc-hgnn` and the gradient-matching condensation
+//! baselines (GCond / HGCond) are built on it. The design is a classic
+//! Wengert tape: [`tape::Tape`] records a forward DAG, `backward` sweeps it
+//! in reverse; trainable parameters live in a [`tape::ParamStore`] updated
+//! by [`optim::Adam`] / [`optim::Sgd`].
+//!
+//! Every op's derivative is validated against central finite differences
+//! in the test suite.
+
+pub mod matrix;
+pub mod optim;
+pub mod tape;
+
+pub use matrix::Matrix;
+pub use optim::{Adam, Sgd};
+pub use tape::{Gradients, NodeId, ParamId, ParamStore, Tape};

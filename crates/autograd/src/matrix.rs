@@ -1,0 +1,359 @@
+//! Dense row-major `f32` matrices.
+//!
+//! The HGNN heads in this reproduction are small (hidden sizes ≤ a few
+//! hundred), so a straightforward cache-friendly `ikj` matmul is fast
+//! enough; all heavy propagation work happens in `freehgc-sparse`.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use rand::SeedableRng;
+
+/// A dense row-major matrix.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Matrix {
+    pub rows: usize,
+    pub cols: usize,
+    pub data: Vec<f32>,
+}
+
+impl Matrix {
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Self {
+        assert_eq!(data.len(), rows * cols, "data length mismatch");
+        Self { rows, cols, data }
+    }
+
+    /// A `1 × 1` matrix (scalar node payload).
+    pub fn scalar(v: f32) -> Self {
+        Self::from_vec(1, 1, vec![v])
+    }
+
+    /// Xavier/Glorot-uniform initialization, deterministic per seed.
+    pub fn xavier(rows: usize, cols: usize, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let bound = (6.0 / (rows + cols) as f32).sqrt();
+        let data = (0..rows * cols)
+            .map(|_| rng.gen_range(-bound..bound))
+            .collect();
+        Self { rows, cols, data }
+    }
+
+    /// I.i.d. normal entries scaled by `std`.
+    pub fn randn(rows: usize, cols: usize, std: f32, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let data = (0..rows * cols)
+            .map(|_| {
+                // Box-Muller transform.
+                let u1: f32 = rng.gen_range(1e-7f32..1.0);
+                let u2: f32 = rng.gen_range(0.0f32..1.0);
+                (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos() * std
+            })
+            .collect();
+        Self { rows, cols, data }
+    }
+
+    #[inline]
+    pub fn row(&self, r: usize) -> &[f32] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    #[inline]
+    pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f32 {
+        self.data[r * self.cols + c]
+    }
+
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: f32) {
+        self.data[r * self.cols + c] = v;
+    }
+
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// `C = A · B` with an `ikj` loop order for contiguous inner access.
+    pub fn matmul(&self, b: &Matrix) -> Matrix {
+        assert_eq!(self.cols, b.rows, "matmul inner dimension mismatch");
+        let mut c = Matrix::zeros(self.rows, b.cols);
+        for i in 0..self.rows {
+            let arow = self.row(i);
+            let crow = &mut c.data[i * b.cols..(i + 1) * b.cols];
+            for (k, &aik) in arow.iter().enumerate() {
+                if aik == 0.0 {
+                    continue;
+                }
+                let brow = b.row(k);
+                for (cj, &bkj) in crow.iter_mut().zip(brow) {
+                    *cj += aik * bkj;
+                }
+            }
+        }
+        c
+    }
+
+    /// `C = Aᵀ · B` without materializing the transpose.
+    pub fn matmul_tn(&self, b: &Matrix) -> Matrix {
+        assert_eq!(self.rows, b.rows, "matmul_tn outer dimension mismatch");
+        let mut c = Matrix::zeros(self.cols, b.cols);
+        for i in 0..self.rows {
+            let arow = self.row(i);
+            let brow = b.row(i);
+            for (k, &aik) in arow.iter().enumerate() {
+                if aik == 0.0 {
+                    continue;
+                }
+                let crow = &mut c.data[k * b.cols..(k + 1) * b.cols];
+                for (cj, &bij) in crow.iter_mut().zip(brow) {
+                    *cj += aik * bij;
+                }
+            }
+        }
+        c
+    }
+
+    /// `C = A · Bᵀ`.
+    pub fn matmul_nt(&self, b: &Matrix) -> Matrix {
+        assert_eq!(self.cols, b.cols, "matmul_nt inner dimension mismatch");
+        let mut c = Matrix::zeros(self.rows, b.rows);
+        for i in 0..self.rows {
+            let arow = self.row(i);
+            for j in 0..b.rows {
+                let brow = b.row(j);
+                let mut acc = 0f32;
+                for (&x, &y) in arow.iter().zip(brow) {
+                    acc += x * y;
+                }
+                c.data[i * b.rows + j] = acc;
+            }
+        }
+        c
+    }
+
+    pub fn transpose(&self) -> Matrix {
+        let mut t = Matrix::zeros(self.cols, self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                t.data[c * self.rows + r] = self.data[r * self.cols + c];
+            }
+        }
+        t
+    }
+
+    pub fn add(&self, b: &Matrix) -> Matrix {
+        assert_eq!(self.shape(), b.shape(), "add shape mismatch");
+        let data = self.data.iter().zip(&b.data).map(|(x, y)| x + y).collect();
+        Matrix::from_vec(self.rows, self.cols, data)
+    }
+
+    pub fn sub(&self, b: &Matrix) -> Matrix {
+        assert_eq!(self.shape(), b.shape(), "sub shape mismatch");
+        let data = self.data.iter().zip(&b.data).map(|(x, y)| x - y).collect();
+        Matrix::from_vec(self.rows, self.cols, data)
+    }
+
+    pub fn hadamard(&self, b: &Matrix) -> Matrix {
+        assert_eq!(self.shape(), b.shape(), "hadamard shape mismatch");
+        let data = self.data.iter().zip(&b.data).map(|(x, y)| x * y).collect();
+        Matrix::from_vec(self.rows, self.cols, data)
+    }
+
+    pub fn scale(&self, s: f32) -> Matrix {
+        let data = self.data.iter().map(|x| x * s).collect();
+        Matrix::from_vec(self.rows, self.cols, data)
+    }
+
+    pub fn add_assign(&mut self, b: &Matrix) {
+        assert_eq!(self.shape(), b.shape(), "add_assign shape mismatch");
+        for (x, y) in self.data.iter_mut().zip(&b.data) {
+            *x += y;
+        }
+    }
+
+    pub fn fill(&mut self, v: f32) {
+        self.data.fill(v);
+    }
+
+    /// Row-wise numerically stable softmax.
+    pub fn softmax_rows(&self) -> Matrix {
+        let mut out = self.clone();
+        for r in 0..out.rows {
+            let row = out.row_mut(r);
+            let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            let mut sum = 0f32;
+            for v in row.iter_mut() {
+                *v = (*v - max).exp();
+                sum += *v;
+            }
+            if sum > 0.0 {
+                for v in row.iter_mut() {
+                    *v /= sum;
+                }
+            }
+        }
+        out
+    }
+
+    /// Index of the largest entry in each row.
+    pub fn argmax_rows(&self) -> Vec<u32> {
+        (0..self.rows)
+            .map(|r| {
+                let row = self.row(r);
+                let mut best = 0usize;
+                for (i, &v) in row.iter().enumerate() {
+                    if v > row[best] {
+                        best = i;
+                    }
+                }
+                best as u32
+            })
+            .collect()
+    }
+
+    /// Sum of squared entries.
+    pub fn sum_squares(&self) -> f32 {
+        self.data.iter().map(|v| v * v).sum()
+    }
+
+    /// Frobenius norm.
+    pub fn frob_norm(&self) -> f32 {
+        self.sum_squares().sqrt()
+    }
+
+    /// Gathers rows into a new matrix.
+    pub fn gather_rows(&self, rows: &[u32]) -> Matrix {
+        let mut out = Matrix::zeros(rows.len(), self.cols);
+        for (new, &old) in rows.iter().enumerate() {
+            out.row_mut(new).copy_from_slice(self.row(old as usize));
+        }
+        out
+    }
+
+    /// Horizontally concatenates matrices with equal row counts.
+    pub fn hcat(parts: &[&Matrix]) -> Matrix {
+        assert!(!parts.is_empty());
+        let rows = parts[0].rows;
+        assert!(parts.iter().all(|m| m.rows == rows), "hcat row mismatch");
+        let cols: usize = parts.iter().map(|m| m.cols).sum();
+        let mut out = Matrix::zeros(rows, cols);
+        for r in 0..rows {
+            let orow = out.row_mut(r);
+            let mut off = 0usize;
+            for m in parts {
+                orow[off..off + m.cols].copy_from_slice(m.row(r));
+                off += m.cols;
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matmul_matches_manual() {
+        let a = Matrix::from_vec(2, 3, vec![1., 2., 3., 4., 5., 6.]);
+        let b = Matrix::from_vec(3, 2, vec![7., 8., 9., 10., 11., 12.]);
+        let c = a.matmul(&b);
+        assert_eq!(c.data, vec![58., 64., 139., 154.]);
+    }
+
+    #[test]
+    fn matmul_tn_equals_explicit_transpose() {
+        let a = Matrix::xavier(4, 3, 1);
+        let b = Matrix::xavier(4, 2, 2);
+        let c1 = a.matmul_tn(&b);
+        let c2 = a.transpose().matmul(&b);
+        for (x, y) in c1.data.iter().zip(&c2.data) {
+            assert!((x - y).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn matmul_nt_equals_explicit_transpose() {
+        let a = Matrix::xavier(3, 4, 3);
+        let b = Matrix::xavier(2, 4, 4);
+        let c1 = a.matmul_nt(&b);
+        let c2 = a.matmul(&b.transpose());
+        for (x, y) in c1.data.iter().zip(&c2.data) {
+            assert!((x - y).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one_and_order() {
+        let m = Matrix::from_vec(2, 3, vec![1., 2., 3., -1., 0., 100.]);
+        let s = m.softmax_rows();
+        for r in 0..2 {
+            let sum: f32 = s.row(r).iter().sum();
+            assert!((sum - 1.0).abs() < 1e-5);
+        }
+        assert!(s.get(0, 2) > s.get(0, 1));
+        assert!((s.get(1, 2) - 1.0).abs() < 1e-4); // extreme logit saturates
+    }
+
+    #[test]
+    fn argmax_rows_picks_largest() {
+        let m = Matrix::from_vec(2, 3, vec![0.1, 0.9, 0.0, 5.0, -1.0, 2.0]);
+        assert_eq!(m.argmax_rows(), vec![1, 0]);
+    }
+
+    #[test]
+    fn elementwise_ops() {
+        let a = Matrix::from_vec(1, 3, vec![1., 2., 3.]);
+        let b = Matrix::from_vec(1, 3, vec![4., 5., 6.]);
+        assert_eq!(a.add(&b).data, vec![5., 7., 9.]);
+        assert_eq!(b.sub(&a).data, vec![3., 3., 3.]);
+        assert_eq!(a.hadamard(&b).data, vec![4., 10., 18.]);
+        assert_eq!(a.scale(2.0).data, vec![2., 4., 6.]);
+    }
+
+    #[test]
+    fn gather_and_hcat() {
+        let m = Matrix::from_vec(3, 2, vec![1., 2., 3., 4., 5., 6.]);
+        let g = m.gather_rows(&[2, 0]);
+        assert_eq!(g.data, vec![5., 6., 1., 2.]);
+        let h = Matrix::hcat(&[&g, &g]);
+        assert_eq!(h.shape(), (2, 4));
+        assert_eq!(h.row(0), &[5., 6., 5., 6.]);
+    }
+
+    #[test]
+    fn xavier_is_deterministic_and_bounded() {
+        let a = Matrix::xavier(10, 10, 7);
+        let b = Matrix::xavier(10, 10, 7);
+        assert_eq!(a, b);
+        let bound = (6.0 / 20.0f32).sqrt();
+        assert!(a.data.iter().all(|v| v.abs() <= bound));
+    }
+
+    #[test]
+    fn randn_has_roughly_right_scale() {
+        let m = Matrix::randn(100, 100, 0.5, 3);
+        let mean: f32 = m.data.iter().sum::<f32>() / m.data.len() as f32;
+        let var: f32 =
+            m.data.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / m.data.len() as f32;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var.sqrt() - 0.5).abs() < 0.05, "std {}", var.sqrt());
+    }
+
+    #[test]
+    fn norms() {
+        let m = Matrix::from_vec(1, 2, vec![3., 4.]);
+        assert_eq!(m.sum_squares(), 25.0);
+        assert_eq!(m.frob_norm(), 5.0);
+    }
+}

@@ -1,0 +1,149 @@
+//! Lloyd k-means for HGCond's cluster-based hyper-node initialization.
+//!
+//! HGCond "utilizes clustering information instead of label information
+//! for feature initialization" (§II-C): every non-target type's nodes are
+//! clustered on raw features and each cluster becomes one hyper-node.
+
+use freehgc_hetgraph::FeatureMatrix;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Clusters `pool` rows of `feat` into at most `k` non-empty groups.
+pub fn kmeans(
+    feat: &FeatureMatrix,
+    pool: &[u32],
+    k: usize,
+    iters: usize,
+    seed: u64,
+) -> Vec<Vec<u32>> {
+    if pool.is_empty() || k == 0 {
+        return Vec::new();
+    }
+    let k = k.min(pool.len());
+    let dim = feat.dim();
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    // Initialize centroids from a random sample of distinct pool nodes.
+    let mut init: Vec<u32> = pool.to_vec();
+    init.shuffle(&mut rng);
+    let mut centroids: Vec<Vec<f32>> = init[..k]
+        .iter()
+        .map(|&p| feat.row(p as usize).to_vec())
+        .collect();
+
+    let mut assign = vec![0usize; pool.len()];
+    for _ in 0..iters.max(1) {
+        // Assignment step.
+        for (i, &p) in pool.iter().enumerate() {
+            let row = feat.row(p as usize);
+            let mut best = 0usize;
+            let mut best_d = f32::INFINITY;
+            for (c, cent) in centroids.iter().enumerate() {
+                let mut d = 0f32;
+                for (a, b) in row.iter().zip(cent) {
+                    d += (a - b) * (a - b);
+                }
+                if d < best_d {
+                    best_d = d;
+                    best = c;
+                }
+            }
+            assign[i] = best;
+        }
+        // Update step.
+        let mut sums = vec![vec![0f32; dim]; k];
+        let mut counts = vec![0usize; k];
+        for (i, &p) in pool.iter().enumerate() {
+            counts[assign[i]] += 1;
+            for (s, &v) in sums[assign[i]].iter_mut().zip(feat.row(p as usize)) {
+                *s += v;
+            }
+        }
+        for c in 0..k {
+            if counts[c] > 0 {
+                for s in sums[c].iter_mut() {
+                    *s /= counts[c] as f32;
+                }
+                centroids[c] = sums[c].clone();
+            }
+        }
+    }
+
+    let mut groups: Vec<Vec<u32>> = vec![Vec::new(); k];
+    for (i, &p) in pool.iter().enumerate() {
+        groups[assign[i]].push(p);
+    }
+    groups.retain(|g| !g.is_empty());
+    groups
+}
+
+/// The member of `group` closest to the group's feature centroid.
+pub fn medoid(feat: &FeatureMatrix, group: &[u32]) -> u32 {
+    assert!(!group.is_empty(), "medoid of empty group");
+    let centroid = feat.mean_of(group);
+    let mut best = group[0];
+    let mut best_d = f32::INFINITY;
+    for &p in group {
+        let mut d = 0f32;
+        for (a, b) in feat.row(p as usize).iter().zip(&centroid) {
+            d += (a - b) * (a - b);
+        }
+        if d < best_d {
+            best_d = d;
+            best = p;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_blobs() -> (FeatureMatrix, Vec<u32>) {
+        let mut rows = Vec::new();
+        for i in 0..10 {
+            rows.extend([i as f32 * 0.01, 0.0]);
+        }
+        for i in 0..10 {
+            rows.extend([10.0 + i as f32 * 0.01, 10.0]);
+        }
+        (FeatureMatrix::from_rows(2, rows), (0..20).collect())
+    }
+
+    #[test]
+    fn kmeans_separates_blobs() {
+        let (f, pool) = two_blobs();
+        let groups = kmeans(&f, &pool, 2, 10, 0);
+        assert_eq!(groups.len(), 2);
+        for g in &groups {
+            let all_low = g.iter().all(|&p| p < 10);
+            let all_high = g.iter().all(|&p| p >= 10);
+            assert!(all_low || all_high, "mixed cluster {g:?}");
+        }
+    }
+
+    #[test]
+    fn kmeans_covers_pool_exactly_once() {
+        let (f, pool) = two_blobs();
+        let groups = kmeans(&f, &pool, 5, 5, 1);
+        let mut all: Vec<u32> = groups.into_iter().flatten().collect();
+        all.sort_unstable();
+        assert_eq!(all, pool);
+    }
+
+    #[test]
+    fn kmeans_k_larger_than_pool() {
+        let (f, _) = two_blobs();
+        let groups = kmeans(&f, &[3, 4], 10, 3, 2);
+        assert_eq!(groups.len(), 2);
+    }
+
+    #[test]
+    fn medoid_is_central() {
+        let (f, _) = two_blobs();
+        let m = medoid(&f, &[0, 1, 2, 3, 4, 5, 6, 7, 8, 9]);
+        assert!(m < 10);
+    }
+}

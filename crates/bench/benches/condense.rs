@@ -1,0 +1,84 @@
+//! Criterion benchmarks for the condensation stages and the end-to-end
+//! condensers — the code paths behind the paper's efficiency claims
+//! (Figs. 2b and 8).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use freehgc_baselines::{HGCondBaseline, HerdingHg};
+use freehgc_core::selection::{condense_target, SelectionConfig};
+use freehgc_core::{condense_father, synthesize_leaf, FreeHgc, ImportanceMethod};
+use freehgc_datasets::{generate, DatasetKind};
+use freehgc_hetgraph::{CondenseSpec, Condenser, Role};
+
+fn bench_target_selection(c: &mut Criterion) {
+    let g = generate(DatasetKind::Acm, 0.5, 0);
+    let mut group = c.benchmark_group("target_selection");
+    for &budget in &[16usize, 64] {
+        group.bench_with_input(BenchmarkId::from_parameter(budget), &budget, |b, &bud| {
+            b.iter(|| {
+                black_box(condense_target(
+                    &g,
+                    bud,
+                    &SelectionConfig {
+                        max_hops: 2,
+                        max_paths: 16,
+                        use_rf: true,
+                        use_jaccard: true,
+                    },
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_nim(c: &mut Criterion) {
+    let g = generate(DatasetKind::Dblp, 0.5, 1);
+    let father = g.schema().types_with_role(Role::Father)[0];
+    c.bench_function("nim_father_selection", |b| {
+        b.iter(|| {
+            black_box(condense_father(
+                &g,
+                father,
+                64,
+                2,
+                16,
+                ImportanceMethod::default(),
+                0,
+            ))
+        })
+    });
+}
+
+fn bench_ilm(c: &mut Criterion) {
+    let g = generate(DatasetKind::Dblp, 0.5, 2);
+    let leaf = g.schema().types_with_role(Role::Leaf)[0];
+    let parent = g.schema().parent_of(leaf).unwrap();
+    let parents: Vec<u32> = (0..g.num_nodes(parent) as u32 / 4).collect();
+    c.bench_function("ilm_leaf_synthesis", |b| {
+        b.iter(|| black_box(synthesize_leaf(&g, leaf, parent, &parents, 64)))
+    });
+}
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let g = generate(DatasetKind::Acm, 0.5, 3);
+    let spec = CondenseSpec::new(0.024).with_max_hops(2);
+    let mut group = c.benchmark_group("condense_end_to_end");
+    group.sample_size(10);
+    group.bench_function("freehgc", |b| {
+        b.iter(|| black_box(FreeHgc::default().condense(&g, &spec)))
+    });
+    group.bench_function("herding_hg", |b| {
+        b.iter(|| black_box(HerdingHg.condense(&g, &spec)))
+    });
+    group.bench_function("hgcond", |b| {
+        b.iter(|| black_box(HGCondBaseline::default().condense(&g, &spec)))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_target_selection, bench_nim, bench_ilm, bench_end_to_end
+}
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Criterion benchmarks for the HGNN substrate: meta-path feature
+//! propagation (the pre-processing cost, Table VII's offline stage) and
+//! one training epoch per model head (Table VII's TH/TS columns).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use freehgc_datasets::{generate, DatasetKind};
+use freehgc_hgnn::models::{build_model, ModelKind};
+use freehgc_hgnn::propagation::propagate;
+use freehgc_hgnn::trainer::{train, EvalData, TrainConfig};
+
+fn bench_propagation(c: &mut Criterion) {
+    let g = generate(DatasetKind::Acm, 0.5, 0);
+    c.bench_function("propagate_acm_k2", |b| {
+        b.iter(|| black_box(propagate(&g, 2, 12)))
+    });
+}
+
+fn bench_training_epoch(c: &mut Criterion) {
+    let g = generate(DatasetKind::Acm, 0.25, 1);
+    let pf = propagate(&g, 2, 12);
+    let ids = &g.split().train;
+    let blocks = pf.gather(ids);
+    let labels: Vec<u32> = ids.iter().map(|&v| g.labels()[v as usize]).collect();
+    let dims: Vec<usize> = blocks.iter().map(|b| b.cols).collect();
+    let cfg = TrainConfig {
+        epochs: 1,
+        patience: 0,
+        ..TrainConfig::default()
+    };
+    let mut group = c.benchmark_group("train_one_epoch");
+    for kind in [
+        ModelKind::HeteroSgc,
+        ModelKind::SeHgnn,
+        ModelKind::Han,
+        ModelKind::Hgb,
+        ModelKind::Hgt,
+    ] {
+        group.bench_function(kind.name(), |b| {
+            b.iter(|| {
+                let mut model = build_model(kind, &dims, g.num_classes(), 64, 0.5, 0);
+                let data = EvalData {
+                    blocks: &blocks,
+                    labels: &labels,
+                };
+                black_box(train(&mut *model, &data, None, &cfg))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_propagation, bench_training_epoch
+}
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Fig. 2(a) — HGCond's low accuracy regardless of relay model.
+//!
+//! On ACM and IMDB, HGCond condenses with four relay models (its default
+//! HeteroSGC plus SeHGNN / HGT / HGB, abbreviated HGC-SeH / HGC-HGT /
+//! HGC-HGB) over r ∈ {1.2, 2.4, 4.8, 7.2}%. "Ideal" is SeHGNN trained on
+//! the whole graph. The paper's observations to reproduce: (1) all
+//! variants stay well below ideal; (2) stronger relays do not help; (3)
+//! accuracy flattens or decreases as r grows.
+
+use freehgc_baselines::{HGCondBaseline, RelayKind};
+use freehgc_bench::{dataset, effective_ratio, eval_cfg, ExpOpts};
+use freehgc_datasets::DatasetKind;
+use freehgc_eval::pipeline::Bench;
+use freehgc_eval::table::TextTable;
+
+fn main() {
+    let opts = ExpOpts::parse(1.0, 2);
+    println!("== Fig. 2(a): HGCond accuracy vs relay model ==\n");
+
+    let relays = [
+        ("HGCond", RelayKind::Hsgc),
+        ("HGC-SeH", RelayKind::SeHgnn),
+        ("HGC-HGT", RelayKind::Hgt),
+        ("HGC-HGB", RelayKind::Hgb),
+    ];
+    for kind in [DatasetKind::Acm, DatasetKind::Imdb] {
+        let g = dataset(kind, &opts);
+        let bench = Bench::new(&g, eval_cfg(kind, &opts));
+        let ideal = bench.whole_graph(bench.cfg.model, &opts.seeds);
+
+        let mut table = TextTable::new(vec![
+            "Ratio (r)", "HGCond", "HGC-SeH", "HGC-HGT", "HGC-HGB", "Ideal",
+        ]);
+        for ratio in [0.012, 0.024, 0.048, 0.072] {
+            let r = effective_ratio(&g, ratio);
+            let mut cells = vec![format!("{:.1}%", ratio * 100.0)];
+            for (_, relay) in &relays {
+                let m = HGCondBaseline::default().with_relay(*relay);
+                let run = bench.run_method(&m, r, &opts.seeds);
+                cells.push(format!("{:.2}", run.stats.acc_mean));
+            }
+            cells.push(format!("{:.2}", ideal.acc_mean));
+            table.row(cells);
+        }
+        println!("--- {} ---", kind.name());
+        println!("{}", table.render());
+    }
+}

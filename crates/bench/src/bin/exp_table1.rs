@@ -1,0 +1,44 @@
+//! Table I — HGCond's poor generalization across HGNN architectures.
+//!
+//! HGCond condenses with the HeteroSGC relay (r = 2.4%); the condensed
+//! graph is then used to train HSGC, HGT, HGB and SeHGNN, each compared to
+//! its own whole-graph accuracy ("WA"). The performance gap grows when the
+//! evaluation architecture differs from the relay.
+
+use freehgc_baselines::HGCondBaseline;
+use freehgc_bench::{dataset, effective_ratio, eval_cfg, ExpOpts};
+use freehgc_datasets::DatasetKind;
+use freehgc_eval::generalization::across_models;
+use freehgc_eval::pipeline::Bench;
+use freehgc_eval::table::TextTable;
+use freehgc_hgnn::models::ModelKind;
+
+fn main() {
+    let opts = ExpOpts::parse(1.0, 2);
+    println!("== Table I: HGCond generalization across HGNN models (r = 2.4%) ==\n");
+
+    let models = [
+        ModelKind::HeteroSgc,
+        ModelKind::Hgt,
+        ModelKind::Hgb,
+        ModelKind::SeHgnn,
+    ];
+    let mut table = TextTable::new(vec![
+        "Dataset", "HSGC", "WA", "HGT", "WA", "HGB", "WA", "SeH", "WA",
+    ]);
+    for kind in DatasetKind::middle_scale() {
+        let g = dataset(kind, &opts);
+        let bench = Bench::new(&g, eval_cfg(kind, &opts));
+        let r = effective_ratio(&g, 0.024);
+        let row = across_models(&bench, &HGCondBaseline::default(), r, &models, &opts.seeds);
+        let mut cells = vec![kind.name().to_string()];
+        for (mk, acc, _) in &row.per_model {
+            let whole = bench.whole_graph(*mk, &opts.seeds);
+            cells.push(format!("{acc:.1}"));
+            cells.push(format!("{:.1}", whole.acc_mean));
+        }
+        table.row(cells);
+    }
+    println!("{}", table.render());
+    println!("(condensed accuracy vs whole-graph accuracy WA per architecture)");
+}

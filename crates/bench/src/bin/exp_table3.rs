@@ -1,0 +1,61 @@
+//! Table III — main node-classification results on the four HGB
+//! middle-scale datasets (ACM, DBLP, IMDB, Freebase).
+//!
+//! For every dataset × condensation ratio r ∈ {1.2, 2.4, 4.8, 9.6}% the
+//! six methods (Random-HG, Herding-HG, K-Center-HG, Coarsening-HG, HGCond,
+//! FreeHGC) condense the graph; SeHGNN is trained on the condensed graph
+//! and tested on the full graph; mean ± std over seeds. The "Whole
+//! Dataset" row is SeHGNN trained on the full training split.
+
+use freehgc_baselines::{CoarseningHg, HGCondBaseline, HerdingHg, KCenterHg, RandomHg};
+use freehgc_bench::{dataset, effective_ratio, eval_cfg, paper_ratios, ExpOpts};
+use freehgc_core::FreeHgc;
+use freehgc_datasets::DatasetKind;
+use freehgc_eval::pipeline::Bench;
+use freehgc_eval::table::{pm, TextTable};
+use freehgc_hetgraph::Condenser;
+
+fn main() {
+    let opts = ExpOpts::parse(1.0, 3);
+    println!("== Table III: node classification on middle-scale datasets ==");
+    println!("(scale {}, {} seed(s))\n", opts.scale, opts.seeds.len());
+
+    for kind in DatasetKind::middle_scale() {
+        let g = dataset(kind, &opts);
+        let bench = Bench::new(&g, eval_cfg(kind, &opts));
+        let whole = bench.whole_graph(bench.cfg.model, &opts.seeds);
+
+        let mut table = TextTable::new(vec![
+            "Ratio (r)".to_string(),
+            "Random-HG".to_string(),
+            "Herding-HG".to_string(),
+            "K-Center-HG".to_string(),
+            "Coarsening-HG".to_string(),
+            "HGCond".to_string(),
+            "FreeHGC".to_string(),
+        ]);
+        let methods: Vec<Box<dyn Condenser>> = vec![
+            Box::new(RandomHg),
+            Box::new(HerdingHg),
+            Box::new(KCenterHg),
+            Box::new(CoarseningHg),
+            Box::new(HGCondBaseline::default()),
+            Box::new(FreeHgc::default()),
+        ];
+        for &ratio in &paper_ratios(kind) {
+            let r = effective_ratio(&g, ratio);
+            let mut cells = vec![format!("{:.1}%", ratio * 100.0)];
+            for m in &methods {
+                let run = bench.run_method(m.as_ref(), r, &opts.seeds);
+                cells.push(pm(run.stats.acc_mean, run.stats.acc_std));
+            }
+            table.row(cells);
+        }
+        println!(
+            "--- {} (whole dataset: {}) ---",
+            kind.name(),
+            pm(whole.acc_mean, whole.acc_std)
+        );
+        println!("{}", table.render());
+    }
+}

@@ -1,0 +1,57 @@
+//! Table IV — generalization ability across HGNN models (r = 2.4%).
+//!
+//! Herding-HG, HGCond and FreeHGC each condense the four middle-scale
+//! datasets; the condensed graphs train HGB, HGT, HAN and SeHGNN, tested
+//! on the full graph. "Condensed Avg." averages the four architectures;
+//! "Whole Avg." is the whole-graph average. FreeHGC's model-agnostic
+//! selection should transfer best.
+
+use freehgc_baselines::{HGCondBaseline, HerdingHg};
+use freehgc_bench::{dataset, effective_ratio, eval_cfg, ExpOpts};
+use freehgc_core::FreeHgc;
+use freehgc_datasets::DatasetKind;
+use freehgc_eval::generalization::{across_models, whole_average};
+use freehgc_eval::pipeline::Bench;
+use freehgc_eval::table::TextTable;
+use freehgc_hetgraph::Condenser;
+use freehgc_hgnn::models::ModelKind;
+
+fn main() {
+    let opts = ExpOpts::parse(1.0, 2);
+    println!("== Table IV: generalization across HGNN models (r = 2.4%) ==\n");
+
+    let models = ModelKind::table_iv();
+    for kind in DatasetKind::middle_scale() {
+        let g = dataset(kind, &opts);
+        let bench = Bench::new(&g, eval_cfg(kind, &opts));
+        let r = effective_ratio(&g, 0.024);
+        let whole_avg = whole_average(&bench, &models, &opts.seeds);
+
+        let mut table = TextTable::new(vec![
+            "Method",
+            "HGB",
+            "HGT",
+            "HAN",
+            "SeHGNN",
+            "Condensed Avg.",
+            "Whole Avg.",
+        ]);
+        let methods: Vec<Box<dyn Condenser>> = vec![
+            Box::new(HerdingHg),
+            Box::new(HGCondBaseline::default()),
+            Box::new(FreeHgc::default()),
+        ];
+        for m in &methods {
+            let row = across_models(&bench, m.as_ref(), r, &models, &opts.seeds);
+            let mut cells = vec![row.method.clone()];
+            for (_, acc, std) in &row.per_model {
+                cells.push(format!("{acc:.2} ± {std:.2}"));
+            }
+            cells.push(format!("{:.2}", row.condensed_avg));
+            cells.push(format!("{whole_avg:.2}"));
+            table.row(cells);
+        }
+        println!("--- {} ---", kind.name());
+        println!("{}", table.render());
+    }
+}

@@ -1,0 +1,49 @@
+//! Table V — node classification on the RDF knowledge graphs MUTAG and AM.
+//!
+//! Herding-HG, GCond, HGCond and FreeHGC at r ∈ {0.5, 1, 2}% (MUTAG) and
+//! {0.2, 0.4, 0.8}% (AM). FreeHGC should lead on both relation-rich
+//! graphs.
+
+use freehgc_baselines::{GCondBaseline, HGCondBaseline, HerdingHg};
+use freehgc_bench::{dataset, effective_ratio, eval_cfg, paper_ratios, ExpOpts};
+use freehgc_core::FreeHgc;
+use freehgc_datasets::DatasetKind;
+use freehgc_eval::pipeline::Bench;
+use freehgc_eval::table::{pm, TextTable};
+use freehgc_hetgraph::Condenser;
+
+fn main() {
+    let opts = ExpOpts::parse(1.0, 2);
+    println!("== Table V: knowledge graphs (MUTAG, AM) ==\n");
+
+    for kind in [DatasetKind::Mutag, DatasetKind::Am] {
+        let g = dataset(kind, &opts);
+        let bench = Bench::new(&g, eval_cfg(kind, &opts));
+        let whole = bench.whole_graph(bench.cfg.model, &opts.seeds);
+
+        let mut table = TextTable::new(vec![
+            "Ratio (r)", "Herding-HG", "GCond", "HGCond", "FreeHGC",
+        ]);
+        let methods: Vec<Box<dyn Condenser>> = vec![
+            Box::new(HerdingHg),
+            Box::new(GCondBaseline::default()),
+            Box::new(HGCondBaseline::default()),
+            Box::new(FreeHgc::default()),
+        ];
+        for &ratio in &paper_ratios(kind) {
+            let r = effective_ratio(&g, ratio);
+            let mut cells = vec![format!("{:.1}%", ratio * 100.0)];
+            for m in &methods {
+                let run = bench.run_method(m.as_ref(), r, &opts.seeds);
+                cells.push(pm(run.stats.acc_mean, run.stats.acc_std));
+            }
+            table.row(cells);
+        }
+        println!(
+            "--- {} (whole accuracy: {:.2}) ---",
+            kind.name(),
+            whole.acc_mean
+        );
+        println!("{}", table.render());
+    }
+}

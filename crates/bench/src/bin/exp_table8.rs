@@ -1,0 +1,67 @@
+//! Table VIII — ablation study of FreeHGC's two stages.
+//!
+//! Target-type criterion ablations (ACM/DBLP/AMiner, three ratios each):
+//!   Variant#1 — no receptive-field maximization;
+//!   Variant#2 — no meta-path similarity minimization;
+//!   Variant#3 — Herding replaces the unified criterion.
+//! Other-type ablations:
+//!   Variant#4 — ILM replaced by Herding for leaf types;
+//!   Variant#5 — ILM applied to father types, Herding for leaves;
+//!   Variant#6 — Herding for all other types.
+//! Δ is the drop versus the full FreeHGC baseline.
+
+use freehgc_bench::{dataset, dataset_ratio, effective_ratio, eval_cfg, ExpOpts};
+use freehgc_core::{variant_config, FreeHgc};
+use freehgc_datasets::DatasetKind;
+use freehgc_eval::pipeline::Bench;
+use freehgc_eval::table::TextTable;
+
+fn main() {
+    let opts = ExpOpts::parse(1.0, 2);
+    println!("== Table VIII: ablation study ==\n");
+
+    let cases = [
+        (DatasetKind::Acm, vec![0.012, 0.024, 0.048]),
+        (DatasetKind::Dblp, vec![0.012, 0.024, 0.048]),
+        (DatasetKind::Aminer, vec![0.0005, 0.002, 0.008]),
+    ];
+    for (kind, ratios) in &cases {
+        let g = dataset(*kind, &opts);
+        let bench = Bench::new(&g, eval_cfg(*kind, &opts));
+
+        // Baseline first, so Δ can be derived per ratio.
+        let mut base = Vec::new();
+        for &ratio in ratios {
+            let r = effective_ratio(&g, dataset_ratio(*kind, ratio));
+            let run = bench.run_method(&FreeHgc::default(), r, &opts.seeds);
+            base.push(run.stats.acc_mean);
+        }
+
+        let mut header = vec!["Variant".to_string()];
+        for &ratio in ratios {
+            header.push(format!("r={:.2}%", ratio * 100.0));
+            header.push("Δ".to_string());
+        }
+        let mut table = TextTable::new(header);
+        let mut baseline_row = vec!["FreeHGC (full)".to_string()];
+        for &b in &base {
+            baseline_row.push(format!("{b:.1}"));
+            baseline_row.push("—".to_string());
+        }
+        table.row(baseline_row);
+
+        for v in 1..=6u8 {
+            let cond = FreeHgc::new(variant_config(v));
+            let mut cells = vec![format!("Variant#{v}")];
+            for (i, &ratio) in ratios.iter().enumerate() {
+                let r = effective_ratio(&g, dataset_ratio(*kind, ratio));
+                let run = bench.run_method(&cond, r, &opts.seeds);
+                cells.push(format!("{:.1}", run.stats.acc_mean));
+                cells.push(format!("{:+.1}", run.stats.acc_mean - base[i]));
+            }
+            table.row(cells);
+        }
+        println!("--- {} ---", kind.name());
+        println!("{}", table.render());
+    }
+}

@@ -1,0 +1,218 @@
+//! Condensing father-type nodes: neighbor influence maximization
+//! (paper §IV-C, Eq. 10–13).
+//!
+//! For every meta-path from the target type to the father type, the
+//! influence of each father node on the target side is computed with a
+//! personalized-PageRank resolvent over the symmetrically normalized
+//! bipartite meta-path adjacency (Eq. 11); per-path influences are summed
+//! (Eq. 12) and the top-budget nodes kept (Eq. 13). The paper notes NIM
+//! "can be replaced by other node importance evaluation algorithms" —
+//! [`ImportanceMethod`] provides degree, HITS and closeness alternatives,
+//! exercised by the ablation bench.
+
+use freehgc_hetgraph::{metapaths_to, HeteroGraph, MetaPathEngine, NodeTypeId};
+use freehgc_sparse::centrality::{closeness_influence, degree_influence, hits_authority};
+use freehgc_sparse::ppr::{bipartite_influence_seeded, PprConfig};
+
+/// Node-importance backend for the father-type condensation.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum ImportanceMethod {
+    /// Personalized PageRank (the paper's choice, Eq. 11).
+    Ppr { alpha: f32 },
+    /// Weighted degree (in-degree from the target side).
+    Degree,
+    /// Kleinberg HITS authority score.
+    Hits,
+    /// Sampled closeness centrality.
+    Closeness,
+}
+
+impl Default for ImportanceMethod {
+    fn default() -> Self {
+        ImportanceMethod::Ppr { alpha: 0.15 }
+    }
+}
+
+impl ImportanceMethod {
+    pub fn name(self) -> &'static str {
+        match self {
+            ImportanceMethod::Ppr { .. } => "PPR",
+            ImportanceMethod::Degree => "Degree",
+            ImportanceMethod::Hits => "HITS",
+            ImportanceMethod::Closeness => "Closeness",
+        }
+    }
+}
+
+/// Computes the aggregate influence score `Σ_i N^s_{i,:}` (Eq. 12–13) of
+/// every node of `father` type, using all meta-paths from the target type
+/// within `max_hops`.
+pub fn influence_scores(
+    g: &HeteroGraph,
+    father: NodeTypeId,
+    max_hops: usize,
+    max_paths: usize,
+    method: ImportanceMethod,
+    seed: u64,
+) -> Vec<f64> {
+    influence_scores_seeded(g, father, None, max_hops, max_paths, method, seed)
+}
+
+/// [`influence_scores`] with the PPR mass seeded from `seed_targets`
+/// (FreeHGC passes the already-selected target nodes, so father scores
+/// rank influence on the condensed root set).
+pub fn influence_scores_seeded(
+    g: &HeteroGraph,
+    father: NodeTypeId,
+    seed_targets: Option<&[u32]>,
+    max_hops: usize,
+    max_paths: usize,
+    method: ImportanceMethod,
+    seed: u64,
+) -> Vec<f64> {
+    let schema = g.schema();
+    let target = schema.target();
+    let paths = metapaths_to(schema, target, father, max_hops, max_paths);
+    let mut engine = MetaPathEngine::new(g).with_max_row_nnz(256);
+    let m = g.num_nodes(father);
+    let mut total = vec![0.0f64; m];
+    for p in &paths {
+        let adj = engine.adjacency(p);
+        let scores: Vec<f32> = match method {
+            ImportanceMethod::Ppr { alpha } => {
+                let cfg = PprConfig {
+                    alpha,
+                    ..Default::default()
+                };
+                bipartite_influence_seeded(&adj, seed_targets, &cfg)
+            }
+            ImportanceMethod::Degree => degree_influence(&adj),
+            ImportanceMethod::Hits => hits_authority(&adj, 20),
+            ImportanceMethod::Closeness => {
+                closeness_influence(&adj, 32.min(adj.nrows()).max(1), seed)
+            }
+        };
+        for (t, &s) in total.iter_mut().zip(&scores) {
+            *t += s as f64;
+        }
+    }
+    total
+}
+
+/// Eq. 13: keep the top-`budget` father nodes by aggregate influence,
+/// returned sorted ascending by node id.
+pub fn condense_father(
+    g: &HeteroGraph,
+    father: NodeTypeId,
+    budget: usize,
+    max_hops: usize,
+    max_paths: usize,
+    method: ImportanceMethod,
+    seed: u64,
+) -> Vec<u32> {
+    condense_father_seeded(g, father, None, budget, max_hops, max_paths, method, seed)
+}
+
+/// [`condense_father`] seeded from the selected target nodes.
+#[allow(clippy::too_many_arguments)]
+pub fn condense_father_seeded(
+    g: &HeteroGraph,
+    father: NodeTypeId,
+    seed_targets: Option<&[u32]>,
+    budget: usize,
+    max_hops: usize,
+    max_paths: usize,
+    method: ImportanceMethod,
+    seed: u64,
+) -> Vec<u32> {
+    let scores =
+        influence_scores_seeded(g, father, seed_targets, max_hops, max_paths, method, seed);
+    top_k_by_score(&scores, budget)
+}
+
+/// Indices of the `k` highest scores (ties broken by smaller id), sorted
+/// ascending.
+pub fn top_k_by_score(scores: &[f64], k: usize) -> Vec<u32> {
+    let mut order: Vec<u32> = (0..scores.len() as u32).collect();
+    order.sort_by(|&a, &b| {
+        scores[b as usize]
+            .partial_cmp(&scores[a as usize])
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.cmp(&b))
+    });
+    order.truncate(k);
+    order.sort_unstable();
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use freehgc_datasets::tiny;
+    use freehgc_hetgraph::Role;
+
+    fn father_type(g: &HeteroGraph) -> NodeTypeId {
+        g.schema().types_with_role(Role::Father)[0]
+    }
+
+    #[test]
+    fn top_k_by_score_sorted_and_tied() {
+        let s = [0.1, 0.9, 0.9, 0.0];
+        assert_eq!(top_k_by_score(&s, 2), vec![1, 2]);
+        assert_eq!(top_k_by_score(&s, 10), vec![0, 1, 2, 3]);
+        assert!(top_k_by_score(&s, 0).is_empty());
+    }
+
+    #[test]
+    fn influence_scores_are_nonnegative_and_nontrivial() {
+        let g = tiny(0);
+        let f = father_type(&g);
+        let s = influence_scores(&g, f, 2, 16, ImportanceMethod::default(), 0);
+        assert_eq!(s.len(), g.num_nodes(f));
+        assert!(s.iter().all(|&x| x >= 0.0));
+        assert!(s.iter().any(|&x| x > 0.0));
+    }
+
+    #[test]
+    fn ppr_influence_correlates_with_degree() {
+        let g = tiny(1);
+        let f = father_type(&g);
+        let ppr = influence_scores(&g, f, 1, 8, ImportanceMethod::default(), 0);
+        let deg = influence_scores(&g, f, 1, 8, ImportanceMethod::Degree, 0);
+        // Spearman-ish sanity: the top-degree node should rank highly
+        // under PPR as well.
+        let top_deg = top_k_by_score(&deg, 1)[0];
+        let ppr_rank = top_k_by_score(&ppr, (ppr.len() / 3).max(3));
+        assert!(
+            ppr_rank.contains(&top_deg),
+            "degree hub {top_deg} should be PPR-influential"
+        );
+    }
+
+    #[test]
+    fn all_methods_select_budget_nodes() {
+        let g = tiny(2);
+        let f = father_type(&g);
+        for m in [
+            ImportanceMethod::default(),
+            ImportanceMethod::Degree,
+            ImportanceMethod::Hits,
+            ImportanceMethod::Closeness,
+        ] {
+            let sel = condense_father(&g, f, 7, 2, 16, m, 0);
+            assert_eq!(sel.len(), 7, "{m:?}");
+            let mut sorted = sel.clone();
+            sorted.sort_unstable();
+            assert_eq!(sel, sorted, "output must be sorted");
+        }
+    }
+
+    #[test]
+    fn condense_father_is_deterministic() {
+        let g = tiny(3);
+        let f = father_type(&g);
+        let a = condense_father(&g, f, 5, 2, 16, ImportanceMethod::default(), 1);
+        let b = condense_father(&g, f, 5, 2, 16, ImportanceMethod::default(), 1);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,138 @@
+//! Herding selection (Welling, 2009) — the coreset method the paper's
+//! ablations swap in for individual FreeHGC components (Table VIII
+//! Variants #3–#6).
+//!
+//! Following the paper's description ("Herding selects samples that are
+//! closest to the cluster center", §II-C) and the implementation used by
+//! GCond/HGCond, step `t` greedily picks the sample that moves the running
+//! selection mean closest to the pool mean `μ`:
+//! `x_t = argmin_x ‖μ − (Σ_{s∈S} s + x) / (|S|+1)‖²`.
+
+use freehgc_hetgraph::{proportional_allocation, FeatureMatrix};
+
+/// Selects `budget` rows of `feat` (restricted to `pool`) by herding;
+/// returns sorted original indices.
+pub fn herding_select(feat: &FeatureMatrix, pool: &[u32], budget: usize) -> Vec<u32> {
+    let budget = budget.min(pool.len());
+    if budget == 0 {
+        return Vec::new();
+    }
+    let dim = feat.dim();
+    // μ over the pool.
+    let mut mu = vec![0f64; dim];
+    for &p in pool {
+        for (a, &v) in mu.iter_mut().zip(feat.row(p as usize)) {
+            *a += v as f64;
+        }
+    }
+    for a in mu.iter_mut() {
+        *a /= pool.len() as f64;
+    }
+    let mut running_sum = vec![0f64; dim];
+    let mut taken = vec![false; pool.len()];
+    let mut selected = Vec::with_capacity(budget);
+    for step in 0..budget {
+        let k = (step + 1) as f64;
+        let mut best = usize::MAX;
+        let mut best_d = f64::INFINITY;
+        for (pi, &p) in pool.iter().enumerate() {
+            if taken[pi] {
+                continue;
+            }
+            let row = feat.row(p as usize);
+            let mut d = 0f64;
+            for j in 0..dim {
+                let m = (running_sum[j] + row[j] as f64) / k - mu[j];
+                d += m * m;
+            }
+            if d < best_d {
+                best_d = d;
+                best = pi;
+            }
+        }
+        taken[best] = true;
+        selected.push(pool[best]);
+        for (s, &v) in running_sum.iter_mut().zip(feat.row(pool[best] as usize)) {
+            *s += v as f64;
+        }
+    }
+    selected.sort_unstable();
+    selected
+}
+
+/// Class-stratified herding over labeled nodes: the per-class budget
+/// follows the original class proportions, then herding runs within each
+/// class pool.
+pub fn herding_select_stratified(
+    feat: &FeatureMatrix,
+    pool: &[u32],
+    labels: &[u32],
+    num_classes: usize,
+    budget: usize,
+) -> Vec<u32> {
+    let mut class_pools: Vec<Vec<u32>> = vec![Vec::new(); num_classes];
+    for &p in pool {
+        class_pools[labels[p as usize] as usize].push(p);
+    }
+    let counts: Vec<usize> = class_pools.iter().map(|c| c.len()).collect();
+    let alloc = proportional_allocation(&counts, budget.min(pool.len()));
+    let mut out = Vec::with_capacity(budget);
+    for (cpool, &b) in class_pools.iter().zip(&alloc) {
+        out.extend(herding_select(feat, cpool, b));
+    }
+    out.sort_unstable();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn clustered_features() -> FeatureMatrix {
+        // Two tight clusters around (0,0) and (10,10), plus one outlier.
+        let rows = vec![
+            0.1, 0.0, //
+            0.0, 0.1, //
+            -0.1, 0.0, //
+            10.0, 10.1, //
+            10.1, 9.9, //
+            50.0, -50.0, // outlier
+        ];
+        FeatureMatrix::from_rows(2, rows)
+    }
+
+    #[test]
+    fn herding_prefers_cluster_representatives_over_outliers() {
+        let f = clustered_features();
+        let pool: Vec<u32> = (0..6).collect();
+        let sel = herding_select(&f, &pool, 2);
+        assert!(!sel.contains(&5), "outlier selected: {sel:?}");
+    }
+
+    #[test]
+    fn respects_budget_and_pool() {
+        let f = clustered_features();
+        let sel = herding_select(&f, &[0, 1, 2], 2);
+        assert_eq!(sel.len(), 2);
+        assert!(sel.iter().all(|&s| s < 3));
+        assert!(herding_select(&f, &[], 2).is_empty());
+        assert_eq!(herding_select(&f, &[4], 10), vec![4]);
+    }
+
+    #[test]
+    fn stratified_covers_classes() {
+        let f = clustered_features();
+        let labels = vec![0, 0, 0, 1, 1, 1];
+        let sel = herding_select_stratified(&f, &[0, 1, 2, 3, 4, 5], &labels, 2, 4);
+        let c0 = sel.iter().filter(|&&s| labels[s as usize] == 0).count();
+        let c1 = sel.len() - c0;
+        assert!(c0 >= 1 && c1 >= 1, "{sel:?}");
+    }
+
+    #[test]
+    fn deterministic() {
+        let f = clustered_features();
+        let pool: Vec<u32> = (0..6).collect();
+        assert_eq!(herding_select(&f, &pool, 3), herding_select(&f, &pool, 3));
+    }
+}

@@ -1,0 +1,41 @@
+//! Synthetic heterogeneous benchmark datasets.
+//!
+//! The paper evaluates on seven graphs (Table II): ACM, DBLP, IMDB,
+//! Freebase, AMiner, MUTAG and AM. Those datasets are distributed through
+//! the HGB / DGL download servers and are unavailable offline, so this
+//! crate generates *seeded synthetic stand-ins* that preserve exactly the
+//! properties FreeHGC's algorithms interact with:
+//!
+//! * the **schema** of each dataset — node types, relations, target type
+//!   and class count from Table II — and its **topology class** from
+//!   Fig. 5 (Structure 1/2/3: which types are fathers vs leaves);
+//! * **skewed power-law degree distributions** (the premise of the
+//!   receptive-field maximization criterion, §IV-B);
+//! * **label-correlated structure**: edges prefer endpoints of the same
+//!   latent community and node features are noisy community centroids, so
+//!   meta-path propagation is informative and HGNNs reach non-trivial
+//!   accuracy;
+//! * per-type feature dimensions that differ across types (§II-A), and the
+//!   HGB 24/6/70 stratified split.
+//!
+//! Node counts are scaled-down versions of Table II (configurable with the
+//! `scale` argument) so that the full experiment suite runs on one machine.
+
+pub mod generator;
+pub mod spec;
+
+pub use generator::generate_from_spec;
+pub use spec::{DatasetKind, DatasetSpec, NodeSpec, RelationSpec};
+
+use freehgc_hetgraph::HeteroGraph;
+
+/// Generates a dataset at the given scale (1.0 = default reduced sizes)
+/// with a deterministic seed.
+pub fn generate(kind: DatasetKind, scale: f64, seed: u64) -> HeteroGraph {
+    generate_from_spec(&spec::spec(kind, scale), seed)
+}
+
+/// A very small ACM-like graph for unit tests across the workspace.
+pub fn tiny(seed: u64) -> HeteroGraph {
+    generate(DatasetKind::Acm, 0.08, seed)
+}

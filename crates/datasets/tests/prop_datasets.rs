@@ -1,0 +1,116 @@
+//! Property-based tests: every generated dataset conforms to its spec and
+//! to the structural premises FreeHGC relies on.
+
+use freehgc_datasets::{generate, spec::spec, DatasetKind};
+use proptest::prelude::*;
+
+fn kinds() -> impl Strategy<Value = DatasetKind> {
+    prop_oneof![
+        Just(DatasetKind::Acm),
+        Just(DatasetKind::Dblp),
+        Just(DatasetKind::Imdb),
+        Just(DatasetKind::Freebase),
+        Just(DatasetKind::Aminer),
+        Just(DatasetKind::Mutag),
+        Just(DatasetKind::Am),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Schema conformance: node/edge-type counts, target and class count
+    /// match the spec at any scale and seed.
+    #[test]
+    fn schema_conforms_to_spec(kind in kinds(), scale in 0.05f64..0.3, seed in 0u64..5) {
+        let s = spec(kind, scale);
+        let g = generate(kind, scale, seed);
+        prop_assert_eq!(g.schema().num_node_types(), s.nodes.len());
+        prop_assert_eq!(g.schema().num_edge_types(), s.relations.len());
+        prop_assert_eq!(g.num_classes(), s.num_classes);
+        for (i, nt) in s.nodes.iter().enumerate() {
+            let t = g.schema().node_type_by_name(nt.name).expect("type exists");
+            prop_assert_eq!(t.0 as usize, i);
+            prop_assert_eq!(g.num_nodes(t), nt.count);
+            prop_assert_eq!(g.features(t).dim(), nt.dim);
+        }
+    }
+
+    /// Labels are within range, cover ≥2 classes, and the split partitions
+    /// the target set.
+    #[test]
+    fn labels_and_split_valid(kind in kinds(), seed in 0u64..5) {
+        let g = generate(kind, 0.08, seed);
+        let n = g.num_nodes(g.schema().target());
+        prop_assert_eq!(g.labels().len(), n);
+        prop_assert!(g.labels().iter().all(|&y| (y as usize) < g.num_classes()));
+        prop_assert!(g.class_histogram().iter().filter(|&&c| c > 0).count() >= 2);
+        prop_assert_eq!(g.split().len(), n);
+    }
+
+    /// Every role is assigned and leaf parents resolve — required by the
+    /// other-type condensation stage.
+    #[test]
+    fn roles_are_complete(kind in kinds(), seed in 0u64..3) {
+        use freehgc_hetgraph::Role;
+        let g = generate(kind, 0.08, seed);
+        let schema = g.schema();
+        for t in schema.node_type_ids() {
+            prop_assert!(schema.role(t).is_some(), "unassigned role for {t:?}");
+        }
+        for leaf in schema.types_with_role(Role::Leaf) {
+            prop_assert!(schema.parent_of(leaf).is_some(), "orphan leaf {leaf:?}");
+        }
+    }
+
+    /// The degree–feature-quality coupling holds: among target nodes, the
+    /// top-degree decile has lower feature noise (distance to its class
+    /// mean) than the bottom decile.
+    #[test]
+    fn hubs_have_cleaner_features(seed in 0u64..4) {
+        let g = generate(DatasetKind::Acm, 0.3, seed);
+        let t = g.schema().target();
+        let feat = g.features(t);
+        let y = g.labels();
+        let n = g.num_nodes(t);
+        // Total degree via the first relation out of the target.
+        let (e, _) = g
+            .schema()
+            .incident_edges(t)
+            .into_iter()
+            .next()
+            .expect("target has relations");
+        let deg = g.adjacency(e).out_degrees();
+        // Class means.
+        let mut means = vec![vec![0f64; feat.dim()]; g.num_classes()];
+        let mut counts = vec![0usize; g.num_classes()];
+        for i in 0..n {
+            counts[y[i] as usize] += 1;
+            for (a, &v) in means[y[i] as usize].iter_mut().zip(feat.row(i)) {
+                *a += v as f64;
+            }
+        }
+        for (m, &c) in means.iter_mut().zip(&counts) {
+            for v in m.iter_mut() {
+                *v /= c.max(1) as f64;
+            }
+        }
+        let dist = |i: usize| -> f64 {
+            means[y[i] as usize]
+                .iter()
+                .zip(feat.row(i))
+                .map(|(m, &v)| (m - v as f64) * (m - v as f64))
+                .sum::<f64>()
+                .sqrt()
+        };
+        let mut order: Vec<usize> = (0..n).collect();
+        order.sort_by_key(|&i| deg[i]);
+        let decile = (n / 10).max(5);
+        let low: f64 = order[..decile].iter().map(|&i| dist(i)).sum::<f64>() / decile as f64;
+        let high: f64 = order[n - decile..].iter().map(|&i| dist(i)).sum::<f64>() / decile as f64;
+        prop_assert!(
+            high < low,
+            "hubs should be cleaner: top-decile dist {high:.3} vs bottom {low:.3}"
+        );
+    }
+}

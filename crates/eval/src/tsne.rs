@@ -1,0 +1,265 @@
+//! Exact t-SNE (van der Maaten & Hinton, 2008) for the Fig. 9
+//! interpretability analysis.
+//!
+//! The paper embeds only 80 sampled nodes, so the O(n²) exact algorithm is
+//! appropriate: Gaussian affinities with per-point perplexity calibration
+//! (binary search over bandwidths), symmetrization, early exaggeration and
+//! momentum gradient descent on the Student-t low-dimensional affinities.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use rand::SeedableRng;
+
+/// t-SNE hyper-parameters.
+#[derive(Clone, Debug)]
+pub struct TsneConfig {
+    pub perplexity: f64,
+    pub iterations: usize,
+    pub learning_rate: f64,
+    pub early_exaggeration: f64,
+    pub exaggeration_iters: usize,
+    pub seed: u64,
+}
+
+impl Default for TsneConfig {
+    fn default() -> Self {
+        Self {
+            perplexity: 15.0,
+            iterations: 400,
+            learning_rate: 20.0,
+            early_exaggeration: 4.0,
+            exaggeration_iters: 80,
+            seed: 0,
+        }
+    }
+}
+
+/// Embeds `n` points of dimension `dim` (row-major `data`) into 2-D.
+pub fn tsne(data: &[f32], n: usize, dim: usize, cfg: &TsneConfig) -> Vec<[f64; 2]> {
+    assert_eq!(data.len(), n * dim, "data shape mismatch");
+    if n == 0 {
+        return Vec::new();
+    }
+    if n == 1 {
+        return vec![[0.0, 0.0]];
+    }
+
+    // Pairwise squared distances.
+    let mut d2 = vec![0f64; n * n];
+    for i in 0..n {
+        for j in i + 1..n {
+            let mut acc = 0f64;
+            for k in 0..dim {
+                let diff = (data[i * dim + k] - data[j * dim + k]) as f64;
+                acc += diff * diff;
+            }
+            d2[i * n + j] = acc;
+            d2[j * n + i] = acc;
+        }
+    }
+
+    // Per-point bandwidth via binary search to match the perplexity.
+    let target_entropy = cfg.perplexity.max(2.0).ln();
+    let mut p = vec![0f64; n * n];
+    for i in 0..n {
+        let (mut lo, mut hi) = (1e-12f64, 1e12f64);
+        let mut beta = 1.0f64;
+        for _ in 0..60 {
+            let mut sum = 0f64;
+            for j in 0..n {
+                if j != i {
+                    p[i * n + j] = (-beta * d2[i * n + j]).exp();
+                    sum += p[i * n + j];
+                }
+            }
+            if sum <= 0.0 {
+                break;
+            }
+            let mut entropy = 0f64;
+            for j in 0..n {
+                if j != i && p[i * n + j] > 0.0 {
+                    let q = p[i * n + j] / sum;
+                    entropy -= q * q.ln();
+                }
+            }
+            if (entropy - target_entropy).abs() < 1e-5 {
+                break;
+            }
+            if entropy > target_entropy {
+                lo = beta;
+                beta = if hi >= 1e12 { beta * 2.0 } else { (beta + hi) / 2.0 };
+            } else {
+                hi = beta;
+                beta = (beta + lo) / 2.0;
+            }
+        }
+        let sum: f64 = (0..n).filter(|&j| j != i).map(|j| p[i * n + j]).sum();
+        if sum > 0.0 {
+            for j in 0..n {
+                if j != i {
+                    p[i * n + j] /= sum;
+                }
+            }
+        }
+    }
+    // Symmetrize.
+    let mut pij = vec![0f64; n * n];
+    for i in 0..n {
+        for j in 0..n {
+            pij[i * n + j] = ((p[i * n + j] + p[j * n + i]) / (2.0 * n as f64)).max(1e-12);
+        }
+    }
+
+    // Gradient descent on the KL divergence with Student-t affinities.
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut y: Vec<[f64; 2]> = (0..n)
+        .map(|_| [rng.gen_range(-1e-2..1e-2), rng.gen_range(-1e-2..1e-2)])
+        .collect();
+    let mut vel = vec![[0f64; 2]; n];
+    let mut q = vec![0f64; n * n];
+    for it in 0..cfg.iterations {
+        let exag = if it < cfg.exaggeration_iters {
+            cfg.early_exaggeration
+        } else {
+            1.0
+        };
+        // Low-dimensional affinities.
+        let mut qsum = 0f64;
+        for i in 0..n {
+            for j in i + 1..n {
+                let dx = y[i][0] - y[j][0];
+                let dy = y[i][1] - y[j][1];
+                let w = 1.0 / (1.0 + dx * dx + dy * dy);
+                q[i * n + j] = w;
+                q[j * n + i] = w;
+                qsum += 2.0 * w;
+            }
+        }
+        let momentum = if it < 100 { 0.5 } else { 0.8 };
+        for i in 0..n {
+            let mut grad = [0f64; 2];
+            for j in 0..n {
+                if i == j {
+                    continue;
+                }
+                let w = q[i * n + j];
+                let qij = (w / qsum).max(1e-12);
+                let coeff = 4.0 * (exag * pij[i * n + j] - qij) * w;
+                grad[0] += coeff * (y[i][0] - y[j][0]);
+                grad[1] += coeff * (y[i][1] - y[j][1]);
+            }
+            for k in 0..2 {
+                vel[i][k] = momentum * vel[i][k] - cfg.learning_rate * grad[k];
+                // Clamp the step to keep early-exaggeration phases stable.
+                vel[i][k] = vel[i][k].clamp(-5.0, 5.0);
+                y[i][k] += vel[i][k];
+            }
+        }
+        // Re-center.
+        let (mx, my) = y
+            .iter()
+            .fold((0.0, 0.0), |(a, b), p| (a + p[0], b + p[1]));
+        for p in y.iter_mut() {
+            p[0] -= mx / n as f64;
+            p[1] -= my / n as f64;
+        }
+    }
+    y
+}
+
+/// Mean pairwise Euclidean distance of the given points — the dispersion
+/// statistic used to quantify Fig. 9's "scattered across the dataset"
+/// observation.
+pub fn dispersion(points: &[[f64; 2]], ids: &[usize]) -> f64 {
+    if ids.len() < 2 {
+        return 0.0;
+    }
+    let mut total = 0.0;
+    let mut count = 0usize;
+    for (a, &i) in ids.iter().enumerate() {
+        for &j in ids.iter().skip(a + 1) {
+            let dx = points[i][0] - points[j][0];
+            let dy = points[i][1] - points[j][1];
+            total += (dx * dx + dy * dy).sqrt();
+            count += 1;
+        }
+    }
+    total / count as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two well-separated Gaussian blobs in 10-D.
+    fn blobs(n_per: usize, seed: u64) -> (Vec<f32>, usize) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut data = Vec::new();
+        for c in 0..2 {
+            for _ in 0..n_per {
+                for k in 0..10 {
+                    let center = if c == 0 { 0.0 } else { 20.0 };
+                    let jitter: f32 = rng.gen_range(-0.5..0.5);
+                    data.push(center + jitter + k as f32 * 0.01);
+                }
+            }
+        }
+        (data, 2 * n_per)
+    }
+
+    #[test]
+    fn tsne_separates_blobs() {
+        let (data, n) = blobs(15, 0);
+        let cfg = TsneConfig {
+            iterations: 250,
+            ..Default::default()
+        };
+        let y = tsne(&data, n, 10, &cfg);
+        // Intra-blob dispersion must be far below inter-blob distance.
+        let a: Vec<usize> = (0..15).collect();
+        let b: Vec<usize> = (15..30).collect();
+        let da = dispersion(&y, &a);
+        let db = dispersion(&y, &b);
+        let ca = (
+            a.iter().map(|&i| y[i][0]).sum::<f64>() / 15.0,
+            a.iter().map(|&i| y[i][1]).sum::<f64>() / 15.0,
+        );
+        let cb = (
+            b.iter().map(|&i| y[i][0]).sum::<f64>() / 15.0,
+            b.iter().map(|&i| y[i][1]).sum::<f64>() / 15.0,
+        );
+        let between = ((ca.0 - cb.0).powi(2) + (ca.1 - cb.1).powi(2)).sqrt();
+        assert!(
+            between > 2.0 * da.max(db),
+            "blobs not separated: between {between:.2}, intra {da:.2}/{db:.2}"
+        );
+    }
+
+    #[test]
+    fn tsne_handles_degenerate_inputs() {
+        assert!(tsne(&[], 0, 5, &TsneConfig::default()).is_empty());
+        let one = tsne(&[1.0; 5], 1, 5, &TsneConfig::default());
+        assert_eq!(one, vec![[0.0, 0.0]]);
+    }
+
+    #[test]
+    fn tsne_is_deterministic_per_seed() {
+        let (data, n) = blobs(8, 3);
+        let cfg = TsneConfig {
+            iterations: 50,
+            ..Default::default()
+        };
+        let y1 = tsne(&data, n, 10, &cfg);
+        let y2 = tsne(&data, n, 10, &cfg);
+        assert_eq!(y1, y2);
+    }
+
+    #[test]
+    fn dispersion_of_spread_points_exceeds_tight_points() {
+        let pts = vec![[0.0, 0.0], [0.1, 0.0], [10.0, 10.0], [-10.0, 5.0]];
+        let tight = dispersion(&pts, &[0, 1]);
+        let spread = dispersion(&pts, &[0, 2, 3]);
+        assert!(spread > tight * 10.0);
+        assert_eq!(dispersion(&pts, &[0]), 0.0);
+    }
+}

@@ -1,0 +1,401 @@
+//! The heterogeneous graph container and its builder.
+
+use crate::features::FeatureMatrix;
+use crate::schema::{EdgeTypeId, NodeTypeId, Schema};
+use crate::split::Split;
+use freehgc_sparse::{CooMatrix, CsrMatrix};
+
+/// A heterogeneous graph dataset `G = {A, X, Y}` (paper §II-A): one CSR
+/// adjacency per edge type, one feature matrix per node type, labels over
+/// the target type, and a train/val/test split.
+#[derive(Clone, Debug)]
+pub struct HeteroGraph {
+    schema: Schema,
+    num_nodes: Vec<usize>,
+    adjacency: Vec<CsrMatrix>,
+    features: Vec<FeatureMatrix>,
+    labels: Vec<u32>,
+    num_classes: usize,
+    split: Split,
+}
+
+impl HeteroGraph {
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Number of nodes of type `t`.
+    pub fn num_nodes(&self, t: NodeTypeId) -> usize {
+        self.num_nodes[t.0 as usize]
+    }
+
+    /// Total node count across all types.
+    pub fn total_nodes(&self) -> usize {
+        self.num_nodes.iter().sum()
+    }
+
+    /// Total stored (directed) edge count across all edge types.
+    pub fn total_edges(&self) -> usize {
+        self.adjacency.iter().map(|a| a.nnz()).sum()
+    }
+
+    /// The `|src| × |dst|` adjacency of edge type `e`.
+    pub fn adjacency(&self, e: EdgeTypeId) -> &CsrMatrix {
+        &self.adjacency[e.0 as usize]
+    }
+
+    /// Adjacency between two node types oriented `from → to`, transposing a
+    /// stored reverse edge type when needed. Returns the first schema match.
+    pub fn adjacency_between(&self, from: NodeTypeId, to: NodeTypeId) -> Option<CsrMatrix> {
+        let (e, fwd) = self.schema.edge_between(from, to)?;
+        let a = &self.adjacency[e.0 as usize];
+        Some(if fwd { a.clone() } else { a.transpose() })
+    }
+
+    /// Features of node type `t`.
+    pub fn features(&self, t: NodeTypeId) -> &FeatureMatrix {
+        &self.features[t.0 as usize]
+    }
+
+    /// Replaces the features of node type `t` (same shape required).
+    /// Used by gradient-matching condensers that refine synthetic features
+    /// after the graph structure is fixed.
+    pub fn set_features(&mut self, t: NodeTypeId, f: FeatureMatrix) {
+        let old = &self.features[t.0 as usize];
+        assert_eq!(f.num_rows(), old.num_rows(), "feature row count must match");
+        assert_eq!(f.dim(), old.dim(), "feature dimension must match");
+        self.features[t.0 as usize] = f;
+    }
+
+    /// Class labels of the target type, one per target node.
+    pub fn labels(&self) -> &[u32] {
+        &self.labels
+    }
+
+    pub fn num_classes(&self) -> usize {
+        self.num_classes
+    }
+
+    pub fn split(&self) -> &Split {
+        &self.split
+    }
+
+    pub fn set_split(&mut self, split: Split) {
+        assert!(
+            split.len() <= self.num_nodes(self.schema.target()),
+            "split references more nodes than the target type has"
+        );
+        self.split = split;
+    }
+
+    /// Per-class node counts over the whole target type.
+    pub fn class_histogram(&self) -> Vec<usize> {
+        let mut h = vec![0usize; self.num_classes];
+        for &y in &self.labels {
+            h[y as usize] += 1;
+        }
+        h
+    }
+
+    /// Heap bytes of adjacency + features + labels — the "Storage" rows of
+    /// Table VII.
+    pub fn storage_bytes(&self) -> usize {
+        self.adjacency
+            .iter()
+            .map(|a| a.storage_bytes())
+            .sum::<usize>()
+            + self
+                .features
+                .iter()
+                .map(|f| f.storage_bytes())
+                .sum::<usize>()
+            + self.labels.len() * std::mem::size_of::<u32>()
+    }
+
+    /// Induces the subgraph on the given per-type node-id lists (original
+    /// ids, duplicate-free). Adjacency is restricted and re-indexed,
+    /// features gathered, labels sliced for the target type; the split is
+    /// re-derived as "all kept target nodes are training nodes", which is
+    /// how condensed graphs are consumed (the full-graph split is used for
+    /// evaluation).
+    pub fn induced(&self, keep: &[Vec<u32>]) -> HeteroGraph {
+        assert_eq!(keep.len(), self.schema.num_node_types(), "per-type keep lists");
+        let num_nodes: Vec<usize> = keep.iter().map(|k| k.len()).collect();
+        let adjacency: Vec<CsrMatrix> = self
+            .schema
+            .edge_type_ids()
+            .map(|e| {
+                let (src, dst) = self.schema.edge_endpoints(e);
+                self.adjacency(e)
+                    .submatrix(&keep[src.0 as usize], &keep[dst.0 as usize])
+            })
+            .collect();
+        let features: Vec<FeatureMatrix> = self
+            .schema
+            .node_type_ids()
+            .map(|t| self.features(t).gather(&keep[t.0 as usize]))
+            .collect();
+        let tgt = self.schema.target();
+        let labels: Vec<u32> = keep[tgt.0 as usize]
+            .iter()
+            .map(|&i| self.labels[i as usize])
+            .collect();
+        let split = Split {
+            train: (0..labels.len() as u32).collect(),
+            val: Vec::new(),
+            test: Vec::new(),
+        };
+        HeteroGraph {
+            schema: self.schema.clone(),
+            num_nodes,
+            adjacency,
+            features,
+            labels,
+            num_classes: self.num_classes,
+            split,
+        }
+    }
+}
+
+/// Incremental builder for [`HeteroGraph`]; validates shape invariants on
+/// [`HeteroGraphBuilder::build`].
+pub struct HeteroGraphBuilder {
+    schema: Schema,
+    num_nodes: Vec<usize>,
+    edges: Vec<CooMatrix>,
+    features: Vec<Option<FeatureMatrix>>,
+    labels: Vec<u32>,
+    num_classes: usize,
+    split: Split,
+}
+
+impl HeteroGraphBuilder {
+    /// Starts a builder; `num_nodes` is indexed by node-type id.
+    pub fn new(schema: Schema, num_nodes: Vec<usize>) -> Self {
+        assert_eq!(
+            num_nodes.len(),
+            schema.num_node_types(),
+            "one node count per node type"
+        );
+        let edges = schema
+            .edge_type_ids()
+            .map(|e| {
+                let (src, dst) = schema.edge_endpoints(e);
+                CooMatrix::new(num_nodes[src.0 as usize], num_nodes[dst.0 as usize])
+            })
+            .collect();
+        let features = vec![None; schema.num_node_types()];
+        Self {
+            schema,
+            num_nodes,
+            edges,
+            features,
+            labels: Vec::new(),
+            num_classes: 0,
+            split: Split::default(),
+        }
+    }
+
+    /// Adds a directed edge of type `e` from `src` to `dst` (type-local ids).
+    pub fn add_edge(&mut self, e: EdgeTypeId, src: u32, dst: u32) {
+        self.edges[e.0 as usize].push(src, dst, 1.0);
+    }
+
+    /// Adds a weighted edge.
+    pub fn add_weighted_edge(&mut self, e: EdgeTypeId, src: u32, dst: u32, w: f32) {
+        self.edges[e.0 as usize].push(src, dst, w);
+    }
+
+    /// Per-edge-type (out-degree per source node, in-degree per destination
+    /// node) of the edges pushed so far.
+    pub fn edge_counts(&self) -> Vec<(Vec<usize>, Vec<usize>)> {
+        self.edges.iter().map(|c| c.degree_counts()).collect()
+    }
+
+    /// Sets the feature matrix of node type `t`.
+    pub fn set_features(&mut self, t: NodeTypeId, f: FeatureMatrix) {
+        assert_eq!(
+            f.num_rows(),
+            self.num_nodes[t.0 as usize],
+            "feature rows must match node count of type {}",
+            self.schema.node_type_name(t)
+        );
+        self.features[t.0 as usize] = Some(f);
+    }
+
+    /// Sets target-type labels.
+    pub fn set_labels(&mut self, labels: Vec<u32>, num_classes: usize) {
+        let tgt = self.schema.target();
+        assert_eq!(
+            labels.len(),
+            self.num_nodes[tgt.0 as usize],
+            "one label per target node"
+        );
+        assert!(labels.iter().all(|&y| (y as usize) < num_classes));
+        self.labels = labels;
+        self.num_classes = num_classes;
+    }
+
+    pub fn set_split(&mut self, split: Split) {
+        self.split = split;
+    }
+
+    /// Finalizes the graph.
+    ///
+    /// # Panics
+    /// Panics if labels were not set, or any node type lacks features.
+    pub fn build(self) -> HeteroGraph {
+        assert!(self.num_classes > 0, "labels must be set before build");
+        let features: Vec<FeatureMatrix> = self
+            .features
+            .into_iter()
+            .enumerate()
+            .map(|(t, f)| {
+                f.unwrap_or_else(|| {
+                    panic!(
+                        "missing features for node type {}",
+                        self.schema.node_type_name(NodeTypeId(t as u16))
+                    )
+                })
+            })
+            .collect();
+        let adjacency: Vec<CsrMatrix> = self.edges.into_iter().map(CooMatrix::to_csr).collect();
+        HeteroGraph {
+            schema: self.schema,
+            num_nodes: self.num_nodes,
+            adjacency,
+            features,
+            labels: self.labels,
+            num_classes: self.num_classes,
+            split: self.split,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Role;
+
+    /// Tiny ACM-like graph: 4 papers (target, 2 classes), 3 authors,
+    /// 2 subjects.
+    pub(crate) fn tiny_acm() -> HeteroGraph {
+        let mut s = Schema::new();
+        let paper = s.add_node_type("paper");
+        let author = s.add_node_type("author");
+        let subject = s.add_node_type("subject");
+        let pa = s.add_edge_type("pa", paper, author);
+        let ps = s.add_edge_type("ps", paper, subject);
+        s.set_target(paper);
+        s.set_role(author, Role::Father);
+        s.set_role(subject, Role::Leaf);
+
+        let mut b = HeteroGraphBuilder::new(s, vec![4, 3, 2]);
+        for (p, a) in [(0, 0), (0, 1), (1, 1), (2, 2), (3, 0), (3, 2)] {
+            b.add_edge(pa, p, a);
+        }
+        for (p, sj) in [(0, 0), (1, 0), (2, 1), (3, 1)] {
+            b.add_edge(ps, p, sj);
+        }
+        b.set_features(paper, FeatureMatrix::from_rows(2, vec![1.0; 8]));
+        b.set_features(author, FeatureMatrix::from_rows(3, vec![2.0; 9]));
+        b.set_features(subject, FeatureMatrix::from_rows(1, vec![3.0; 2]));
+        b.set_labels(vec![0, 0, 1, 1], 2);
+        b.set_split(Split {
+            train: vec![0, 2],
+            val: vec![1],
+            test: vec![3],
+        });
+        b.build()
+    }
+
+    #[test]
+    fn builder_roundtrip() {
+        let g = tiny_acm();
+        let s = g.schema();
+        let paper = s.node_type_by_name("paper").unwrap();
+        let author = s.node_type_by_name("author").unwrap();
+        assert_eq!(g.num_nodes(paper), 4);
+        assert_eq!(g.total_nodes(), 9);
+        assert_eq!(g.total_edges(), 10);
+        assert_eq!(g.features(author).dim(), 3);
+        assert_eq!(g.labels(), &[0, 0, 1, 1]);
+        assert_eq!(g.num_classes(), 2);
+        assert_eq!(g.class_histogram(), vec![2, 2]);
+    }
+
+    #[test]
+    fn adjacency_between_orients_correctly() {
+        let g = tiny_acm();
+        let s = g.schema();
+        let paper = s.node_type_by_name("paper").unwrap();
+        let author = s.node_type_by_name("author").unwrap();
+        let p2a = g.adjacency_between(paper, author).unwrap();
+        assert_eq!((p2a.nrows(), p2a.ncols()), (4, 3));
+        let a2p = g.adjacency_between(author, paper).unwrap();
+        assert_eq!((a2p.nrows(), a2p.ncols()), (3, 4));
+        assert_eq!(a2p.get(1, 0), 1.0); // author 1 wrote paper 0
+    }
+
+    #[test]
+    fn induced_subgraph_restricts_everything() {
+        let g = tiny_acm();
+        // Keep papers {0, 3}, authors {0, 2}, subjects {1}.
+        let sub = g.induced(&[vec![0, 3], vec![0, 2], vec![1]]);
+        let s = sub.schema();
+        let paper = s.node_type_by_name("paper").unwrap();
+        assert_eq!(sub.num_nodes(paper), 2);
+        assert_eq!(sub.labels(), &[0, 1]);
+        let pa = s.edge_type_by_name("pa").unwrap();
+        // Edges kept: (0,0) and (3,0),(3,2) -> new ids (0,0),(1,0),(1,1)
+        assert_eq!(sub.adjacency(pa).nnz(), 3);
+        let ps = s.edge_type_by_name("ps").unwrap();
+        // Subject 1 kept: edges (2,1),(3,1) -> only paper 3 kept -> 1 edge
+        assert_eq!(sub.adjacency(ps).nnz(), 1);
+        assert_eq!(sub.split().train.len(), 2);
+        assert!(sub.split().test.is_empty());
+    }
+
+    #[test]
+    fn storage_decreases_under_induction() {
+        let g = tiny_acm();
+        let sub = g.induced(&[vec![0], vec![0], vec![0]]);
+        assert!(sub.storage_bytes() < g.storage_bytes());
+    }
+
+    #[test]
+    #[should_panic(expected = "one label per target node")]
+    fn builder_rejects_wrong_label_count() {
+        let mut s = Schema::new();
+        let p = s.add_node_type("p");
+        s.set_target(p);
+        let mut b = HeteroGraphBuilder::new(s, vec![3]);
+        b.set_labels(vec![0, 1], 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "missing features")]
+    fn builder_rejects_missing_features() {
+        let mut s = Schema::new();
+        let p = s.add_node_type("p");
+        s.set_target(p);
+        let mut b = HeteroGraphBuilder::new(s, vec![1]);
+        b.set_labels(vec![0], 1);
+        b.build();
+    }
+
+    #[test]
+    fn weighted_edges_accumulate() {
+        let mut s = Schema::new();
+        let p = s.add_node_type("p");
+        let e = s.add_edge_type("pp", p, p);
+        s.set_target(p);
+        let mut b = HeteroGraphBuilder::new(s, vec![2]);
+        b.add_weighted_edge(e, 0, 1, 0.5);
+        b.add_weighted_edge(e, 0, 1, 0.25);
+        b.set_features(p, FeatureMatrix::zeros(2, 1));
+        b.set_labels(vec![0, 0], 1);
+        let g = b.build();
+        assert_eq!(g.adjacency(e).get(0, 1), 0.75);
+    }
+}

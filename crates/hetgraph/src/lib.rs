@@ -1,0 +1,31 @@
+//! Heterogeneous graph engine for the FreeHGC reproduction.
+//!
+//! A heterogeneous graph `A = (V, E, φ, ψ)` (paper §II-A) is represented as
+//! a [`Schema`] (node types, directed edge types, per-type roles) plus a
+//! [`HeteroGraph`] holding one CSR adjacency per edge type, one feature
+//! matrix per node type (dimensions may differ across types), labels over
+//! the target type, and the HGB-style train/val/test split.
+//!
+//! Meta-paths (`P ≜ o1 ← … ← on`) are first-class: [`metapath`] enumerates
+//! every proper meta-path up to a hop bound over the schema graph and
+//! composes row-normalized adjacencies per Eq. (1) of the paper.
+//!
+//! The [`condense::Condenser`] trait is the common interface implemented by
+//! FreeHGC and by every baseline; its output is a smaller [`HeteroGraph`]
+//! with provenance back to original node ids where applicable.
+
+pub mod condense;
+pub mod features;
+pub mod graph;
+pub mod metapath;
+pub mod schema;
+pub mod split;
+
+pub use condense::{
+    all_ids, induce_selection, proportional_allocation, CondenseSpec, CondensedGraph, Condenser,
+};
+pub use features::FeatureMatrix;
+pub use graph::{HeteroGraph, HeteroGraphBuilder};
+pub use metapath::{enumerate_metapaths, metapaths_to, MetaPath, MetaPathEngine, MetaPathStep};
+pub use schema::{EdgeTypeId, NodeTypeId, Role, Schema};
+pub use split::Split;

@@ -1,0 +1,430 @@
+//! Schema: node types, directed edge types and condensation roles.
+//!
+//! The schema is the type-level ("network schema") view of a heterogeneous
+//! graph. FreeHGC's other-type condensation (paper §IV-C, Fig. 5) assigns
+//! each non-target node type a [`Role`]: *father* types bridge the target
+//! (root) type to deeper types and are condensed by neighbor-influence
+//! maximization; *leaf* types are synthesized by information-loss
+//! minimization. Roles can be set explicitly per dataset or inferred from
+//! the schema topology with [`Schema::infer_roles`].
+
+use std::fmt;
+
+/// Index of a node type within a [`Schema`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeTypeId(pub u16);
+
+/// Index of a directed edge type within a [`Schema`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EdgeTypeId(pub u16);
+
+/// Condensation role of a node type (paper Fig. 5).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Role {
+    /// The labeled type used for downstream prediction ("root" in Fig. 5).
+    Target,
+    /// Bridge types condensed by neighbor-influence maximization (Eq. 13).
+    Father,
+    /// Terminal types synthesized by information-loss minimization (Eq. 16).
+    Leaf,
+}
+
+#[derive(Clone, Debug)]
+struct NodeTypeInfo {
+    name: String,
+    role: Option<Role>,
+}
+
+#[derive(Clone, Debug)]
+struct EdgeTypeInfo {
+    name: String,
+    src: NodeTypeId,
+    dst: NodeTypeId,
+}
+
+/// The type-level structure of a heterogeneous graph.
+#[derive(Clone, Debug)]
+pub struct Schema {
+    node_types: Vec<NodeTypeInfo>,
+    edge_types: Vec<EdgeTypeInfo>,
+    target: Option<NodeTypeId>,
+}
+
+impl Schema {
+    pub fn new() -> Self {
+        Self {
+            node_types: Vec::new(),
+            edge_types: Vec::new(),
+            target: None,
+        }
+    }
+
+    /// Registers a node type and returns its id.
+    pub fn add_node_type(&mut self, name: &str) -> NodeTypeId {
+        assert!(
+            self.node_type_by_name(name).is_none(),
+            "duplicate node type name {name:?}"
+        );
+        assert!(self.node_types.len() < u16::MAX as usize);
+        let id = NodeTypeId(self.node_types.len() as u16);
+        self.node_types.push(NodeTypeInfo {
+            name: name.to_string(),
+            role: None,
+        });
+        id
+    }
+
+    /// Registers a directed edge type `src → dst` and returns its id.
+    pub fn add_edge_type(&mut self, name: &str, src: NodeTypeId, dst: NodeTypeId) -> EdgeTypeId {
+        assert!((src.0 as usize) < self.node_types.len(), "unknown src type");
+        assert!((dst.0 as usize) < self.node_types.len(), "unknown dst type");
+        assert!(
+            self.edge_type_by_name(name).is_none(),
+            "duplicate edge type name {name:?}"
+        );
+        assert!(self.edge_types.len() < u16::MAX as usize);
+        let id = EdgeTypeId(self.edge_types.len() as u16);
+        self.edge_types.push(EdgeTypeInfo {
+            name: name.to_string(),
+            src,
+            dst,
+        });
+        id
+    }
+
+    /// Declares which node type carries labels (the prediction target).
+    pub fn set_target(&mut self, t: NodeTypeId) {
+        self.node_types[t.0 as usize].role = Some(Role::Target);
+        self.target = Some(t);
+    }
+
+    /// The target node type.
+    ///
+    /// # Panics
+    /// Panics if no target was declared.
+    pub fn target(&self) -> NodeTypeId {
+        self.target.expect("schema has no target type")
+    }
+
+    /// Overrides the condensation role of a non-target type.
+    pub fn set_role(&mut self, t: NodeTypeId, role: Role) {
+        assert!(
+            role != Role::Target || Some(t) == self.target,
+            "use set_target to change the target type"
+        );
+        self.node_types[t.0 as usize].role = Some(role);
+    }
+
+    /// The role of node type `t`, if assigned (explicitly or by
+    /// [`Schema::infer_roles`]).
+    pub fn role(&self, t: NodeTypeId) -> Option<Role> {
+        self.node_types[t.0 as usize].role
+    }
+
+    pub fn num_node_types(&self) -> usize {
+        self.node_types.len()
+    }
+
+    pub fn num_edge_types(&self) -> usize {
+        self.edge_types.len()
+    }
+
+    pub fn node_type_name(&self, t: NodeTypeId) -> &str {
+        &self.node_types[t.0 as usize].name
+    }
+
+    pub fn edge_type_name(&self, e: EdgeTypeId) -> &str {
+        &self.edge_types[e.0 as usize].name
+    }
+
+    pub fn edge_endpoints(&self, e: EdgeTypeId) -> (NodeTypeId, NodeTypeId) {
+        let info = &self.edge_types[e.0 as usize];
+        (info.src, info.dst)
+    }
+
+    pub fn node_type_by_name(&self, name: &str) -> Option<NodeTypeId> {
+        self.node_types
+            .iter()
+            .position(|n| n.name == name)
+            .map(|i| NodeTypeId(i as u16))
+    }
+
+    pub fn edge_type_by_name(&self, name: &str) -> Option<EdgeTypeId> {
+        self.edge_types
+            .iter()
+            .position(|e| e.name == name)
+            .map(|i| EdgeTypeId(i as u16))
+    }
+
+    pub fn node_type_ids(&self) -> impl Iterator<Item = NodeTypeId> {
+        (0..self.node_types.len() as u16).map(NodeTypeId)
+    }
+
+    pub fn edge_type_ids(&self) -> impl Iterator<Item = EdgeTypeId> {
+        (0..self.edge_types.len() as u16).map(EdgeTypeId)
+    }
+
+    /// Edge types incident to node type `t`, each tagged with the direction
+    /// in which it leaves `t` (`true` = `t` is the source).
+    pub fn incident_edges(&self, t: NodeTypeId) -> Vec<(EdgeTypeId, bool)> {
+        let mut out = Vec::new();
+        for (i, e) in self.edge_types.iter().enumerate() {
+            if e.src == t {
+                out.push((EdgeTypeId(i as u16), true));
+            }
+            if e.dst == t && e.src != e.dst {
+                out.push((EdgeTypeId(i as u16), false));
+            }
+        }
+        out
+    }
+
+    /// Node types adjacent to `t` in the schema graph.
+    pub fn neighbor_types(&self, t: NodeTypeId) -> Vec<NodeTypeId> {
+        let mut out: Vec<NodeTypeId> = Vec::new();
+        for e in &self.edge_types {
+            let other = if e.src == t {
+                Some(e.dst)
+            } else if e.dst == t {
+                Some(e.src)
+            } else {
+                None
+            };
+            if let Some(o) = other {
+                if o != t && !out.contains(&o) {
+                    out.push(o);
+                }
+            }
+        }
+        out
+    }
+
+    /// BFS hop distance of every node type from the target type in the
+    /// schema graph (`usize::MAX` if unreachable).
+    pub fn distance_from_target(&self) -> Vec<usize> {
+        let target = self.target();
+        let mut dist = vec![usize::MAX; self.node_types.len()];
+        dist[target.0 as usize] = 0;
+        let mut frontier = vec![target];
+        let mut d = 0usize;
+        while !frontier.is_empty() {
+            d += 1;
+            let mut next = Vec::new();
+            for &t in &frontier {
+                for n in self.neighbor_types(t) {
+                    if dist[n.0 as usize] == usize::MAX {
+                        dist[n.0 as usize] = d;
+                        next.push(n);
+                    }
+                }
+            }
+            frontier = next;
+        }
+        dist
+    }
+
+    /// Infers roles for every unassigned non-target type from the schema
+    /// topology (paper Fig. 5): a type at distance 1 that bridges to deeper
+    /// types is a *father*; all remaining types are *leaves*. Explicitly
+    /// assigned roles are kept.
+    pub fn infer_roles(&mut self) {
+        let dist = self.distance_from_target();
+        for t in self.node_type_ids().collect::<Vec<_>>() {
+            if self.node_types[t.0 as usize].role.is_some() {
+                continue;
+            }
+            let d = dist[t.0 as usize];
+            let bridges_deeper = self
+                .neighbor_types(t)
+                .iter()
+                .any(|n| dist[n.0 as usize] > d && dist[n.0 as usize] != usize::MAX);
+            let role = if d == 1 && bridges_deeper {
+                Role::Father
+            } else {
+                Role::Leaf
+            };
+            self.node_types[t.0 as usize].role = Some(role);
+        }
+    }
+
+    /// Non-target types with the given role.
+    pub fn types_with_role(&self, role: Role) -> Vec<NodeTypeId> {
+        self.node_type_ids()
+            .filter(|&t| self.role(t) == Some(role))
+            .collect()
+    }
+
+    /// The parent type of a leaf type: its schema neighbor closest to the
+    /// target (ties broken toward the target type itself, then by id).
+    /// This is the "father" whose nodes aggregate the leaf's nodes in the
+    /// information-loss-minimization synthesis (Eq. 14).
+    pub fn parent_of(&self, leaf: NodeTypeId) -> Option<NodeTypeId> {
+        let dist = self.distance_from_target();
+        self.neighbor_types(leaf)
+            .into_iter()
+            .filter(|n| dist[n.0 as usize] != usize::MAX)
+            .min_by_key(|n| (dist[n.0 as usize], n.0))
+    }
+
+    /// The edge type connecting `a` and `b`, with orientation flag
+    /// (`true` if stored as `a → b`). Returns the first match.
+    pub fn edge_between(&self, a: NodeTypeId, b: NodeTypeId) -> Option<(EdgeTypeId, bool)> {
+        for (i, e) in self.edge_types.iter().enumerate() {
+            if e.src == a && e.dst == b {
+                return Some((EdgeTypeId(i as u16), true));
+            }
+            if e.src == b && e.dst == a {
+                return Some((EdgeTypeId(i as u16), false));
+            }
+        }
+        None
+    }
+}
+
+impl Default for Schema {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Schema ({} node types, {} edge types)", self.node_types.len(), self.edge_types.len())?;
+        for (i, n) in self.node_types.iter().enumerate() {
+            writeln!(f, "  node[{i}] {} role={:?}", n.name, n.role)?;
+        }
+        for (i, e) in self.edge_types.iter().enumerate() {
+            writeln!(
+                f,
+                "  edge[{i}] {}: {} -> {}",
+                e.name,
+                self.node_types[e.src.0 as usize].name,
+                self.node_types[e.dst.0 as usize].name
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// DBLP-like chain: author(target) — paper — {term, venue}.
+    fn dblp_like() -> (Schema, NodeTypeId, NodeTypeId, NodeTypeId, NodeTypeId) {
+        let mut s = Schema::new();
+        let author = s.add_node_type("author");
+        let paper = s.add_node_type("paper");
+        let term = s.add_node_type("term");
+        let venue = s.add_node_type("venue");
+        s.add_edge_type("writes", author, paper);
+        s.add_edge_type("has_term", paper, term);
+        s.add_edge_type("published_in", paper, venue);
+        s.set_target(author);
+        (s, author, paper, term, venue)
+    }
+
+    #[test]
+    fn add_and_lookup() {
+        let (s, author, paper, ..) = dblp_like();
+        assert_eq!(s.num_node_types(), 4);
+        assert_eq!(s.num_edge_types(), 3);
+        assert_eq!(s.node_type_by_name("paper"), Some(paper));
+        assert_eq!(s.node_type_by_name("nope"), None);
+        let e = s.edge_type_by_name("writes").unwrap();
+        assert_eq!(s.edge_endpoints(e), (author, paper));
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate node type")]
+    fn duplicate_node_type_panics() {
+        let mut s = Schema::new();
+        s.add_node_type("a");
+        s.add_node_type("a");
+    }
+
+    #[test]
+    fn distances_from_target() {
+        let (s, author, paper, term, venue) = dblp_like();
+        let d = s.distance_from_target();
+        assert_eq!(d[author.0 as usize], 0);
+        assert_eq!(d[paper.0 as usize], 1);
+        assert_eq!(d[term.0 as usize], 2);
+        assert_eq!(d[venue.0 as usize], 2);
+    }
+
+    #[test]
+    fn role_inference_matches_structure_2() {
+        let (mut s, _, paper, term, venue) = dblp_like();
+        s.infer_roles();
+        assert_eq!(s.role(paper), Some(Role::Father));
+        assert_eq!(s.role(term), Some(Role::Leaf));
+        assert_eq!(s.role(venue), Some(Role::Leaf));
+        assert_eq!(s.types_with_role(Role::Father), vec![paper]);
+    }
+
+    #[test]
+    fn role_inference_respects_explicit_roles() {
+        let (mut s, _, paper, _, _) = dblp_like();
+        s.set_role(paper, Role::Leaf);
+        s.infer_roles();
+        assert_eq!(s.role(paper), Some(Role::Leaf));
+    }
+
+    #[test]
+    fn structure_1_terminal_types_become_leaves_with_root_parent() {
+        // ACM-like: paper(target) — author, subject, term all terminal.
+        let mut s = Schema::new();
+        let paper = s.add_node_type("paper");
+        let author = s.add_node_type("author");
+        let subject = s.add_node_type("subject");
+        s.add_edge_type("pa", paper, author);
+        s.add_edge_type("ps", paper, subject);
+        s.set_target(paper);
+        s.infer_roles();
+        assert_eq!(s.role(author), Some(Role::Leaf));
+        assert_eq!(s.role(subject), Some(Role::Leaf));
+        assert_eq!(s.parent_of(author), Some(paper));
+    }
+
+    #[test]
+    fn parent_of_deep_leaf_is_its_bridge() {
+        let (mut s, _, paper, term, venue) = dblp_like();
+        s.infer_roles();
+        assert_eq!(s.parent_of(term), Some(paper));
+        assert_eq!(s.parent_of(venue), Some(paper));
+    }
+
+    #[test]
+    fn incident_edges_and_neighbors() {
+        let (s, author, paper, term, venue) = dblp_like();
+        let inc = s.incident_edges(paper);
+        assert_eq!(inc.len(), 3);
+        assert!(inc.iter().any(|&(_, fwd)| !fwd)); // writes arrives at paper
+        let nb = s.neighbor_types(paper);
+        assert!(nb.contains(&author) && nb.contains(&term) && nb.contains(&venue));
+    }
+
+    #[test]
+    fn self_loop_edge_type_incident_once() {
+        let mut s = Schema::new();
+        let p = s.add_node_type("paper");
+        s.add_edge_type("cites", p, p);
+        let inc = s.incident_edges(p);
+        assert_eq!(inc.len(), 1);
+        assert!(inc[0].1);
+    }
+
+    #[test]
+    fn edge_between_reports_orientation() {
+        let (s, author, paper, ..) = dblp_like();
+        let (e, fwd) = s.edge_between(author, paper).unwrap();
+        assert_eq!(s.edge_type_name(e), "writes");
+        assert!(fwd);
+        let (e2, fwd2) = s.edge_between(paper, author).unwrap();
+        assert_eq!(e2, e);
+        assert!(!fwd2);
+        let t = s.node_type_by_name("term").unwrap();
+        assert!(s.edge_between(author, t).is_none());
+    }
+}

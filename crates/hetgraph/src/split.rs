@@ -1,0 +1,141 @@
+//! Train/validation/test splits over the target node type.
+//!
+//! The paper follows the HGB benchmark: 24% / 6% / 70% of labeled target
+//! nodes for training, validation and testing respectively (§V-A).
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Node-id lists (into the target type) for each split.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Split {
+    pub train: Vec<u32>,
+    pub val: Vec<u32>,
+    pub test: Vec<u32>,
+}
+
+impl Split {
+    /// The HGB benchmark ratios used throughout the paper.
+    pub const HGB_TRAIN: f64 = 0.24;
+    pub const HGB_VAL: f64 = 0.06;
+
+    /// A stratified split: within every class, `train_frac` of nodes go to
+    /// train and `val_frac` to validation (rounded, at least one train node
+    /// per non-empty class); the rest to test.
+    pub fn stratified(
+        labels: &[u32],
+        num_classes: usize,
+        train_frac: f64,
+        val_frac: f64,
+        seed: u64,
+    ) -> Split {
+        assert!(train_frac > 0.0 && val_frac >= 0.0 && train_frac + val_frac < 1.0);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut by_class: Vec<Vec<u32>> = vec![Vec::new(); num_classes];
+        for (i, &y) in labels.iter().enumerate() {
+            by_class[y as usize].push(i as u32);
+        }
+        let mut split = Split::default();
+        for ids in by_class.iter_mut() {
+            if ids.is_empty() {
+                continue;
+            }
+            ids.shuffle(&mut rng);
+            let n = ids.len();
+            let n_train = ((n as f64 * train_frac).round() as usize).clamp(1, n);
+            let n_val = ((n as f64 * val_frac).round() as usize).min(n - n_train);
+            split.train.extend(&ids[..n_train]);
+            split.val.extend(&ids[n_train..n_train + n_val]);
+            split.test.extend(&ids[n_train + n_val..]);
+        }
+        split.train.sort_unstable();
+        split.val.sort_unstable();
+        split.test.sort_unstable();
+        split
+    }
+
+    /// HGB's 24/6/70 stratified split.
+    pub fn hgb(labels: &[u32], num_classes: usize, seed: u64) -> Split {
+        Self::stratified(labels, num_classes, Self::HGB_TRAIN, Self::HGB_VAL, seed)
+    }
+
+    pub fn len(&self) -> usize {
+        self.train.len() + self.val.len() + self.test.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Labeling rate = |train| / |all|, the quantity the paper's
+    /// condensation ratios are expressed against (§V-B).
+    pub fn labeling_rate(&self) -> f64 {
+        if self.is_empty() {
+            0.0
+        } else {
+            self.train.len() as f64 / self.len() as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn labels(n: usize, c: usize) -> Vec<u32> {
+        (0..n).map(|i| (i % c) as u32).collect()
+    }
+
+    #[test]
+    fn partitions_all_nodes_disjointly() {
+        let y = labels(100, 4);
+        let s = Split::hgb(&y, 4, 0);
+        assert_eq!(s.len(), 100);
+        let mut all: Vec<u32> = s
+            .train
+            .iter()
+            .chain(&s.val)
+            .chain(&s.test)
+            .copied()
+            .collect();
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(all.len(), 100);
+    }
+
+    #[test]
+    fn ratios_are_respected() {
+        let y = labels(1000, 5);
+        let s = Split::hgb(&y, 5, 1);
+        assert!((s.train.len() as f64 - 240.0).abs() <= 5.0);
+        assert!((s.val.len() as f64 - 60.0).abs() <= 5.0);
+        assert!((s.labeling_rate() - 0.24).abs() < 0.01);
+    }
+
+    #[test]
+    fn stratification_covers_every_class() {
+        let y = labels(50, 5);
+        let s = Split::stratified(&y, 5, 0.2, 0.1, 7);
+        for c in 0..5u32 {
+            assert!(
+                s.train.iter().any(|&i| y[i as usize] == c),
+                "class {c} missing from train"
+            );
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let y = labels(200, 3);
+        assert_eq!(Split::hgb(&y, 3, 42), Split::hgb(&y, 3, 42));
+        assert_ne!(Split::hgb(&y, 3, 42), Split::hgb(&y, 3, 43));
+    }
+
+    #[test]
+    fn tiny_classes_keep_one_train_node() {
+        let y = vec![0, 1, 1, 1, 1, 1, 1, 1, 1, 1];
+        let s = Split::stratified(&y, 2, 0.2, 0.1, 0);
+        assert!(s.train.contains(&0));
+    }
+}

@@ -1,0 +1,29 @@
+//! Heterogeneous GNN model zoo for the FreeHGC reproduction.
+//!
+//! All five models follow the scalable "pre-propagate, then fuse" design
+//! the paper builds on (NARS / SeHGNN, §II-B): neighbor aggregation is a
+//! *pre-processing step* — per-meta-path mean aggregation computed with
+//! sparse kernels ([`propagation`]) — and the trainable part is a semantic
+//! *fusion head* over the per-path feature blocks. SeHGNN's finding that
+//! "semantic attention is essential while neighbor attention is not"
+//! (quoted in §IV-C of the paper) justifies the mean aggregator; the five
+//! heads differ exactly where real HGNNs differ, in how they fuse
+//! semantics:
+//!
+//! * [`models::HeteroSgc`] — linear mean fusion (HGCond's relay model);
+//! * [`models::SeHgnn`] — semantic attention + MLP (the paper's test model);
+//! * [`models::Han`] — projected tanh semantic attention, linear head;
+//! * [`models::Hgb`] — relation-embedding sigmoid gates over paths;
+//! * [`models::Hgt`] — multi-head scaled dot-product mixing.
+//!
+//! [`trainer`] provides full-batch Adam training with early stopping and
+//! [`metrics`] the accuracy / F1 measures reported in the paper's tables.
+
+pub mod metrics;
+pub mod models;
+pub mod propagation;
+pub mod trainer;
+
+pub use models::{build_model, Model, ModelKind};
+pub use propagation::{propagate, PropagatedFeatures};
+pub use trainer::{train, EvalData, TrainConfig, TrainReport};

@@ -1,0 +1,115 @@
+//! Classification metrics reported in the paper's tables.
+
+/// Fraction of exact matches (equals micro-F1 for single-label
+/// classification, the "Accuracy" of Tables III–VIII).
+pub fn accuracy(pred: &[u32], truth: &[u32]) -> f64 {
+    assert_eq!(pred.len(), truth.len(), "prediction length mismatch");
+    if pred.is_empty() {
+        return 0.0;
+    }
+    let hit = pred.iter().zip(truth).filter(|(p, t)| p == t).count();
+    hit as f64 / pred.len() as f64
+}
+
+/// `num_classes × num_classes` confusion matrix; rows = truth, cols = pred.
+pub fn confusion_matrix(pred: &[u32], truth: &[u32], num_classes: usize) -> Vec<Vec<usize>> {
+    let mut m = vec![vec![0usize; num_classes]; num_classes];
+    for (&p, &t) in pred.iter().zip(truth) {
+        m[t as usize][p as usize] += 1;
+    }
+    m
+}
+
+/// Macro-averaged F1 over classes (classes absent from both pred and truth
+/// are skipped).
+pub fn macro_f1(pred: &[u32], truth: &[u32], num_classes: usize) -> f64 {
+    let cm = confusion_matrix(pred, truth, num_classes);
+    let mut f1_sum = 0.0;
+    let mut present = 0usize;
+    for c in 0..num_classes {
+        let tp = cm[c][c];
+        let fp: usize = (0..num_classes).filter(|&t| t != c).map(|t| cm[t][c]).sum();
+        let fn_: usize = (0..num_classes).filter(|&p| p != c).map(|p| cm[c][p]).sum();
+        if tp + fp + fn_ == 0 {
+            continue;
+        }
+        present += 1;
+        if tp == 0 {
+            continue; // F1 = 0 contributes nothing
+        }
+        let precision = tp as f64 / (tp + fp) as f64;
+        let recall = tp as f64 / (tp + fn_) as f64;
+        f1_sum += 2.0 * precision * recall / (precision + recall);
+    }
+    if present == 0 {
+        0.0
+    } else {
+        f1_sum / present as f64
+    }
+}
+
+/// Mean and sample standard deviation — table cells are reported as
+/// `mean ± std` over 5 seeds (§V-B).
+pub fn mean_std(values: &[f64]) -> (f64, f64) {
+    if values.is_empty() {
+        return (0.0, 0.0);
+    }
+    let mean = values.iter().sum::<f64>() / values.len() as f64;
+    if values.len() == 1 {
+        return (mean, 0.0);
+    }
+    let var = values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>()
+        / (values.len() - 1) as f64;
+    (mean, var.sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accuracy_basics() {
+        assert_eq!(accuracy(&[0, 1, 2], &[0, 1, 2]), 1.0);
+        assert_eq!(accuracy(&[0, 0, 0], &[0, 1, 2]), 1.0 / 3.0);
+        assert_eq!(accuracy(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn confusion_counts() {
+        let cm = confusion_matrix(&[0, 1, 1], &[0, 0, 1], 2);
+        assert_eq!(cm[0][0], 1);
+        assert_eq!(cm[0][1], 1);
+        assert_eq!(cm[1][1], 1);
+        assert_eq!(cm[1][0], 0);
+    }
+
+    #[test]
+    fn macro_f1_perfect_is_one() {
+        assert!((macro_f1(&[0, 1, 2, 0], &[0, 1, 2, 0], 3) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn macro_f1_penalizes_minority_errors_more_than_accuracy() {
+        // 9 of class 0 right, 1 of class 1 wrong.
+        let truth = [0, 0, 0, 0, 0, 0, 0, 0, 0, 1];
+        let pred = [0, 0, 0, 0, 0, 0, 0, 0, 0, 0];
+        let acc = accuracy(&pred, &truth);
+        let f1 = macro_f1(&pred, &truth, 2);
+        assert!(f1 < acc, "macro-F1 {f1} should undercut accuracy {acc}");
+    }
+
+    #[test]
+    fn macro_f1_skips_absent_classes() {
+        let f1 = macro_f1(&[0, 0], &[0, 0], 5);
+        assert!((f1 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mean_std_matches_manual() {
+        let (m, s) = mean_std(&[1.0, 2.0, 3.0]);
+        assert!((m - 2.0).abs() < 1e-12);
+        assert!((s - 1.0).abs() < 1e-12);
+        let (m1, s1) = mean_std(&[5.0]);
+        assert_eq!((m1, s1), (5.0, 0.0));
+    }
+}

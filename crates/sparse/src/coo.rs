@@ -1,0 +1,144 @@
+//! Triplet (COO) builder for CSR matrices.
+
+use crate::csr::CsrMatrix;
+
+/// A mutable coordinate-format matrix builder. Duplicated coordinates are
+/// summed on conversion, so edge multi-sets can be pushed directly.
+#[derive(Clone, Debug)]
+pub struct CooMatrix {
+    nrows: usize,
+    ncols: usize,
+    entries: Vec<(u32, u32, f32)>,
+}
+
+impl CooMatrix {
+    pub fn new(nrows: usize, ncols: usize) -> Self {
+        assert!(nrows <= u32::MAX as usize && ncols <= u32::MAX as usize);
+        Self {
+            nrows,
+            ncols,
+            entries: Vec::new(),
+        }
+    }
+
+    pub fn with_capacity(nrows: usize, ncols: usize, cap: usize) -> Self {
+        let mut c = Self::new(nrows, ncols);
+        c.entries.reserve(cap);
+        c
+    }
+
+    /// Appends one entry; duplicates are allowed and will be summed.
+    #[inline]
+    pub fn push(&mut self, row: u32, col: u32, value: f32) {
+        debug_assert!((row as usize) < self.nrows, "row {row} out of range");
+        debug_assert!((col as usize) < self.ncols, "col {col} out of range");
+        self.entries.push((row, col, value));
+    }
+
+    pub fn nnz(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// Out-degree per row and in-degree per column of the pushed entries
+    /// (duplicates counted individually).
+    pub fn degree_counts(&self) -> (Vec<usize>, Vec<usize>) {
+        let mut out = vec![0usize; self.nrows];
+        let mut inn = vec![0usize; self.ncols];
+        for &(r, c, _) in &self.entries {
+            out[r as usize] += 1;
+            inn[c as usize] += 1;
+        }
+        (out, inn)
+    }
+
+    /// Sorts, merges duplicates (summing values) and produces a CSR matrix.
+    pub fn to_csr(mut self) -> CsrMatrix {
+        self.entries
+            .sort_unstable_by_key(|&(r, c, _)| ((r as u64) << 32) | c as u64);
+        let mut indptr = vec![0usize; self.nrows + 1];
+        let mut indices: Vec<u32> = Vec::with_capacity(self.entries.len());
+        let mut values: Vec<f32> = Vec::with_capacity(self.entries.len());
+        let mut last: Option<(u32, u32)> = None;
+        for &(r, c, v) in &self.entries {
+            if last == Some((r, c)) {
+                *values.last_mut().expect("entry exists for duplicate") += v;
+            } else {
+                indices.push(c);
+                values.push(v);
+                indptr[r as usize + 1] += 1;
+                last = Some((r, c));
+            }
+        }
+        for r in 0..self.nrows {
+            indptr[r + 1] += indptr[r];
+        }
+        CsrMatrix::from_parts(self.nrows, self.ncols, indptr, indices, values)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_and_dedups() {
+        let mut coo = CooMatrix::new(2, 3);
+        coo.push(1, 2, 1.0);
+        coo.push(0, 0, 2.0);
+        coo.push(1, 2, 0.5); // duplicate, summed
+        let m = coo.to_csr();
+        assert_eq!(m.nnz(), 2);
+        assert_eq!(m.get(1, 2), 1.5);
+        assert_eq!(m.get(0, 0), 2.0);
+    }
+
+    #[test]
+    fn empty_rows_are_preserved() {
+        let mut coo = CooMatrix::new(4, 4);
+        coo.push(3, 0, 1.0);
+        let m = coo.to_csr();
+        assert_eq!(m.row_nnz(0), 0);
+        assert_eq!(m.row_nnz(1), 0);
+        assert_eq!(m.row_nnz(2), 0);
+        assert_eq!(m.row_nnz(3), 1);
+    }
+
+    #[test]
+    fn empty_matrix() {
+        let coo = CooMatrix::new(3, 3);
+        let m = coo.to_csr();
+        assert_eq!(m.nnz(), 0);
+        assert_eq!(m.nrows(), 3);
+    }
+
+    #[test]
+    fn unsorted_input_is_sorted() {
+        let mut coo = CooMatrix::new(2, 4);
+        coo.push(1, 3, 1.0);
+        coo.push(0, 2, 1.0);
+        coo.push(1, 0, 1.0);
+        coo.push(0, 1, 1.0);
+        let m = coo.to_csr();
+        assert_eq!(m.row_indices(0), &[1, 2]);
+        assert_eq!(m.row_indices(1), &[0, 3]);
+    }
+
+    #[test]
+    fn duplicate_dedup_across_many() {
+        let mut coo = CooMatrix::new(1, 1);
+        for _ in 0..10 {
+            coo.push(0, 0, 1.0);
+        }
+        let m = coo.to_csr();
+        assert_eq!(m.nnz(), 1);
+        assert_eq!(m.get(0, 0), 10.0);
+    }
+}

@@ -1,0 +1,677 @@
+//! Compressed-sparse-row matrices and the kernels FreeHGC builds on.
+//!
+//! Column indices are `u32` (heterogeneous benchmark graphs stay well below
+//! 4 B nodes per type) and values are `f32`, which halves memory traffic
+//! relative to `usize`/`f64` — the SpGEMM in meta-path composition (Eq. 1 of
+//! the paper) is bandwidth-bound.
+
+use crate::coo::CooMatrix;
+
+/// An immutable CSR matrix. Rows are contiguous index/value slices with
+/// strictly increasing column indices.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CsrMatrix {
+    nrows: usize,
+    ncols: usize,
+    indptr: Box<[usize]>,
+    indices: Box<[u32]>,
+    values: Box<[f32]>,
+}
+
+impl CsrMatrix {
+    /// Builds a CSR matrix from raw parts, validating all invariants.
+    ///
+    /// # Panics
+    /// Panics if `indptr` is not monotone, lengths disagree, or any row has
+    /// unsorted / duplicate / out-of-range column indices.
+    pub fn from_parts(
+        nrows: usize,
+        ncols: usize,
+        indptr: Vec<usize>,
+        indices: Vec<u32>,
+        values: Vec<f32>,
+    ) -> Self {
+        assert_eq!(indptr.len(), nrows + 1, "indptr length must be nrows+1");
+        assert_eq!(indices.len(), values.len(), "indices/values length mismatch");
+        assert_eq!(*indptr.last().unwrap(), indices.len(), "indptr tail != nnz");
+        assert!(ncols <= u32::MAX as usize, "ncols exceeds u32 index range");
+        for r in 0..nrows {
+            let (s, e) = (indptr[r], indptr[r + 1]);
+            assert!(s <= e, "indptr not monotone at row {r}");
+            let row = &indices[s..e];
+            for w in row.windows(2) {
+                assert!(w[0] < w[1], "row {r} has unsorted or duplicate columns");
+            }
+            if let Some(&last) = row.last() {
+                assert!((last as usize) < ncols, "row {r} column out of range");
+            }
+        }
+        Self {
+            nrows,
+            ncols,
+            indptr: indptr.into_boxed_slice(),
+            indices: indices.into_boxed_slice(),
+            values: values.into_boxed_slice(),
+        }
+    }
+
+    /// An `n × n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        Self::from_parts(
+            n,
+            n,
+            (0..=n).collect(),
+            (0..n as u32).collect(),
+            vec![1.0; n],
+        )
+    }
+
+    /// An empty matrix with no stored entries.
+    pub fn zeros(nrows: usize, ncols: usize) -> Self {
+        Self::from_parts(nrows, ncols, vec![0; nrows + 1], Vec::new(), Vec::new())
+    }
+
+    /// Builds from an unsorted edge list with unit weights (duplicates sum).
+    pub fn from_edges(nrows: usize, ncols: usize, edges: &[(u32, u32)]) -> Self {
+        let mut coo = CooMatrix::new(nrows, ncols);
+        for &(r, c) in edges {
+            coo.push(r, c, 1.0);
+        }
+        coo.to_csr()
+    }
+
+    #[inline]
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    #[inline]
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// Number of stored entries.
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.indices.len()
+    }
+
+    #[inline]
+    pub fn indptr(&self) -> &[usize] {
+        &self.indptr
+    }
+
+    #[inline]
+    pub fn indices(&self) -> &[u32] {
+        &self.indices
+    }
+
+    #[inline]
+    pub fn values(&self) -> &[f32] {
+        &self.values
+    }
+
+    /// The column indices and values of row `r`.
+    #[inline]
+    pub fn row(&self, r: usize) -> (&[u32], &[f32]) {
+        let (s, e) = (self.indptr[r], self.indptr[r + 1]);
+        (&self.indices[s..e], &self.values[s..e])
+    }
+
+    /// The column indices of row `r` (its "receptive field" along this
+    /// relation, in the paper's terms).
+    #[inline]
+    pub fn row_indices(&self, r: usize) -> &[u32] {
+        &self.indices[self.indptr[r]..self.indptr[r + 1]]
+    }
+
+    /// Number of stored entries in row `r`.
+    #[inline]
+    pub fn row_nnz(&self, r: usize) -> usize {
+        self.indptr[r + 1] - self.indptr[r]
+    }
+
+    /// Stored value at `(r, c)` or 0.0.
+    pub fn get(&self, r: usize, c: u32) -> f32 {
+        let row = self.row_indices(r);
+        match row.binary_search(&c) {
+            Ok(pos) => self.values[self.indptr[r] + pos],
+            Err(_) => 0.0,
+        }
+    }
+
+    /// Out-degrees (stored entries per row).
+    pub fn out_degrees(&self) -> Vec<usize> {
+        (0..self.nrows).map(|r| self.row_nnz(r)).collect()
+    }
+
+    /// In-degrees (stored entries per column).
+    pub fn in_degrees(&self) -> Vec<usize> {
+        let mut deg = vec![0usize; self.ncols];
+        for &c in self.indices.iter() {
+            deg[c as usize] += 1;
+        }
+        deg
+    }
+
+    /// Per-row sums of stored values.
+    pub fn row_sums(&self) -> Vec<f32> {
+        (0..self.nrows)
+            .map(|r| self.row(r).1.iter().sum())
+            .collect()
+    }
+
+    /// Transpose, producing a CSR matrix of shape `ncols × nrows`.
+    pub fn transpose(&self) -> CsrMatrix {
+        let mut counts = vec![0usize; self.ncols + 1];
+        for &c in self.indices.iter() {
+            counts[c as usize + 1] += 1;
+        }
+        for i in 0..self.ncols {
+            counts[i + 1] += counts[i];
+        }
+        let indptr = counts.clone();
+        let mut cursor = counts;
+        let mut indices = vec![0u32; self.nnz()];
+        let mut values = vec![0f32; self.nnz()];
+        for r in 0..self.nrows {
+            let (cols, vals) = self.row(r);
+            for (&c, &v) in cols.iter().zip(vals) {
+                let pos = cursor[c as usize];
+                indices[pos] = r as u32;
+                values[pos] = v;
+                cursor[c as usize] += 1;
+            }
+        }
+        // Rows of the transpose are filled in increasing original-row order,
+        // so column indices are already sorted.
+        CsrMatrix {
+            nrows: self.ncols,
+            ncols: self.nrows,
+            indptr: indptr.into_boxed_slice(),
+            indices: indices.into_boxed_slice(),
+            values: values.into_boxed_slice(),
+        }
+    }
+
+    /// Row-normalized copy: each non-empty row scaled to sum 1 (the `Â`
+    /// operator of Eq. 1).
+    pub fn row_normalized(&self) -> CsrMatrix {
+        let mut out = self.clone();
+        for r in 0..out.nrows {
+            let (s, e) = (out.indptr[r], out.indptr[r + 1]);
+            let sum: f32 = out.values[s..e].iter().sum();
+            if sum > 0.0 {
+                let inv = 1.0 / sum;
+                for v in &mut out.values[s..e] {
+                    *v *= inv;
+                }
+            }
+        }
+        out
+    }
+
+    /// Symmetric normalization `D^{-1/2} A D^{-1/2}` for a square matrix,
+    /// with degrees taken as row sums of |values|.
+    ///
+    /// # Panics
+    /// Panics if the matrix is not square.
+    pub fn sym_normalized(&self) -> CsrMatrix {
+        assert_eq!(self.nrows, self.ncols, "sym_normalized requires square");
+        let mut dinv = vec![0f32; self.nrows];
+        for r in 0..self.nrows {
+            let s: f32 = self.row(r).1.iter().map(|v| v.abs()).sum();
+            dinv[r] = if s > 0.0 { s.sqrt().recip() } else { 0.0 };
+        }
+        let mut out = self.clone();
+        for r in 0..out.nrows {
+            let (s, e) = (out.indptr[r], out.indptr[r + 1]);
+            for k in s..e {
+                let c = out.indices[k] as usize;
+                out.values[k] *= dinv[r] * dinv[c];
+            }
+        }
+        out
+    }
+
+    /// `A + B` over the union of sparsity patterns.
+    pub fn add(&self, other: &CsrMatrix) -> CsrMatrix {
+        assert_eq!(self.nrows, other.nrows, "shape mismatch");
+        assert_eq!(self.ncols, other.ncols, "shape mismatch");
+        let mut coo = CooMatrix::new(self.nrows, self.ncols);
+        for r in 0..self.nrows {
+            let (ca, va) = self.row(r);
+            for (&c, &v) in ca.iter().zip(va) {
+                coo.push(r as u32, c, v);
+            }
+            let (cb, vb) = other.row(r);
+            for (&c, &v) in cb.iter().zip(vb) {
+                coo.push(r as u32, c, v);
+            }
+        }
+        coo.to_csr()
+    }
+
+    /// `(A + Aᵀ) / 2` for a square matrix — the symmetrization used before
+    /// normalizing meta-path adjacencies in Eq. (10)-(11).
+    pub fn symmetrize(&self) -> CsrMatrix {
+        let mut m = self.add(&self.transpose());
+        for v in m.values.iter_mut() {
+            *v *= 0.5;
+        }
+        m
+    }
+
+    /// Scales all stored values.
+    pub fn scaled(&self, factor: f32) -> CsrMatrix {
+        let mut out = self.clone();
+        for v in out.values.iter_mut() {
+            *v *= factor;
+        }
+        out
+    }
+
+    /// Drops stored entries with `|value| <= eps`, recompacting rows.
+    pub fn pruned(&self, eps: f32) -> CsrMatrix {
+        let mut indptr = Vec::with_capacity(self.nrows + 1);
+        let mut indices = Vec::new();
+        let mut values = Vec::new();
+        indptr.push(0usize);
+        for r in 0..self.nrows {
+            let (cols, vals) = self.row(r);
+            for (&c, &v) in cols.iter().zip(vals) {
+                if v.abs() > eps {
+                    indices.push(c);
+                    values.push(v);
+                }
+            }
+            indptr.push(indices.len());
+        }
+        CsrMatrix {
+            nrows: self.nrows,
+            ncols: self.ncols,
+            indptr: indptr.into_boxed_slice(),
+            indices: indices.into_boxed_slice(),
+            values: values.into_boxed_slice(),
+        }
+    }
+
+    /// Keeps at most the `k` largest-magnitude entries per row.
+    pub fn top_k_per_row(&self, k: usize) -> CsrMatrix {
+        let mut indptr = Vec::with_capacity(self.nrows + 1);
+        let mut indices = Vec::new();
+        let mut values = Vec::new();
+        indptr.push(0usize);
+        let mut scratch: Vec<(u32, f32)> = Vec::new();
+        for r in 0..self.nrows {
+            let (cols, vals) = self.row(r);
+            scratch.clear();
+            scratch.extend(cols.iter().copied().zip(vals.iter().copied()));
+            if scratch.len() > k {
+                scratch.select_nth_unstable_by(k, |a, b| {
+                    b.1.abs().partial_cmp(&a.1.abs()).unwrap()
+                });
+                scratch.truncate(k);
+            }
+            scratch.sort_unstable_by_key(|&(c, _)| c);
+            for &(c, v) in &scratch {
+                indices.push(c);
+                values.push(v);
+            }
+            indptr.push(indices.len());
+        }
+        CsrMatrix {
+            nrows: self.nrows,
+            ncols: self.ncols,
+            indptr: indptr.into_boxed_slice(),
+            indices: indices.into_boxed_slice(),
+            values: values.into_boxed_slice(),
+        }
+    }
+
+    /// Dense `y = A·x` (sparse matrix, dense vector).
+    pub fn spmv(&self, x: &[f32]) -> Vec<f32> {
+        assert_eq!(x.len(), self.ncols, "vector length mismatch");
+        let mut y = vec![0f32; self.nrows];
+        for r in 0..self.nrows {
+            let (cols, vals) = self.row(r);
+            let mut acc = 0f32;
+            for (&c, &v) in cols.iter().zip(vals) {
+                acc += v * x[c as usize];
+            }
+            y[r] = acc;
+        }
+        y
+    }
+
+    /// Dense `y = Aᵀ·x` without materializing the transpose.
+    pub fn spmv_t(&self, x: &[f32]) -> Vec<f32> {
+        assert_eq!(x.len(), self.nrows, "vector length mismatch");
+        let mut y = vec![0f32; self.ncols];
+        for r in 0..self.nrows {
+            let (cols, vals) = self.row(r);
+            let xr = x[r];
+            if xr == 0.0 {
+                continue;
+            }
+            for (&c, &v) in cols.iter().zip(vals) {
+                y[c as usize] += v * xr;
+            }
+        }
+        y
+    }
+
+    /// Dense `Y = A·X` where `X` is row-major `ncols × dim`.
+    /// This is the feature-propagation kernel of the HGNN pre-processing.
+    pub fn spmm_dense(&self, x: &[f32], dim: usize) -> Vec<f32> {
+        assert_eq!(x.len(), self.ncols * dim, "dense operand shape mismatch");
+        let mut y = vec![0f32; self.nrows * dim];
+        for r in 0..self.nrows {
+            let (cols, vals) = self.row(r);
+            let out = &mut y[r * dim..(r + 1) * dim];
+            for (&c, &v) in cols.iter().zip(vals) {
+                let src = &x[c as usize * dim..(c as usize + 1) * dim];
+                for (o, s) in out.iter_mut().zip(src) {
+                    *o += v * s;
+                }
+            }
+        }
+        y
+    }
+
+    /// Sparse × sparse product by Gustavson's row-wise algorithm with a
+    /// dense accumulator — O(flops), the standard SpGEMM for meta-path
+    /// adjacency composition (Eq. 1).
+    pub fn spgemm(&self, other: &CsrMatrix) -> CsrMatrix {
+        assert_eq!(self.ncols, other.nrows, "inner dimension mismatch");
+        let n = self.nrows;
+        let m = other.ncols;
+        let mut indptr = Vec::with_capacity(n + 1);
+        let mut indices: Vec<u32> = Vec::new();
+        let mut values: Vec<f32> = Vec::new();
+        indptr.push(0usize);
+
+        let mut acc = vec![0f32; m];
+        let mut touched: Vec<u32> = Vec::new();
+        for r in 0..n {
+            let (acols, avals) = self.row(r);
+            for (&ac, &av) in acols.iter().zip(avals) {
+                let (bcols, bvals) = other.row(ac as usize);
+                for (&bc, &bv) in bcols.iter().zip(bvals) {
+                    let slot = &mut acc[bc as usize];
+                    if *slot == 0.0 {
+                        touched.push(bc);
+                    }
+                    *slot += av * bv;
+                }
+            }
+            touched.sort_unstable();
+            for &c in &touched {
+                let v = acc[c as usize];
+                // Exact cancellation to 0.0 is kept out of the pattern.
+                if v != 0.0 {
+                    indices.push(c);
+                    values.push(v);
+                }
+                acc[c as usize] = 0.0;
+            }
+            touched.clear();
+            indptr.push(indices.len());
+        }
+        CsrMatrix {
+            nrows: n,
+            ncols: m,
+            indptr: indptr.into_boxed_slice(),
+            indices: indices.into_boxed_slice(),
+            values: values.into_boxed_slice(),
+        }
+    }
+
+    /// Dense row-major copy (tests/small matrices only).
+    pub fn to_dense(&self) -> Vec<f32> {
+        let mut d = vec![0f32; self.nrows * self.ncols];
+        for r in 0..self.nrows {
+            let (cols, vals) = self.row(r);
+            for (&c, &v) in cols.iter().zip(vals) {
+                d[r * self.ncols + c as usize] = v;
+            }
+        }
+        d
+    }
+
+    /// Builds from a dense row-major slice, storing entries with
+    /// `|value| > tol`.
+    pub fn from_dense(nrows: usize, ncols: usize, data: &[f32], tol: f32) -> Self {
+        assert_eq!(data.len(), nrows * ncols, "dense data shape mismatch");
+        let mut coo = CooMatrix::new(nrows, ncols);
+        for r in 0..nrows {
+            for c in 0..ncols {
+                let v = data[r * ncols + c];
+                if v.abs() > tol {
+                    coo.push(r as u32, c as u32, v);
+                }
+            }
+        }
+        coo.to_csr()
+    }
+
+    /// Extracts the submatrix of `rows × cols`, remapping indices to the
+    /// positions within the given (sorted or unsorted, duplicate-free) id
+    /// lists. Used to induce condensed subgraphs.
+    pub fn submatrix(&self, rows: &[u32], cols: &[u32]) -> CsrMatrix {
+        let mut col_pos = vec![u32::MAX; self.ncols];
+        for (new, &old) in cols.iter().enumerate() {
+            debug_assert!(col_pos[old as usize] == u32::MAX, "duplicate column id");
+            col_pos[old as usize] = new as u32;
+        }
+        let mut indptr = Vec::with_capacity(rows.len() + 1);
+        let mut indices = Vec::new();
+        let mut values = Vec::new();
+        indptr.push(0usize);
+        let mut scratch: Vec<(u32, f32)> = Vec::new();
+        for &old_r in rows {
+            let (ocols, ovals) = self.row(old_r as usize);
+            scratch.clear();
+            for (&c, &v) in ocols.iter().zip(ovals) {
+                let nc = col_pos[c as usize];
+                if nc != u32::MAX {
+                    scratch.push((nc, v));
+                }
+            }
+            scratch.sort_unstable_by_key(|&(c, _)| c);
+            for &(c, v) in &scratch {
+                indices.push(c);
+                values.push(v);
+            }
+            indptr.push(indices.len());
+        }
+        CsrMatrix {
+            nrows: rows.len(),
+            ncols: cols.len(),
+            indptr: indptr.into_boxed_slice(),
+            indices: indices.into_boxed_slice(),
+            values: values.into_boxed_slice(),
+        }
+    }
+
+    /// Approximate heap size of the stored data in bytes (Table VII's
+    /// storage accounting).
+    pub fn storage_bytes(&self) -> usize {
+        self.indptr.len() * std::mem::size_of::<usize>()
+            + self.indices.len() * std::mem::size_of::<u32>()
+            + self.values.len() * std::mem::size_of::<f32>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> CsrMatrix {
+        // [[1, 0, 2],
+        //  [0, 3, 0]]
+        CsrMatrix::from_parts(2, 3, vec![0, 2, 3], vec![0, 2, 1], vec![1.0, 2.0, 3.0])
+    }
+
+    #[test]
+    fn accessors() {
+        let m = small();
+        assert_eq!(m.nrows(), 2);
+        assert_eq!(m.ncols(), 3);
+        assert_eq!(m.nnz(), 3);
+        assert_eq!(m.row_indices(0), &[0, 2]);
+        assert_eq!(m.get(0, 2), 2.0);
+        assert_eq!(m.get(0, 1), 0.0);
+        assert_eq!(m.row_nnz(1), 1);
+        assert_eq!(m.out_degrees(), vec![2, 1]);
+        assert_eq!(m.in_degrees(), vec![1, 1, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "unsorted")]
+    fn rejects_unsorted_rows() {
+        CsrMatrix::from_parts(1, 3, vec![0, 2], vec![2, 0], vec![1.0, 1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "column out of range")]
+    fn rejects_out_of_range_columns() {
+        CsrMatrix::from_parts(1, 2, vec![0, 1], vec![5], vec![1.0]);
+    }
+
+    #[test]
+    fn transpose_roundtrip() {
+        let m = small();
+        let t = m.transpose();
+        assert_eq!(t.nrows(), 3);
+        assert_eq!(t.ncols(), 2);
+        assert_eq!(t.get(2, 0), 2.0);
+        assert_eq!(t.get(1, 1), 3.0);
+        assert_eq!(t.transpose(), m);
+    }
+
+    #[test]
+    fn row_normalization_sums_to_one() {
+        let m = small().row_normalized();
+        let sums = m.row_sums();
+        assert!((sums[0] - 1.0).abs() < 1e-6);
+        assert!((sums[1] - 1.0).abs() < 1e-6);
+        assert!((m.get(0, 2) - 2.0 / 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn row_normalization_keeps_empty_rows() {
+        let m = CsrMatrix::zeros(3, 3).row_normalized();
+        assert_eq!(m.nnz(), 0);
+    }
+
+    #[test]
+    fn sym_normalization_matches_manual() {
+        // Path graph 0-1-2 (undirected).
+        let a = CsrMatrix::from_edges(3, 3, &[(0, 1), (1, 0), (1, 2), (2, 1)]);
+        let n = a.sym_normalized();
+        // deg = [1,2,1]; entry (0,1) = 1/sqrt(1*2)
+        assert!((n.get(0, 1) - 1.0 / 2f32.sqrt()).abs() < 1e-6);
+        assert!((n.get(1, 2) - 1.0 / 2f32.sqrt()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn spmv_and_transposed_spmv_agree_with_dense() {
+        let m = small();
+        let x = vec![1.0, 2.0, 3.0];
+        assert_eq!(m.spmv(&x), vec![7.0, 6.0]);
+        let y = vec![1.0, 1.0];
+        assert_eq!(m.spmv_t(&y), vec![1.0, 3.0, 2.0]);
+    }
+
+    #[test]
+    fn spgemm_matches_dense_reference() {
+        let a = small(); // 2x3
+        let b = CsrMatrix::from_parts(
+            3,
+            2,
+            vec![0, 1, 2, 3],
+            vec![0, 1, 0],
+            vec![1.0, 1.0, 1.0],
+        );
+        let c = a.spgemm(&b);
+        // dense: [[1,0,2],[0,3,0]] * [[1,0],[0,1],[1,0]] = [[3,0],[0,3]]
+        assert_eq!(c.to_dense(), vec![3.0, 0.0, 0.0, 3.0]);
+    }
+
+    #[test]
+    fn spgemm_with_identity_is_noop() {
+        let a = small();
+        let i3 = CsrMatrix::identity(3);
+        let i2 = CsrMatrix::identity(2);
+        assert_eq!(a.spgemm(&i3), a);
+        assert_eq!(i2.spgemm(&a), a);
+    }
+
+    #[test]
+    fn spmm_dense_propagates_features() {
+        let a = CsrMatrix::from_edges(2, 2, &[(0, 1), (1, 0)]);
+        let x = vec![1.0, 2.0, 3.0, 4.0]; // rows [1,2],[3,4]
+        let y = a.spmm_dense(&x, 2);
+        assert_eq!(y, vec![3.0, 4.0, 1.0, 2.0]);
+    }
+
+    #[test]
+    fn add_and_symmetrize() {
+        let a = CsrMatrix::from_edges(2, 2, &[(0, 1)]);
+        let s = a.symmetrize();
+        assert_eq!(s.get(0, 1), 0.5);
+        assert_eq!(s.get(1, 0), 0.5);
+        let sum = a.add(&a);
+        assert_eq!(sum.get(0, 1), 2.0);
+    }
+
+    #[test]
+    fn pruned_drops_small_entries() {
+        let m = CsrMatrix::from_parts(1, 3, vec![0, 3], vec![0, 1, 2], vec![0.5, 1e-9, 2.0]);
+        let p = m.pruned(1e-6);
+        assert_eq!(p.nnz(), 2);
+        assert_eq!(p.get(0, 1), 0.0);
+    }
+
+    #[test]
+    fn top_k_keeps_largest_magnitudes() {
+        let m = CsrMatrix::from_parts(
+            1,
+            4,
+            vec![0, 4],
+            vec![0, 1, 2, 3],
+            vec![0.1, -5.0, 3.0, 0.2],
+        );
+        let t = m.top_k_per_row(2);
+        assert_eq!(t.nnz(), 2);
+        assert_eq!(t.get(0, 1), -5.0);
+        assert_eq!(t.get(0, 2), 3.0);
+    }
+
+    #[test]
+    fn submatrix_remaps_ids() {
+        let m = small();
+        let s = m.submatrix(&[0], &[2, 0]);
+        // row 0 of m is {0:1.0, 2:2.0}; cols reordered [2,0] -> {0:2.0, 1:1.0}
+        assert_eq!(s.nrows(), 1);
+        assert_eq!(s.ncols(), 2);
+        assert_eq!(s.get(0, 0), 2.0);
+        assert_eq!(s.get(0, 1), 1.0);
+    }
+
+    #[test]
+    fn dense_roundtrip() {
+        let m = small();
+        let d = m.to_dense();
+        let back = CsrMatrix::from_dense(2, 3, &d, 0.0);
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn storage_bytes_counts_buffers() {
+        let m = small();
+        let expect = 3 * std::mem::size_of::<usize>() + 3 * 4 + 3 * 4;
+        assert_eq!(m.storage_bytes(), expect);
+    }
+}

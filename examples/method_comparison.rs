@@ -1,0 +1,64 @@
+//! Scenario: choosing a graph-reduction method for a movie-recommendation
+//! knowledge base (IMDB-like).
+//!
+//! Compares all six reduction methods from the paper at one ratio:
+//! accuracy of the downstream SeHGNN, condensation time, and storage —
+//! the three axes of the paper's Fig. 1 comparison.
+//!
+//! ```bash
+//! cargo run --release --example method_comparison
+//! ```
+
+use freehgc::baselines::{CoarseningHg, HGCondBaseline, HerdingHg, KCenterHg, RandomHg};
+use freehgc::core::FreeHgc;
+use freehgc::datasets::{generate, DatasetKind};
+use freehgc::eval::pipeline::{Bench, EvalConfig};
+use freehgc::eval::table::{secs, TextTable};
+use freehgc::hetgraph::{CondenseSpec, Condenser};
+
+fn main() {
+    let graph = generate(DatasetKind::Imdb, 0.5, 11);
+    let bench = Bench::new(&graph, EvalConfig::default());
+    let ratio = 0.048;
+    println!(
+        "IMDB-like graph: {} nodes / {} edges; condensing every type to {:.1}%\n",
+        graph.total_nodes(),
+        graph.total_edges(),
+        ratio * 100.0
+    );
+    let whole = bench.whole_graph(bench.cfg.model, &[0]);
+
+    let methods: Vec<Box<dyn Condenser>> = vec![
+        Box::new(RandomHg),
+        Box::new(HerdingHg),
+        Box::new(KCenterHg),
+        Box::new(CoarseningHg),
+        Box::new(HGCondBaseline::default()),
+        Box::new(FreeHgc::default()),
+    ];
+    let mut table = TextTable::new(vec![
+        "Method",
+        "Accuracy",
+        "% of whole",
+        "Condense time",
+        "Storage (KB)",
+    ]);
+    for m in &methods {
+        let run = bench.run_method(m.as_ref(), ratio, &[0, 1]);
+        let spec = CondenseSpec::new(ratio).with_max_hops(bench.cfg.max_hops);
+        let cond = m.condense(&graph, &spec);
+        table.row(vec![
+            m.name().to_string(),
+            format!("{:.2}", run.stats.acc_mean),
+            format!("{:.1}%", 100.0 * run.stats.acc_mean / whole.acc_mean),
+            secs(run.stats.condense_secs),
+            format!("{}", cond.graph.storage_bytes() / 1024),
+        ]);
+    }
+    println!("{}", table.render());
+    println!(
+        "whole-graph accuracy {:.2} with {} KB storage",
+        whole.acc_mean,
+        graph.storage_bytes() / 1024
+    );
+}

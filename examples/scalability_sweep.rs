@@ -1,0 +1,64 @@
+//! Scenario: condensation-ratio sweep on the large AMiner-like graph —
+//! the "flexible condensation ratio" property (paper §III "Our insight"
+//! and Fig. 7): because FreeHGC is training-free, large ratios cost
+//! little extra time and accuracy keeps improving, whereas training-based
+//! condensation gets slower and plateaus.
+//!
+//! ```bash
+//! cargo run --release --example scalability_sweep
+//! ```
+
+use freehgc::baselines::HGCondBaseline;
+use freehgc::core::FreeHgc;
+use freehgc::datasets::{generate, DatasetKind};
+use freehgc::eval::pipeline::{Bench, EvalConfig};
+use freehgc::eval::table::{secs, TextTable};
+use freehgc::hetgraph::Condenser;
+use freehgc::hgnn::trainer::TrainConfig;
+
+fn main() {
+    let graph = generate(DatasetKind::Aminer, 0.25, 5);
+    println!(
+        "AMiner-like graph: {} nodes / {} edges\n",
+        graph.total_nodes(),
+        graph.total_edges()
+    );
+    let cfg = EvalConfig {
+        max_hops: 2,
+        max_paths: 10,
+        train: TrainConfig {
+            epochs: 60,
+            patience: 15,
+            ..TrainConfig::default()
+        },
+        ..EvalConfig::default()
+    };
+    let bench = Bench::new(&graph, cfg);
+    let ideal = bench.whole_graph(bench.cfg.model, &[0]);
+
+    let mut table = TextTable::new(vec![
+        "ratio",
+        "FreeHGC acc",
+        "FreeHGC time",
+        "HGCond acc",
+        "HGCond time",
+    ]);
+    for ratio in [0.005, 0.02, 0.08, 0.2] {
+        let fh = bench.run_method(&FreeHgc::default(), ratio, &[0]);
+        let hg = bench.run_method(&HGCondBaseline::default(), ratio, &[0]);
+        table.row(vec![
+            format!("{:.1}%", ratio * 100.0),
+            format!("{:.2}", fh.stats.acc_mean),
+            secs(fh.stats.condense_secs),
+            format!("{:.2}", hg.stats.acc_mean),
+            secs(hg.stats.condense_secs),
+        ]);
+    }
+    println!("{}", table.render());
+    println!("whole-graph (ideal) accuracy: {:.2}", ideal.acc_mean);
+    println!(
+        "\nNote how FreeHGC's condensation time barely grows with the ratio\n\
+         while the training-based HGCond gets slower — and how FreeHGC's\n\
+         accuracy climbs toward the ideal (the paper's Fig. 7 behaviour)."
+    );
+}

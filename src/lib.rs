@@ -1,0 +1,14 @@
+//! FreeHGC — training-free heterogeneous graph condensation via data
+//! selection (ICDE 2025), reproduced in Rust.
+//!
+//! This facade crate re-exports the public API of the workspace. See the
+//! README for a tour and `examples/` for runnable scenarios.
+
+pub use freehgc_autograd as autograd;
+pub use freehgc_baselines as baselines;
+pub use freehgc_core as core;
+pub use freehgc_datasets as datasets;
+pub use freehgc_eval as eval;
+pub use freehgc_hetgraph as hetgraph;
+pub use freehgc_hgnn as hgnn;
+pub use freehgc_sparse as sparse;

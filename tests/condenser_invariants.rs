@@ -1,0 +1,137 @@
+//! Cross-method invariants: every condenser in the workspace must produce
+//! structurally valid graphs that respect the budget protocol of §V-B.
+
+use freehgc::baselines::{CoarseningHg, GCondBaseline, HGCondBaseline, HerdingHg, KCenterHg, RandomHg};
+use freehgc::baselines::relay::GradMatchConfig;
+use freehgc::core::FreeHgc;
+use freehgc::datasets::{generate, tiny, DatasetKind};
+use freehgc::hetgraph::{CondenseSpec, Condenser};
+
+fn all_methods() -> Vec<Box<dyn Condenser>> {
+    let quick_gm = GradMatchConfig {
+        outer: 3,
+        inner: 2,
+        relay_samples: 2,
+        ..Default::default()
+    };
+    vec![
+        Box::new(RandomHg),
+        Box::new(HerdingHg),
+        Box::new(KCenterHg),
+        Box::new(CoarseningHg),
+        Box::new(GCondBaseline {
+            cfg: quick_gm.clone(),
+            ..Default::default()
+        }),
+        Box::new(HGCondBaseline {
+            cfg: GradMatchConfig {
+                ops: true,
+                relay_samples: 3,
+                ..quick_gm
+            },
+            kmeans_iters: 3,
+        }),
+        Box::new(FreeHgc::default()),
+    ]
+}
+
+#[test]
+fn every_method_respects_budgets_and_validates() {
+    let g = tiny(0);
+    let spec = CondenseSpec::new(0.25).with_max_hops(2).with_seed(1);
+    for m in all_methods() {
+        let cond = m.condense(&g, &spec);
+        cond.validate(&g);
+        for t in g.schema().node_type_ids() {
+            let budget = spec.budget_for(g.num_nodes(t));
+            assert!(
+                cond.graph.num_nodes(t) <= budget,
+                "{}: type {:?} exceeded budget ({} > {budget})",
+                m.name(),
+                t,
+                cond.graph.num_nodes(t)
+            );
+        }
+        assert!(
+            cond.graph.total_edges() > 0,
+            "{}: condensed graph lost all edges",
+            m.name()
+        );
+    }
+}
+
+#[test]
+fn every_method_keeps_only_training_targets() {
+    let g = tiny(1);
+    let spec = CondenseSpec::new(0.2).with_max_hops(2).with_seed(2);
+    for m in all_methods() {
+        let cond = m.condense(&g, &spec);
+        for id in cond.target_ids() {
+            assert!(
+                g.split().train.contains(id),
+                "{}: selected non-training target {id}",
+                m.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn every_method_preserves_label_correctness() {
+    let g = tiny(2);
+    let spec = CondenseSpec::new(0.2).with_max_hops(2).with_seed(3);
+    for m in all_methods() {
+        let cond = m.condense(&g, &spec);
+        for (k, &orig) in cond.target_ids().iter().enumerate() {
+            assert_eq!(
+                cond.graph.labels()[k],
+                g.labels()[orig as usize],
+                "{}: label mismatch at condensed node {k}",
+                m.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn every_method_is_deterministic_per_seed() {
+    let g = tiny(3);
+    let spec = CondenseSpec::new(0.2).with_max_hops(2).with_seed(7);
+    for m in all_methods() {
+        let a = m.condense(&g, &spec);
+        let b = m.condense(&g, &spec);
+        assert_eq!(
+            a.target_ids(),
+            b.target_ids(),
+            "{}: non-deterministic target selection",
+            m.name()
+        );
+        assert_eq!(
+            a.graph.total_edges(),
+            b.graph.total_edges(),
+            "{}: non-deterministic edges",
+            m.name()
+        );
+    }
+}
+
+#[test]
+fn schema_is_preserved_by_condensation() {
+    let g = generate(DatasetKind::Freebase, 0.1, 0);
+    let spec = CondenseSpec::new(0.1).with_max_hops(2);
+    let cond = FreeHgc::default().condense(&g, &spec);
+    assert_eq!(
+        cond.graph.schema().num_node_types(),
+        g.schema().num_node_types()
+    );
+    assert_eq!(
+        cond.graph.schema().num_edge_types(),
+        g.schema().num_edge_types()
+    );
+    assert_eq!(cond.graph.num_classes(), g.num_classes());
+    // Feature dimensions per type are preserved (required for the
+    // train-on-condensed / test-on-full protocol).
+    for t in g.schema().node_type_ids() {
+        assert_eq!(cond.graph.features(t).dim(), g.features(t).dim());
+    }
+}

@@ -1,0 +1,150 @@
+//! Cross-crate property-based tests (proptest) on the core invariants of
+//! the condensation pipeline.
+
+use freehgc::core::selection::{celf_greedy, jaccard_sorted};
+use freehgc::hetgraph::proportional_allocation;
+use freehgc::sparse::{Bitset, CsrMatrix};
+use proptest::prelude::*;
+
+/// Random small sparse matrix as an edge list.
+fn arb_edges(rows: usize, cols: usize) -> impl Strategy<Value = Vec<(u32, u32)>> {
+    prop::collection::vec(
+        ((0..rows as u32), (0..cols as u32)),
+        0..(rows * cols).min(128),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// CSR round-trips through dense representation.
+    #[test]
+    fn csr_dense_roundtrip(edges in arb_edges(8, 6)) {
+        let m = CsrMatrix::from_edges(8, 6, &edges);
+        let back = CsrMatrix::from_dense(8, 6, &m.to_dense(), 0.0);
+        prop_assert_eq!(m, back);
+    }
+
+    /// Transpose is an involution.
+    #[test]
+    fn transpose_involution(edges in arb_edges(7, 9)) {
+        let m = CsrMatrix::from_edges(7, 9, &edges);
+        prop_assert_eq!(m.transpose().transpose(), m);
+    }
+
+    /// SpGEMM agrees with the dense reference product.
+    #[test]
+    fn spgemm_matches_dense(ea in arb_edges(6, 5), eb in arb_edges(5, 7)) {
+        let a = CsrMatrix::from_edges(6, 5, &ea);
+        let b = CsrMatrix::from_edges(5, 7, &eb);
+        let c = a.spgemm(&b);
+        let (da, db) = (a.to_dense(), b.to_dense());
+        let mut dc = vec![0f32; 6 * 7];
+        for i in 0..6 {
+            for k in 0..5 {
+                let v = da[i * 5 + k];
+                if v == 0.0 { continue; }
+                for j in 0..7 {
+                    dc[i * 7 + j] += v * db[k * 7 + j];
+                }
+            }
+        }
+        let got = c.to_dense();
+        for (x, y) in got.iter().zip(&dc) {
+            prop_assert!((x - y).abs() < 1e-4, "{x} vs {y}");
+        }
+    }
+
+    /// Row normalization produces stochastic rows (or empty rows).
+    #[test]
+    fn row_normalization_is_stochastic(edges in arb_edges(10, 10)) {
+        let m = CsrMatrix::from_edges(10, 10, &edges).row_normalized();
+        for r in 0..10 {
+            let s: f32 = m.row(r).1.iter().sum();
+            prop_assert!(s == 0.0 || (s - 1.0).abs() < 1e-4);
+        }
+    }
+
+    /// Bitset counting matches a reference HashSet implementation.
+    #[test]
+    fn bitset_matches_hashset(items in prop::collection::vec(0usize..256, 0..80)) {
+        let mut bs = Bitset::new(256);
+        let mut set = std::collections::HashSet::new();
+        for &i in &items {
+            prop_assert_eq!(bs.insert(i), set.insert(i));
+        }
+        prop_assert_eq!(bs.count(), set.len());
+        let collected: Vec<usize> = bs.iter().collect();
+        let mut expect: Vec<usize> = set.into_iter().collect();
+        expect.sort_unstable();
+        prop_assert_eq!(collected, expect);
+    }
+
+    /// Jaccard index is symmetric and bounded.
+    #[test]
+    fn jaccard_symmetric_bounded(
+        a in prop::collection::btree_set(0u32..64, 0..20),
+        b in prop::collection::btree_set(0u32..64, 0..20),
+    ) {
+        let av: Vec<u32> = a.into_iter().collect();
+        let bv: Vec<u32> = b.into_iter().collect();
+        let j1 = jaccard_sorted(&av, &bv);
+        let j2 = jaccard_sorted(&bv, &av);
+        prop_assert!((j1 - j2).abs() < 1e-12);
+        prop_assert!((0.0..=1.0).contains(&j1));
+    }
+
+    /// Proportional allocation: sums to min(budget, total), respects
+    /// caps, gives minimums when the budget allows.
+    #[test]
+    fn allocation_invariants(
+        counts in prop::collection::vec(0usize..40, 1..8),
+        budget in 0usize..80,
+    ) {
+        let alloc = proportional_allocation(&counts, budget);
+        let total: usize = counts.iter().sum();
+        prop_assert_eq!(alloc.iter().sum::<usize>(), budget.min(total));
+        for (a, c) in alloc.iter().zip(&counts) {
+            prop_assert!(a <= c, "allocation exceeds cap");
+        }
+        let nonempty = counts.iter().filter(|&&c| c > 0).count();
+        if budget >= nonempty {
+            for (a, c) in alloc.iter().zip(&counts) {
+                if *c > 0 {
+                    prop_assert!(*a >= 1, "non-empty group starved");
+                }
+            }
+        }
+    }
+
+    /// Greedy max-coverage achieves at least (1 − 1/e) of the brute-force
+    /// optimum on tiny instances — the approximation guarantee the paper
+    /// invokes for its criterion (Nemhauser et al.).
+    #[test]
+    fn celf_greedy_approximation_guarantee(edges in arb_edges(6, 10)) {
+        let adj = CsrMatrix::from_edges(6, 10, &edges);
+        let pool: Vec<u32> = (0..6).collect();
+        let budget = 2usize;
+        let (sel, _) = celf_greedy(&adj, &pool, budget, 1.0, &[0.0; 6]);
+
+        // Brute force over all pairs.
+        let coverage = |s: &[u32]| {
+            let mut b = Bitset::new(10);
+            for &v in s {
+                b.insert_all(adj.row_indices(v as usize));
+            }
+            b.count()
+        };
+        let mut best = 0usize;
+        for i in 0..6u32 {
+            for j in (i + 1)..6u32 {
+                best = best.max(coverage(&[i, j]));
+            }
+        }
+        let got = coverage(&sel);
+        prop_assert!(
+            got as f64 >= (1.0 - 1.0 / std::f64::consts::E) * best as f64 - 1e-9,
+            "greedy {got} below guarantee for optimum {best}"
+        );
+    }
+}
