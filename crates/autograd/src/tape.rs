@@ -333,12 +333,11 @@ impl Tape {
     }
 
     fn propagate(&self, i: usize, g: &Matrix, grads: &mut [Option<Matrix>]) {
-        let add_to = |grads: &mut [Option<Matrix>], id: NodeId, delta: Matrix| {
-            match &mut grads[id.0] {
+        let add_to =
+            |grads: &mut [Option<Matrix>], id: NodeId, delta: Matrix| match &mut grads[id.0] {
                 Some(existing) => existing.add_assign(&delta),
                 slot @ None => *slot = Some(delta),
-            }
-        };
+            };
         match &self.nodes[i].op {
             Op::Constant | Op::Param(_) => {}
             Op::MatMul(a, b) => {
@@ -410,9 +409,7 @@ impl Tape {
                 let mut d = Matrix::zeros(g.rows, g.cols);
                 for r in 0..g.rows {
                     let dot: f32 = g.row(r).iter().zip(s.row(r)).map(|(x, y)| x * y).sum();
-                    for ((dv, &gv), &sv) in
-                        d.row_mut(r).iter_mut().zip(g.row(r)).zip(s.row(r))
-                    {
+                    for ((dv, &gv), &sv) in d.row_mut(r).iter_mut().zip(g.row(r)).zip(s.row(r)) {
                         *dv = sv * (gv - dot);
                     }
                 }

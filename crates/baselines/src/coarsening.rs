@@ -33,11 +33,7 @@ fn signature(g: &HeteroGraph, t: NodeTypeId, v: u32) -> (usize, [u32; 3]) {
             // lazily per edge type via in-degree only.
             Vec::new()
         };
-        deg += if forward {
-            adj.row_nnz(v as usize)
-        } else {
-            0
-        };
+        deg += if forward { adj.row_nnz(v as usize) } else { 0 };
         for &n in &row {
             if filled < 3 {
                 first3[filled] = n;

@@ -14,8 +14,7 @@
 
 use crate::relay::{gradient_matching_refine, GradMatchConfig, GradMatchStats, RelayKind};
 use freehgc_hetgraph::{
-    induce_selection, proportional_allocation, CondenseSpec, CondensedGraph, Condenser,
-    HeteroGraph,
+    induce_selection, proportional_allocation, CondenseSpec, CondensedGraph, Condenser, HeteroGraph,
 };
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;

@@ -232,12 +232,7 @@ pub fn one_hot(labels: &[u32], num_classes: usize) -> Matrix {
 
 /// Relay gradient `G = ψᵀ (softmax(ψW) − Y) / n` as a tape node —
 /// differentiable through `ψ`.
-pub fn relay_grad_node(
-    tape: &mut Tape,
-    psi: NodeId,
-    w: NodeId,
-    y_onehot: &Matrix,
-) -> NodeId {
+pub fn relay_grad_node(tape: &mut Tape, psi: NodeId, w: NodeId, y_onehot: &Matrix) -> NodeId {
     let n = y_onehot.rows.max(1) as f32;
     let logits = tape.matmul(psi, w);
     let probs = tape.softmax_rows(logits);
@@ -314,12 +309,22 @@ pub fn gradient_matching_refine(
     // Synthetic target features are the optimized parameter.
     let x0 = cond.graph.features(target);
     let mut xstore = ParamStore::new();
-    let x_id = xstore.add(Matrix::from_vec(x0.num_rows(), x0.dim(), x0.data().to_vec()));
+    let x_id = xstore.add(Matrix::from_vec(
+        x0.num_rows(),
+        x0.dim(),
+        x0.data().to_vec(),
+    ));
     let mut adam_x = Adam::new(cfg.lr_feat);
 
     // Relay parameter samples.
     let mut w_samples: Vec<Matrix> = (0..cfg.relay_samples.max(1))
-        .map(|s| Matrix::xavier(cfg.hidden, num_classes, spec.seed.wrapping_add(97 * s as u64)))
+        .map(|s| {
+            Matrix::xavier(
+                cfg.hidden,
+                num_classes,
+                spec.seed.wrapping_add(97 * s as u64),
+            )
+        })
         .collect();
     if cfg.ops {
         orthogonalize(&mut w_samples);
@@ -333,10 +338,7 @@ pub fn gradient_matching_refine(
         // actual bi-level implementations do — this is the size-dependent
         // cost that makes these methods slow on large graphs (Fig. 2b).
         let mut tr = Tape::new();
-        let rb: Vec<NodeId> = real_blocks
-            .iter()
-            .map(|b| tr.constant(b.clone()))
-            .collect();
+        let rb: Vec<NodeId> = real_blocks.iter().map(|b| tr.constant(b.clone())).collect();
         let psi_real_node = relay.repr(&mut tr, &rb);
         let psi_real = tr.value(psi_real_node).clone();
 
@@ -402,10 +404,8 @@ pub fn gradient_matching_refine(
 
     // Write refined features back into the condensed graph.
     let xv = xstore.value(x_id);
-    cond.graph.set_features(
-        target,
-        FeatureMatrix::from_rows(xv.cols, xv.data.clone()),
-    );
+    cond.graph
+        .set_features(target, FeatureMatrix::from_rows(xv.cols, xv.data.clone()));
     GradMatchStats {
         outer_steps: cfg.outer,
         inner_steps,
@@ -480,7 +480,12 @@ mod tests {
     fn frozen_relays_produce_distinct_representations() {
         let blocks = [Matrix::xavier(5, 4, 7), Matrix::xavier(5, 3, 8)];
         let mut outs = Vec::new();
-        for kind in [RelayKind::Hsgc, RelayKind::SeHgnn, RelayKind::Hgb, RelayKind::Hgt] {
+        for kind in [
+            RelayKind::Hsgc,
+            RelayKind::SeHgnn,
+            RelayKind::Hgb,
+            RelayKind::Hgt,
+        ] {
             let relay = FrozenRelay::new(kind, &[4, 3], 8, 42);
             let mut t = Tape::new();
             let bn: Vec<NodeId> = blocks.iter().map(|b| t.constant(b.clone())).collect();
@@ -557,12 +562,7 @@ mod refine_tests {
         let stats = gradient_matching_refine(&g, &mut cond, &spec, &quick_cfg(8));
         assert!(stats.final_loss.is_finite());
         let t = g.schema().target();
-        assert!(cond
-            .graph
-            .features(t)
-            .data()
-            .iter()
-            .all(|v| v.is_finite()));
+        assert!(cond.graph.features(t).data().iter().all(|v| v.is_finite()));
     }
 
     /// The inner loop actually trains the relay: with more inner steps the

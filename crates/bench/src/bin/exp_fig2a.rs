@@ -29,7 +29,12 @@ fn main() {
         let ideal = bench.whole_graph(bench.cfg.model, &opts.seeds);
 
         let mut table = TextTable::new(vec![
-            "Ratio (r)", "HGCond", "HGC-SeH", "HGC-HGT", "HGC-HGB", "Ideal",
+            "Ratio (r)",
+            "HGCond",
+            "HGC-SeH",
+            "HGC-HGT",
+            "HGC-HGB",
+            "Ideal",
         ]);
         for ratio in [0.012, 0.024, 0.048, 0.072] {
             let r = effective_ratio(&g, ratio);

@@ -32,10 +32,7 @@ fn captured_nodes(
     let target = schema.target();
     let paths = enumerate_metapaths(schema, target, hops, 64);
     let mut engine = MetaPathEngine::new(g).with_max_row_nnz(256);
-    let mut captured: FxHashSet<(u16, u32)> = selected
-        .iter()
-        .map(|&v| (target.0, v))
-        .collect();
+    let mut captured: FxHashSet<(u16, u32)> = selected.iter().map(|&v| (target.0, v)).collect();
     let mut captured_target: FxHashSet<u32> = selected.iter().copied().collect();
     for p in &paths {
         let adj = engine.adjacency(p);

@@ -22,7 +22,11 @@ fn main() {
         let whole = bench.whole_graph(bench.cfg.model, &opts.seeds);
 
         let mut table = TextTable::new(vec![
-            "Ratio (r)", "Herding-HG", "GCond", "HGCond", "FreeHGC",
+            "Ratio (r)",
+            "Herding-HG",
+            "GCond",
+            "HGCond",
+            "FreeHGC",
         ]);
         let methods: Vec<Box<dyn Condenser>> = vec![
             Box::new(HerdingHg),

@@ -25,9 +25,7 @@ fn main() {
     let bench = Bench::new(&g, eval_cfg(kind, &opts));
     let whole = bench.whole_graph(bench.cfg.model, &opts.seeds);
 
-    let mut table = TextTable::new(vec![
-        "Method", "r=0.05%", "r=0.2%", "r=0.8%", "Whole acc",
-    ]);
+    let mut table = TextTable::new(vec!["Method", "r=0.05%", "r=0.2%", "r=0.8%", "Whole acc"]);
     let ratios = paper_ratios(kind);
 
     // Herding / HGCond / FreeHGC rows.

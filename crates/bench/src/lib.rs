@@ -128,7 +128,10 @@ mod tests {
 
     #[test]
     fn paper_ratios_match_section_vb() {
-        assert_eq!(paper_ratios(DatasetKind::Acm), vec![0.012, 0.024, 0.048, 0.096]);
+        assert_eq!(
+            paper_ratios(DatasetKind::Acm),
+            vec![0.012, 0.024, 0.048, 0.096]
+        );
         assert_eq!(paper_ratios(DatasetKind::Aminer).len(), 3);
     }
 
@@ -156,6 +159,9 @@ mod tests {
             quick: false,
             ..quick.clone()
         };
-        assert!(eval_cfg(DatasetKind::Acm, &quick).train.epochs < eval_cfg(DatasetKind::Acm, &full).train.epochs);
+        assert!(
+            eval_cfg(DatasetKind::Acm, &quick).train.epochs
+                < eval_cfg(DatasetKind::Acm, &full).train.epochs
+        );
     }
 }

@@ -30,15 +30,13 @@ pub fn synthesize_leaf(
     budget: usize,
 ) -> SynthesizedType {
     let leaf_feat = g.features(leaf);
-    let adj = g
-        .adjacency_between(parent, leaf)
-        .unwrap_or_else(|| {
-            panic!(
-                "no relation between parent {:?} and leaf {:?}",
-                g.schema().node_type_name(parent),
-                g.schema().node_type_name(leaf)
-            )
-        });
+    let adj = g.adjacency_between(parent, leaf).unwrap_or_else(|| {
+        panic!(
+            "no relation between parent {:?} and leaf {:?}",
+            g.schema().node_type_name(parent),
+            g.schema().node_type_name(leaf)
+        )
+    });
 
     // Eq. 14: one hyper-node per selected parent with ≥1 leaf neighbor.
     let mut members: Vec<Vec<u32>> = Vec::new();

@@ -35,9 +35,7 @@ pub use herding::{herding_select, herding_select_stratified};
 pub use leaf::{synthesize_leaf, SynthesizedType};
 pub use selection::{condense_target, SelectionConfig, TargetSelection};
 
-use freehgc_hetgraph::{
-    CondenseSpec, CondensedGraph, Condenser, HeteroGraph, NodeTypeId, Role,
-};
+use freehgc_hetgraph::{CondenseSpec, CondensedGraph, Condenser, HeteroGraph, NodeTypeId, Role};
 
 /// How target-type nodes are condensed.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -138,7 +136,10 @@ impl FreeHgc {
     pub fn target_scores(&self, g: &HeteroGraph, spec: &CondenseSpec) -> TargetSelection {
         let budget = spec.budget_for(g.num_nodes(g.schema().target()));
         let (use_rf, use_jaccard) = match self.config.target {
-            TargetStrategy::Criterion { use_rf, use_jaccard } => (use_rf, use_jaccard),
+            TargetStrategy::Criterion {
+                use_rf,
+                use_jaccard,
+            } => (use_rf, use_jaccard),
             TargetStrategy::Herding => (true, true),
         };
         condense_target(
@@ -157,7 +158,10 @@ impl FreeHgc {
         let tgt = g.schema().target();
         let budget = spec.budget_for(g.num_nodes(tgt));
         match self.config.target {
-            TargetStrategy::Criterion { use_rf, use_jaccard } => {
+            TargetStrategy::Criterion {
+                use_rf,
+                use_jaccard,
+            } => {
                 condense_target(
                     g,
                     budget,
@@ -207,13 +211,9 @@ impl FreeHgc {
                 let all: Vec<u32> = (0..g.num_nodes(t) as u32).collect();
                 TypePlan::Selected(herding_select(g.features(t), &all, budget))
             }
-            OtherStrategy::Ilm => TypePlan::Synthesized(synthesize_leaf(
-                g,
-                t,
-                parent_type,
-                parent_selected,
-                budget,
-            )),
+            OtherStrategy::Ilm => {
+                TypePlan::Synthesized(synthesize_leaf(g, t, parent_type, parent_selected, budget))
+            }
         }
     }
 }
@@ -273,15 +273,7 @@ impl Condenser for FreeHgc {
             } else {
                 self.config.leaf
             };
-            let plan = self.plan_other(
-                g,
-                t,
-                strategy,
-                spec,
-                &parent_ids,
-                parent_type,
-                &target_sel,
-            );
+            let plan = self.plan_other(g, t, strategy, spec, &parent_ids, parent_type, &target_sel);
             plans[t.0 as usize] = Some(plan);
         }
 
@@ -315,7 +307,10 @@ mod tests {
         }
         let ratio = cg.achieved_ratio(&g);
         assert!(ratio < 0.5, "achieved ratio {ratio}");
-        assert!(cg.graph.total_edges() > 0, "condensed graph must keep edges");
+        assert!(
+            cg.graph.total_edges() > 0,
+            "condensed graph must keep edges"
+        );
     }
 
     #[test]
@@ -364,7 +359,11 @@ mod tests {
             .iter()
             .map(|(ids, e, n)| (ids.clone(), *e, *n))
             .collect();
-        assert!(distinct.len() >= 3, "variants too similar: {}", distinct.len());
+        assert!(
+            distinct.len() >= 3,
+            "variants too similar: {}",
+            distinct.len()
+        );
     }
 
     #[test]
@@ -376,10 +375,16 @@ mod tests {
         let schema = g.schema();
         // Leaf types must be synthesized (no provenance).
         for t in schema.types_with_role(Role::Leaf) {
-            assert!(cg.orig_ids[t.0 as usize].is_none(), "leaf {t:?} not synthesized");
+            assert!(
+                cg.orig_ids[t.0 as usize].is_none(),
+                "leaf {t:?} not synthesized"
+            );
         }
         for t in schema.types_with_role(Role::Father) {
-            assert!(cg.orig_ids[t.0 as usize].is_some(), "father {t:?} not selected");
+            assert!(
+                cg.orig_ids[t.0 as usize].is_some(),
+                "father {t:?} not selected"
+            );
         }
     }
 

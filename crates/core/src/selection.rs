@@ -186,11 +186,7 @@ pub struct TargetSelection {
 /// `budget` is the number of target nodes to keep; the training pool is
 /// the graph's train split (selection only ever picks labeled nodes, as in
 /// coreset selection).
-pub fn condense_target(
-    g: &HeteroGraph,
-    budget: usize,
-    cfg: &SelectionConfig,
-) -> TargetSelection {
+pub fn condense_target(g: &HeteroGraph, budget: usize, cfg: &SelectionConfig) -> TargetSelection {
     let schema = g.schema();
     let target = schema.target();
     let n = g.num_nodes(target);
@@ -236,7 +232,7 @@ pub fn condense_target(
     // can be easily parallelizable" (§IV, time-complexity analysis) — so
     // each path's score vector is computed on its own thread and summed
     // deterministically by path index afterwards.
-    let per_path_scores: Vec<Vec<f64>> = crossbeam::thread::scope(|scope| {
+    let per_path_scores: Vec<Vec<f64>> = std::thread::scope(|scope| {
         let handles: Vec<_> = adjacencies
             .iter()
             .enumerate()
@@ -245,7 +241,7 @@ pub fn condense_target(
                 let class_pools = &class_pools;
                 let class_budgets = &class_budgets;
                 let group = group_of(pi).clone();
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     let bonus: Vec<f64> = if cfg.use_jaccard {
                         diversity_bonus(pi, &group, adjacencies, n)
                     } else {
@@ -294,9 +290,11 @@ pub fn condense_target(
                 })
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("path worker")).collect()
-    })
-    .expect("selection scope");
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("path worker"))
+            .collect()
+    });
     let mut scores = vec![0.0f64; n];
     for ps in &per_path_scores {
         for (s, p) in scores.iter_mut().zip(ps) {
@@ -340,10 +338,14 @@ mod tests {
             4,
             6,
             &[
-                (0, 0), (0, 1), (0, 2), // node 0 covers 3
-                (1, 2), (1, 3),         // node 1 covers 2
-                (2, 4),                 // node 2 covers 1
-                (3, 0), (3, 1),         // node 3 subset of node 0
+                (0, 0),
+                (0, 1),
+                (0, 2), // node 0 covers 3
+                (1, 2),
+                (1, 3), // node 1 covers 2
+                (2, 4), // node 2 covers 1
+                (3, 0),
+                (3, 1), // node 3 subset of node 0
             ],
         );
         let pool = [0u32, 1, 2, 3];

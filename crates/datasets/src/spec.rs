@@ -52,8 +52,8 @@ impl DatasetKind {
     pub fn paper_hops(self) -> usize {
         match self {
             DatasetKind::Acm => 3,
-            DatasetKind::Dblp => 3,  // paper: 4
-            DatasetKind::Imdb => 3,  // paper: 5
+            DatasetKind::Dblp => 3, // paper: 4
+            DatasetKind::Imdb => 3, // paper: 5
             DatasetKind::Freebase => 2,
             DatasetKind::Mutag => 1,
             DatasetKind::Am => 1,
@@ -132,10 +132,30 @@ pub fn spec(kind: DatasetKind, scale: f64) -> DatasetSpec {
             // paper(target), author (father), subject + term (leaves):
             // Fig. 5 Structure 1 — every other type hangs off the root.
             nodes: vec![
-                NodeSpec { name: "paper", count: n(1200, scale), dim: 64, role: None },
-                NodeSpec { name: "author", count: n(2000, scale), dim: 48, role: Some(Role::Father) },
-                NodeSpec { name: "subject", count: n(60, scale), dim: 24, role: Some(Role::Leaf) },
-                NodeSpec { name: "term", count: n(800, scale), dim: 32, role: Some(Role::Leaf) },
+                NodeSpec {
+                    name: "paper",
+                    count: n(1200, scale),
+                    dim: 64,
+                    role: None,
+                },
+                NodeSpec {
+                    name: "author",
+                    count: n(2000, scale),
+                    dim: 48,
+                    role: Some(Role::Father),
+                },
+                NodeSpec {
+                    name: "subject",
+                    count: n(60, scale),
+                    dim: 24,
+                    role: Some(Role::Leaf),
+                },
+                NodeSpec {
+                    name: "term",
+                    count: n(800, scale),
+                    dim: 32,
+                    role: Some(Role::Leaf),
+                },
             ],
             relations: vec![
                 rel("cites", 0, 0, 2.5, 0.85),
@@ -154,10 +174,30 @@ pub fn spec(kind: DatasetKind, scale: f64) -> DatasetSpec {
             // author(target) — paper (father) — term/venue (leaves):
             // Structure 2 chain.
             nodes: vec![
-                NodeSpec { name: "author", count: n(1600, scale), dim: 64, role: None },
-                NodeSpec { name: "paper", count: n(4000, scale), dim: 48, role: Some(Role::Father) },
-                NodeSpec { name: "term", count: n(2000, scale), dim: 32, role: Some(Role::Leaf) },
-                NodeSpec { name: "venue", count: n(20, scale), dim: 16, role: Some(Role::Leaf) },
+                NodeSpec {
+                    name: "author",
+                    count: n(1600, scale),
+                    dim: 64,
+                    role: None,
+                },
+                NodeSpec {
+                    name: "paper",
+                    count: n(4000, scale),
+                    dim: 48,
+                    role: Some(Role::Father),
+                },
+                NodeSpec {
+                    name: "term",
+                    count: n(2000, scale),
+                    dim: 32,
+                    role: Some(Role::Leaf),
+                },
+                NodeSpec {
+                    name: "venue",
+                    count: n(20, scale),
+                    dim: 16,
+                    role: Some(Role::Leaf),
+                },
             ],
             relations: vec![
                 rel("ap", 0, 1, 3.5, 0.9),
@@ -174,10 +214,30 @@ pub fn spec(kind: DatasetKind, scale: f64) -> DatasetSpec {
             kind,
             // movie(target) — director/actor (fathers) — keyword (leaf).
             nodes: vec![
-                NodeSpec { name: "movie", count: n(1600, scale), dim: 64, role: None },
-                NodeSpec { name: "director", count: n(900, scale), dim: 48, role: Some(Role::Father) },
-                NodeSpec { name: "actor", count: n(2200, scale), dim: 48, role: Some(Role::Father) },
-                NodeSpec { name: "keyword", count: n(2000, scale), dim: 24, role: Some(Role::Leaf) },
+                NodeSpec {
+                    name: "movie",
+                    count: n(1600, scale),
+                    dim: 64,
+                    role: None,
+                },
+                NodeSpec {
+                    name: "director",
+                    count: n(900, scale),
+                    dim: 48,
+                    role: Some(Role::Father),
+                },
+                NodeSpec {
+                    name: "actor",
+                    count: n(2200, scale),
+                    dim: 48,
+                    role: Some(Role::Father),
+                },
+                NodeSpec {
+                    name: "keyword",
+                    count: n(2000, scale),
+                    dim: 24,
+                    role: Some(Role::Leaf),
+                },
             ],
             relations: vec![
                 rel("md", 0, 1, 1.0, 0.72),
@@ -194,14 +254,54 @@ pub fn spec(kind: DatasetKind, scale: f64) -> DatasetSpec {
             kind,
             // 8 types, many relations: Structure 3 (target `book`).
             nodes: vec![
-                NodeSpec { name: "book", count: n(1500, scale), dim: 48, role: None },
-                NodeSpec { name: "film", count: n(1200, scale), dim: 40, role: None },
-                NodeSpec { name: "music", count: n(1000, scale), dim: 40, role: None },
-                NodeSpec { name: "people", count: n(2500, scale), dim: 32, role: None },
-                NodeSpec { name: "location", count: n(800, scale), dim: 24, role: None },
-                NodeSpec { name: "organization", count: n(600, scale), dim: 24, role: None },
-                NodeSpec { name: "sports", count: n(500, scale), dim: 24, role: None },
-                NodeSpec { name: "business", count: n(400, scale), dim: 24, role: None },
+                NodeSpec {
+                    name: "book",
+                    count: n(1500, scale),
+                    dim: 48,
+                    role: None,
+                },
+                NodeSpec {
+                    name: "film",
+                    count: n(1200, scale),
+                    dim: 40,
+                    role: None,
+                },
+                NodeSpec {
+                    name: "music",
+                    count: n(1000, scale),
+                    dim: 40,
+                    role: None,
+                },
+                NodeSpec {
+                    name: "people",
+                    count: n(2500, scale),
+                    dim: 32,
+                    role: None,
+                },
+                NodeSpec {
+                    name: "location",
+                    count: n(800, scale),
+                    dim: 24,
+                    role: None,
+                },
+                NodeSpec {
+                    name: "organization",
+                    count: n(600, scale),
+                    dim: 24,
+                    role: None,
+                },
+                NodeSpec {
+                    name: "sports",
+                    count: n(500, scale),
+                    dim: 24,
+                    role: None,
+                },
+                NodeSpec {
+                    name: "business",
+                    count: n(400, scale),
+                    dim: 24,
+                    role: None,
+                },
             ],
             relations: vec![
                 rel("bb", 0, 0, 1.5, 0.82),
@@ -229,14 +329,26 @@ pub fn spec(kind: DatasetKind, scale: f64) -> DatasetSpec {
             kind,
             // Large-scale Structure 2: author(target) — paper — venue.
             nodes: vec![
-                NodeSpec { name: "author", count: n(24000, scale), dim: 48, role: None },
-                NodeSpec { name: "paper", count: n(48000, scale), dim: 32, role: Some(Role::Father) },
-                NodeSpec { name: "venue", count: n(300, scale), dim: 16, role: Some(Role::Leaf) },
+                NodeSpec {
+                    name: "author",
+                    count: n(24000, scale),
+                    dim: 48,
+                    role: None,
+                },
+                NodeSpec {
+                    name: "paper",
+                    count: n(48000, scale),
+                    dim: 32,
+                    role: Some(Role::Father),
+                },
+                NodeSpec {
+                    name: "venue",
+                    count: n(300, scale),
+                    dim: 16,
+                    role: Some(Role::Leaf),
+                },
             ],
-            relations: vec![
-                rel("ap", 0, 1, 3.5, 0.92),
-                rel("pv", 1, 2, 1.0, 0.93),
-            ],
+            relations: vec![rel("ap", 0, 1, 3.5, 0.92), rel("pv", 1, 2, 1.0, 0.93)],
             target: 0,
             num_classes: 8,
             feature_noise: 2.8,
@@ -258,8 +370,24 @@ fn kg_spec(kind: DatasetKind, scale: f64, num_classes: usize, noise: f32) -> Dat
         _ => unreachable!("kg_spec only for MUTAG/AM"),
     };
     let type_names: [&'static str; 7] = match kind {
-        DatasetKind::Mutag => ["d", "atom", "bond", "element", "structure", "charge", "ring"],
-        _ => ["proxy", "object", "agent", "material", "location", "technique", "period"],
+        DatasetKind::Mutag => [
+            "d",
+            "atom",
+            "bond",
+            "element",
+            "structure",
+            "charge",
+            "ring",
+        ],
+        _ => [
+            "proxy",
+            "object",
+            "agent",
+            "material",
+            "location",
+            "technique",
+            "period",
+        ],
     };
     let nodes: Vec<NodeSpec> = type_names
         .iter()
@@ -363,13 +491,7 @@ mod tests {
 
     #[test]
     fn aminer_is_largest() {
-        let total = |k| {
-            spec(k, 1.0)
-                .nodes
-                .iter()
-                .map(|n| n.count)
-                .sum::<usize>()
-        };
+        let total = |k| spec(k, 1.0).nodes.iter().map(|n| n.count).sum::<usize>();
         let am = total(DatasetKind::Aminer);
         for k in DatasetKind::middle_scale() {
             assert!(am > total(k), "AMiner should dwarf {k:?}");

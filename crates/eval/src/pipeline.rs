@@ -159,12 +159,7 @@ impl<'g> Bench<'g> {
     }
 
     /// The full protocol for one method at one ratio over several seeds.
-    pub fn run_method(
-        &self,
-        condenser: &dyn Condenser,
-        ratio: f64,
-        seeds: &[u64],
-    ) -> MethodRun {
+    pub fn run_method(&self, condenser: &dyn Condenser, ratio: f64, seeds: &[u64]) -> MethodRun {
         let mut accs = Vec::with_capacity(seeds.len());
         let mut condense_secs = 0.0;
         let mut train_secs = 0.0;
@@ -178,8 +173,7 @@ impl<'g> Bench<'g> {
 
             let pf_cond = propagate(&cond.graph, self.cfg.max_hops, self.cfg.max_paths);
             let labels = cond.graph.labels().to_vec();
-            let (acc, _, tt) =
-                self.train_and_test(&pf_cond.blocks, &labels, self.cfg.model, seed);
+            let (acc, _, tt) = self.train_and_test(&pf_cond.blocks, &labels, self.cfg.model, seed);
             accs.push(acc * 100.0);
             train_secs += tt.as_secs_f64();
         }

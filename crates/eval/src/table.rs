@@ -78,13 +78,7 @@ impl TextTable {
                 c.to_string()
             }
         };
-        let line = |cells: &[String]| {
-            cells
-                .iter()
-                .map(|c| esc(c))
-                .collect::<Vec<_>>()
-                .join(",")
-        };
+        let line = |cells: &[String]| cells.iter().map(|c| esc(c)).collect::<Vec<_>>().join(",");
         out.push_str(&line(&self.header));
         out.push('\n');
         for row in &self.rows {
@@ -146,6 +140,6 @@ mod tests {
     fn pm_and_secs_formatting() {
         assert_eq!(pm(91.266, 0.443), "91.27 ± 0.44");
         assert_eq!(secs(0.0421), "42 ms");
-        assert_eq!(secs(3.14159), "3.14 s");
+        assert_eq!(secs(4.256), "4.26 s");
     }
 }

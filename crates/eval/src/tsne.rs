@@ -87,7 +87,11 @@ pub fn tsne(data: &[f32], n: usize, dim: usize, cfg: &TsneConfig) -> Vec<[f64; 2
             }
             if entropy > target_entropy {
                 lo = beta;
-                beta = if hi >= 1e12 { beta * 2.0 } else { (beta + hi) / 2.0 };
+                beta = if hi >= 1e12 {
+                    beta * 2.0
+                } else {
+                    (beta + hi) / 2.0
+                };
             } else {
                 hi = beta;
                 beta = (beta + lo) / 2.0;
@@ -156,9 +160,7 @@ pub fn tsne(data: &[f32], n: usize, dim: usize, cfg: &TsneConfig) -> Vec<[f64; 2
             }
         }
         // Re-center.
-        let (mx, my) = y
-            .iter()
-            .fold((0.0, 0.0), |(a, b), p| (a + p[0], b + p[1]));
+        let (mx, my) = y.iter().fold((0.0, 0.0), |(a, b), p| (a + p[0], b + p[1]));
         for p in y.iter_mut() {
             p[0] -= mx / n as f64;
             p[1] -= my / n as f64;

@@ -119,7 +119,11 @@ impl HeteroGraph {
     /// how condensed graphs are consumed (the full-graph split is used for
     /// evaluation).
     pub fn induced(&self, keep: &[Vec<u32>]) -> HeteroGraph {
-        assert_eq!(keep.len(), self.schema.num_node_types(), "per-type keep lists");
+        assert_eq!(
+            keep.len(),
+            self.schema.num_node_types(),
+            "per-type keep lists"
+        );
         let num_nodes: Vec<usize> = keep.iter().map(|k| k.len()).collect();
         let adjacency: Vec<CsrMatrix> = self
             .schema

@@ -289,7 +289,12 @@ impl Default for Schema {
 
 impl fmt::Display for Schema {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "Schema ({} node types, {} edge types)", self.node_types.len(), self.edge_types.len())?;
+        writeln!(
+            f,
+            "Schema ({} node types, {} edge types)",
+            self.node_types.len(),
+            self.edge_types.len()
+        )?;
         for (i, n) in self.node_types.iter().enumerate() {
             writeln!(f, "  node[{i}] {} role={:?}", n.name, n.role)?;
         }

@@ -39,7 +39,12 @@ impl ModelKind {
 
     /// The four evaluation models of Table IV.
     pub fn table_iv() -> [ModelKind; 4] {
-        [ModelKind::Hgb, ModelKind::Hgt, ModelKind::Han, ModelKind::SeHgnn]
+        [
+            ModelKind::Hgb,
+            ModelKind::Hgt,
+            ModelKind::Han,
+            ModelKind::SeHgnn,
+        ]
     }
 }
 
@@ -116,12 +121,7 @@ fn mean_rows(tape: &mut Tape, h: NodeId) -> NodeId {
 
 /// Semantic-attention weights `softmax_i(mean(tanh(H_i)) · q)` as a
 /// `1 × L` node.
-fn semantic_attention(
-    tape: &mut Tape,
-    store: &ParamStore,
-    hs: &[NodeId],
-    q: ParamId,
-) -> NodeId {
+fn semantic_attention(tape: &mut Tape, store: &ParamStore, hs: &[NodeId], q: ParamId) -> NodeId {
     let qn = tape.param(store, q);
     let scores: Vec<NodeId> = hs
         .iter()

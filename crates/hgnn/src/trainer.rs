@@ -161,10 +161,7 @@ mod tests {
         }
         let n = labels.len();
         (
-            vec![
-                Matrix::from_vec(n, 2, data0),
-                Matrix::from_vec(n, 1, data1),
-            ],
+            vec![Matrix::from_vec(n, 2, data0), Matrix::from_vec(n, 1, data1)],
             labels,
         )
     }

@@ -1,0 +1,255 @@
+//! Offline stand-in for the subset of `criterion` this workspace uses.
+//! The container cannot reach crates.io, so benches link against this
+//! path dependency instead.
+//!
+//! It measures for real — each benchmark runs a short warmup, then
+//! `sample_size` timed samples, and prints min/mean/max per iteration —
+//! but does no statistical analysis, HTML reports, or comparison with
+//! previous runs. The point is that `cargo bench` works and the bench
+//! sources keep compiling (`cargo bench --no-run` in CI).
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Prevent the optimizer from deleting a benchmarked computation.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Identifier for a benchmark: function name plus optional parameter.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    name: String,
+    parameter: Option<String>,
+}
+
+impl BenchmarkId {
+    pub fn new<S: fmt::Display, P: fmt::Display>(name: S, parameter: P) -> Self {
+        BenchmarkId {
+            name: name.to_string(),
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    pub fn from_parameter<P: fmt::Display>(parameter: P) -> Self {
+        BenchmarkId {
+            name: String::new(),
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    fn render(&self, group: Option<&str>) -> String {
+        let mut parts: Vec<&str> = Vec::new();
+        if let Some(g) = group {
+            parts.push(g);
+        }
+        if !self.name.is_empty() {
+            parts.push(&self.name);
+        }
+        if let Some(p) = self.parameter.as_deref() {
+            parts.push(p);
+        }
+        parts.join("/")
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(name: &str) -> Self {
+        BenchmarkId {
+            name: name.to_string(),
+            parameter: None,
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(name: String) -> Self {
+        BenchmarkId {
+            name,
+            parameter: None,
+        }
+    }
+}
+
+/// Timing loop handed to benchmark closures.
+pub struct Bencher {
+    sample_size: usize,
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        black_box(f()); // warmup + forces lazy init outside timing
+        self.samples.clear();
+        self.samples.reserve(self.sample_size);
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            black_box(f());
+            self.samples.push(start.elapsed());
+        }
+    }
+
+    fn report(&self, label: &str) {
+        if self.samples.is_empty() {
+            println!("{label}: no samples (closure never called iter)");
+            return;
+        }
+        let total: Duration = self.samples.iter().sum();
+        let mean = total / self.samples.len() as u32;
+        let min = self.samples.iter().min().unwrap();
+        let max = self.samples.iter().max().unwrap();
+        println!(
+            "{label}: mean {mean:?} (min {min:?}, max {max:?}, n={})",
+            self.samples.len()
+        );
+    }
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(label: &str, sample_size: usize, mut f: F) {
+    let mut b = Bencher {
+        sample_size,
+        samples: Vec::new(),
+    };
+    f(&mut b);
+    b.report(label);
+}
+
+/// Group of related benchmarks sharing a name prefix and sample size.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _parent: &'a mut Criterion,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = id.into().render(Some(&self.name));
+        run_bench(&label, self.sample_size, f);
+        self
+    }
+
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = id.into().render(Some(&self.name));
+        run_bench(&label, self.sample_size, |b| f(b, input));
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    pub fn benchmark_group<S: fmt::Display>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            sample_size: self.sample_size,
+            _parent: self,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = id.into().render(None);
+        run_bench(&label, self.sample_size, f);
+        self
+    }
+
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = id.into().render(None);
+        run_bench(&label, self.sample_size, |b| f(b, input));
+        self
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $cfg;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_and_function_run() {
+        let mut c = Criterion::default().sample_size(3);
+        c.bench_function("unit", |b| b.iter(|| black_box(1 + 1)));
+        let mut g = c.benchmark_group("grp");
+        g.sample_size(2);
+        g.bench_with_input(BenchmarkId::from_parameter(4), &4, |b, &n| {
+            b.iter(|| black_box(n * 2))
+        });
+        g.finish();
+    }
+
+    #[test]
+    fn id_rendering() {
+        assert_eq!(BenchmarkId::new("f", 8).render(Some("g")), "g/f/8");
+        assert_eq!(BenchmarkId::from_parameter(8).render(Some("g")), "g/8");
+        assert_eq!(BenchmarkId::from("plain").render(None), "plain");
+    }
+}

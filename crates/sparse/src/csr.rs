@@ -32,7 +32,11 @@ impl CsrMatrix {
         values: Vec<f32>,
     ) -> Self {
         assert_eq!(indptr.len(), nrows + 1, "indptr length must be nrows+1");
-        assert_eq!(indices.len(), values.len(), "indices/values length mismatch");
+        assert_eq!(
+            indices.len(),
+            values.len(),
+            "indices/values length mismatch"
+        );
         assert_eq!(*indptr.last().unwrap(), indices.len(), "indptr tail != nnz");
         assert!(ncols <= u32::MAX as usize, "ncols exceeds u32 index range");
         for r in 0..nrows {
@@ -308,9 +312,8 @@ impl CsrMatrix {
             scratch.clear();
             scratch.extend(cols.iter().copied().zip(vals.iter().copied()));
             if scratch.len() > k {
-                scratch.select_nth_unstable_by(k, |a, b| {
-                    b.1.abs().partial_cmp(&a.1.abs()).unwrap()
-                });
+                scratch
+                    .select_nth_unstable_by(k, |a, b| b.1.abs().partial_cmp(&a.1.abs()).unwrap());
                 scratch.truncate(k);
             }
             scratch.sort_unstable_by_key(|&(c, _)| c);
@@ -587,13 +590,7 @@ mod tests {
     #[test]
     fn spgemm_matches_dense_reference() {
         let a = small(); // 2x3
-        let b = CsrMatrix::from_parts(
-            3,
-            2,
-            vec![0, 1, 2, 3],
-            vec![0, 1, 0],
-            vec![1.0, 1.0, 1.0],
-        );
+        let b = CsrMatrix::from_parts(3, 2, vec![0, 1, 2, 3], vec![0, 1, 0], vec![1.0, 1.0, 1.0]);
         let c = a.spgemm(&b);
         // dense: [[1,0,2],[0,3,0]] * [[1,0],[0,1],[1,0]] = [[3,0],[0,3]]
         assert_eq!(c.to_dense(), vec![3.0, 0.0, 0.0, 3.0]);

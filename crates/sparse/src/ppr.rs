@@ -36,7 +36,10 @@ impl Default for PprConfig {
 impl PprConfig {
     /// Number of series terms needed for residual mass below ε.
     pub fn num_terms(&self) -> usize {
-        assert!(self.alpha > 0.0 && self.alpha <= 1.0, "alpha must be in (0,1]");
+        assert!(
+            self.alpha > 0.0 && self.alpha <= 1.0,
+            "alpha must be in (0,1]"
+        );
         if self.alpha >= 1.0 {
             return 1;
         }
@@ -246,8 +249,21 @@ mod tests {
     #[test]
     fn ppr_push_matches_dense_resolvent() {
         // Small symmetric-normalized ring graph.
-        let a = CsrMatrix::from_edges(4, 4, &[(0, 1), (1, 0), (1, 2), (2, 1), (2, 3), (3, 2), (3, 0), (0, 3)])
-            .sym_normalized();
+        let a = CsrMatrix::from_edges(
+            4,
+            4,
+            &[
+                (0, 1),
+                (1, 0),
+                (1, 2),
+                (2, 1),
+                (2, 3),
+                (3, 2),
+                (3, 0),
+                (0, 3),
+            ],
+        )
+        .sym_normalized();
         let cfg = PprConfig {
             alpha: 0.2,
             epsilon: 1e-7,

@@ -20,6 +20,8 @@ use freehgc::hgnn::propagation::propagate;
 use freehgc::hgnn::trainer::{predict, train, EvalData, TrainConfig};
 use std::time::Instant;
 
+use freehgc::util::smoke_mode as smoke;
+
 fn search(
     bench: &Bench<'_>,
     train_blocks: &[freehgc::autograd::Matrix],
@@ -36,18 +38,16 @@ fn search(
     for kind in kinds {
         let t0 = Instant::now();
         let dims: Vec<usize> = train_blocks.iter().map(|b| b.cols).collect();
-        let mut model = freehgc::hgnn::models::build_model(
-            kind,
-            &dims,
-            bench.graph.num_classes(),
-            64,
-            0.5,
-            1,
-        );
-        let cfg = TrainConfig {
-            epochs: 80,
-            patience: 15,
-            ..TrainConfig::default()
+        let mut model =
+            freehgc::hgnn::models::build_model(kind, &dims, bench.graph.num_classes(), 64, 0.5, 1);
+        let cfg = if smoke() {
+            TrainConfig::quick()
+        } else {
+            TrainConfig {
+                epochs: 80,
+                patience: 15,
+                ..TrainConfig::default()
+            }
         };
         let data = EvalData {
             blocks: train_blocks,
@@ -78,7 +78,8 @@ fn search(
 }
 
 fn main() {
-    let graph = generate(DatasetKind::Dblp, 0.5, 3);
+    let scale = if smoke() { 0.15 } else { 0.5 };
+    let graph = generate(DatasetKind::Dblp, scale, 3);
     let bench = Bench::new(&graph, EvalConfig::default());
     println!(
         "DBLP-like network: {} nodes / {} edges\n",

@@ -38,11 +38,20 @@ fn main() {
     println!("{schema}");
 
     // 2. Populate it: 3 user segments drive both purchases and features.
-    let (n_users, n_products, n_brands, n_reviews) = (600, 900, 40, 1500);
+    let (n_users, n_products, n_brands, n_reviews) = if freehgc::util::smoke_mode() {
+        // Tiny sizes for the examples smoke test (tests/examples_smoke.rs).
+        (150, 220, 15, 380)
+    } else {
+        (600, 900, 40, 1500)
+    };
     let num_segments = 3;
     let mut rng = StdRng::seed_from_u64(42);
-    let segments: Vec<u32> = (0..n_users).map(|_| rng.gen_range(0..num_segments)).collect();
-    let product_segment: Vec<u32> = (0..n_products).map(|_| rng.gen_range(0..num_segments)).collect();
+    let segments: Vec<u32> = (0..n_users)
+        .map(|_| rng.gen_range(0..num_segments))
+        .collect();
+    let product_segment: Vec<u32> = (0..n_products)
+        .map(|_| rng.gen_range(0..num_segments))
+        .collect();
 
     let mut b = HeteroGraphBuilder::new(schema, vec![n_users, n_products, n_brands, n_reviews]);
     for u in 0..n_users {
@@ -71,7 +80,11 @@ fn main() {
     let mut seg_feature = |seg: u32, dim: usize, noise: f32| -> Vec<f32> {
         (0..dim)
             .map(|d| {
-                let base = if d % num_segments as usize == seg as usize { 1.0 } else { 0.0 };
+                let base = if d % num_segments as usize == seg as usize {
+                    1.0
+                } else {
+                    0.0
+                };
                 base + noise * (rng.gen::<f32>() - 0.5)
             })
             .collect()
@@ -87,7 +100,10 @@ fn main() {
     b.set_features(user, fu);
     b.set_features(product, fp);
     b.set_features(brand, FeatureMatrix::from_rows(8, vec![0.1; n_brands * 8]));
-    b.set_features(review, FeatureMatrix::from_rows(12, vec![0.2; n_reviews * 12]));
+    b.set_features(
+        review,
+        FeatureMatrix::from_rows(12, vec![0.2; n_reviews * 12]),
+    );
     b.set_labels(segments.clone(), num_segments as usize);
     b.set_split(Split::hgb(&segments, num_segments as usize, 0));
     let graph = b.build();

@@ -16,9 +16,17 @@ use freehgc::eval::pipeline::{Bench, EvalConfig};
 use freehgc::eval::table::{secs, TextTable};
 use freehgc::hetgraph::{CondenseSpec, Condenser};
 
+use freehgc::util::smoke_mode as smoke;
+
 fn main() {
-    let graph = generate(DatasetKind::Imdb, 0.5, 11);
-    let bench = Bench::new(&graph, EvalConfig::default());
+    let scale = if smoke() { 0.15 } else { 0.5 };
+    let graph = generate(DatasetKind::Imdb, scale, 11);
+    let cfg = if smoke() {
+        EvalConfig::quick()
+    } else {
+        EvalConfig::default()
+    };
+    let bench = Bench::new(&graph, cfg);
     let ratio = 0.048;
     println!(
         "IMDB-like graph: {} nodes / {} edges; condensing every type to {:.1}%\n",
@@ -43,8 +51,9 @@ fn main() {
         "Condense time",
         "Storage (KB)",
     ]);
+    let train_seeds: &[u64] = if smoke() { &[0] } else { &[0, 1] };
     for m in &methods {
-        let run = bench.run_method(m.as_ref(), ratio, &[0, 1]);
+        let run = bench.run_method(m.as_ref(), ratio, train_seeds);
         let spec = CondenseSpec::new(ratio).with_max_hops(bench.cfg.max_hops);
         let cond = m.condense(&graph, &spec);
         table.row(vec![

@@ -10,10 +10,13 @@ use freehgc::datasets::{generate, DatasetKind};
 use freehgc::eval::pipeline::{Bench, EvalConfig};
 use freehgc::hetgraph::{CondenseSpec, Condenser};
 
+use freehgc::util::smoke_mode as smoke;
+
 fn main() {
     // 1. Load a heterogeneous graph. Here: a synthetic ACM-like academic
     //    network (papers, authors, subjects, terms) with 3 paper classes.
-    let graph = generate(DatasetKind::Acm, 0.5, 7);
+    let scale = if smoke() { 0.15 } else { 0.5 };
+    let graph = generate(DatasetKind::Acm, scale, 7);
     println!(
         "full graph: {} nodes, {} edges, {} node types",
         graph.total_nodes(),
@@ -42,7 +45,12 @@ fn main() {
 
     // 3. Train SeHGNN on the condensed graph and evaluate on the *full*
     //    graph's held-out test split (the paper's protocol).
-    let bench = Bench::new(&graph, EvalConfig::default());
+    let cfg = if smoke() {
+        EvalConfig::quick()
+    } else {
+        EvalConfig::default()
+    };
+    let bench = Bench::new(&graph, cfg);
     let whole = bench.whole_graph(bench.cfg.model, &[0]);
     let condensed_acc = bench.eval_condensed(&condensed, bench.cfg.model, 0) * 100.0;
     println!(

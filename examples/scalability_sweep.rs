@@ -13,11 +13,13 @@ use freehgc::core::FreeHgc;
 use freehgc::datasets::{generate, DatasetKind};
 use freehgc::eval::pipeline::{Bench, EvalConfig};
 use freehgc::eval::table::{secs, TextTable};
-use freehgc::hetgraph::Condenser;
 use freehgc::hgnn::trainer::TrainConfig;
 
+use freehgc::util::smoke_mode as smoke;
+
 fn main() {
-    let graph = generate(DatasetKind::Aminer, 0.25, 5);
+    let scale = if smoke() { 0.05 } else { 0.25 };
+    let graph = generate(DatasetKind::Aminer, scale, 5);
     println!(
         "AMiner-like graph: {} nodes / {} edges\n",
         graph.total_nodes(),
@@ -26,10 +28,14 @@ fn main() {
     let cfg = EvalConfig {
         max_hops: 2,
         max_paths: 10,
-        train: TrainConfig {
-            epochs: 60,
-            patience: 15,
-            ..TrainConfig::default()
+        train: if smoke() {
+            TrainConfig::quick()
+        } else {
+            TrainConfig {
+                epochs: 60,
+                patience: 15,
+                ..TrainConfig::default()
+            }
         },
         ..EvalConfig::default()
     };
@@ -43,7 +49,12 @@ fn main() {
         "HGCond acc",
         "HGCond time",
     ]);
-    for ratio in [0.005, 0.02, 0.08, 0.2] {
+    let ratios: &[f64] = if smoke() {
+        &[0.02, 0.2]
+    } else {
+        &[0.005, 0.02, 0.08, 0.2]
+    };
+    for &ratio in ratios {
         let fh = bench.run_method(&FreeHgc::default(), ratio, &[0]);
         let hg = bench.run_method(&HGCondBaseline::default(), ratio, &[0]);
         table.row(vec![

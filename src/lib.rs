@@ -4,6 +4,16 @@
 //! This facade crate re-exports the public API of the workspace. See the
 //! README for a tour and `examples/` for runnable scenarios.
 
+/// Support utilities shared by the `examples/` and the smoke tests.
+pub mod util {
+    /// Smoke mode (`FREEHGC_SMOKE` set to anything but `"0"`): examples
+    /// shrink their dataset and training schedule to a few seconds of
+    /// work so `tests/examples_smoke.rs` can run them all cheaply.
+    pub fn smoke_mode() -> bool {
+        std::env::var("FREEHGC_SMOKE").is_ok_and(|v| v != "0")
+    }
+}
+
 pub use freehgc_autograd as autograd;
 pub use freehgc_baselines as baselines;
 pub use freehgc_core as core;

@@ -1,8 +1,10 @@
 //! Cross-method invariants: every condenser in the workspace must produce
 //! structurally valid graphs that respect the budget protocol of §V-B.
 
-use freehgc::baselines::{CoarseningHg, GCondBaseline, HGCondBaseline, HerdingHg, KCenterHg, RandomHg};
 use freehgc::baselines::relay::GradMatchConfig;
+use freehgc::baselines::{
+    CoarseningHg, GCondBaseline, HGCondBaseline, HerdingHg, KCenterHg, RandomHg,
+};
 use freehgc::core::FreeHgc;
 use freehgc::datasets::{generate, tiny, DatasetKind};
 use freehgc::hetgraph::{CondenseSpec, Condenser};

@@ -28,7 +28,14 @@ fn run_dataset(kind: DatasetKind, scale: f64, ratio: f64) {
     let cond = FreeHgc::default().condense(&g, &spec);
     cond.validate(&g);
 
-    let acc = bench.eval_condensed(&cond, bench.cfg.model, 0);
+    // Mean over a few training seeds: a single 30-epoch run on these
+    // scaled-down graphs is noisy enough to dip below chance even when
+    // the condensed graph is fine.
+    let seeds = 3;
+    let acc = (0..seeds)
+        .map(|s| bench.eval_condensed(&cond, bench.cfg.model, s))
+        .sum::<f64>()
+        / seeds as f64;
     let chance = 1.0 / g.num_classes() as f64;
     assert!(
         acc > chance,
@@ -67,12 +74,64 @@ fn aminer_end_to_end() {
 
 #[test]
 fn mutag_end_to_end() {
-    run_dataset(DatasetKind::Mutag, 0.1, 0.08);
+    // MUTAG's base target count (340) is the smallest of all families;
+    // scale 0.1 leaves ~34 labeled nodes, too few for even whole-graph
+    // training to beat chance. 0.2 is the smallest scale at which the
+    // task is learnable.
+    run_dataset(DatasetKind::Mutag, 0.2, 0.08);
 }
 
 #[test]
 fn am_end_to_end() {
     run_dataset(DatasetKind::Am, 0.1, 0.05);
+}
+
+/// Condensation at a fixed ratio must preserve the shape of the data it
+/// summarizes: every node type survives with a nonzero budget, and the
+/// per-class share of target labels in the condensed graph stays close
+/// to the original distribution (FreeHGC allocates per-class budgets
+/// proportionally, §IV).
+#[test]
+fn condensation_preserves_label_distribution() {
+    for (kind, scale, ratio) in [
+        (DatasetKind::Acm, 0.25, 0.1),
+        (DatasetKind::Dblp, 0.15, 0.1),
+        (DatasetKind::Am, 0.1, 0.05),
+    ] {
+        let g = generate(kind, scale, 0);
+        let spec = CondenseSpec::new(ratio).with_max_hops(2);
+        let cond = FreeHgc::default().condense(&g, &spec);
+        cond.validate(&g);
+
+        for t in g.schema().node_type_ids() {
+            assert!(
+                cond.graph.num_nodes(t) > 0,
+                "{kind:?}: node type {t:?} lost all nodes at ratio {ratio}"
+            );
+        }
+
+        let orig_hist = g.class_histogram();
+        let orig_n: usize = orig_hist.iter().sum();
+        let mut cond_hist = vec![0usize; g.num_classes()];
+        for &y in cond.graph.labels() {
+            cond_hist[y as usize] += 1;
+        }
+        let cond_n: usize = cond_hist.iter().sum();
+        assert!(cond_n > 0, "{kind:?}: condensed graph has no labeled nodes");
+
+        for (c, (&o, &s)) in orig_hist.iter().zip(&cond_hist).enumerate() {
+            let orig_share = o as f64 / orig_n as f64;
+            let cond_share = s as f64 / cond_n as f64;
+            assert!(
+                (orig_share - cond_share).abs() <= 0.10,
+                "{kind:?}: class {c} share drifted {orig_share:.3} -> {cond_share:.3}"
+            );
+            // Any class the budget can represent must be represented.
+            if (orig_share * cond_n as f64) >= 1.0 {
+                assert!(s > 0, "{kind:?}: class {c} vanished from condensed labels");
+            }
+        }
+    }
 }
 
 /// The whole-graph reference should beat the condensed graph in general

@@ -1,0 +1,105 @@
+//! Smoke test for the `examples/` directory: every example must run to
+//! completion on a tiny synthetic dataset so examples can't silently rot.
+//!
+//! Each example honors `FREEHGC_SMOKE=1` (see `freehgc::util::smoke_mode`),
+//! which shrinks its dataset and training configuration to a few seconds
+//! of work. The test shells out to `cargo run --release --example <name>`.
+//! Note `cargo build --release` does NOT build examples, so the first run
+//! after a target wipe compiles them here (the library dependencies are
+//! warm from the tier-1 release build; cargo's target-dir lock makes the
+//! nested invocation safe). Subsequent runs are incremental and fast.
+
+use std::io::Read;
+use std::process::{Child, ChildStderr, ChildStdout, Command, Stdio};
+use std::time::{Duration, Instant};
+
+const EXAMPLES: &[&str] = &[
+    "quickstart",
+    "custom_schema",
+    "academic_search",
+    "method_comparison",
+    "scalability_sweep",
+];
+
+/// Generous ceiling per example: covers a cold compile of the example
+/// binary plus its smoke-mode run, while still catching a hang (e.g. a
+/// training loop that stops converging) instead of wedging CI forever.
+const PER_EXAMPLE_TIMEOUT: Duration = Duration::from_secs(300);
+
+/// Waits with a deadline while two background threads drain the child's
+/// pipes (an undrained pipe fills at ~64KB and blocks the child forever,
+/// which would masquerade as a timeout). Returns `None` on timeout.
+fn wait_with_timeout(
+    child: &mut Child,
+    stdout: ChildStdout,
+    stderr: ChildStderr,
+) -> (Option<std::process::ExitStatus>, String, String) {
+    let out_reader = std::thread::spawn(move || {
+        let mut buf = Vec::new();
+        let mut stdout = stdout;
+        let _ = stdout.read_to_end(&mut buf);
+        buf
+    });
+    let err_reader = std::thread::spawn(move || {
+        let mut buf = Vec::new();
+        let mut stderr = stderr;
+        let _ = stderr.read_to_end(&mut buf);
+        buf
+    });
+
+    let start = Instant::now();
+    let status = loop {
+        match child.try_wait().expect("failed to poll example process") {
+            Some(status) => break Some(status),
+            None if start.elapsed() > PER_EXAMPLE_TIMEOUT => {
+                let _ = child.kill();
+                let _ = child.wait();
+                break None;
+            }
+            None => std::thread::sleep(Duration::from_millis(100)),
+        }
+    };
+    // Killing the child closes its pipe ends, so the readers see EOF.
+    let out = out_reader.join().expect("stdout reader panicked");
+    let err = err_reader.join().expect("stderr reader panicked");
+    (
+        status,
+        String::from_utf8_lossy(&out).into_owned(),
+        String::from_utf8_lossy(&err).into_owned(),
+    )
+}
+
+#[test]
+fn every_example_runs_in_smoke_mode() {
+    let cargo = env!("CARGO");
+    let manifest_dir = env!("CARGO_MANIFEST_DIR");
+    for name in EXAMPLES {
+        let mut child = Command::new(cargo)
+            .args(["run", "--release", "--example", name])
+            .current_dir(manifest_dir)
+            .env("FREEHGC_SMOKE", "1")
+            .stdout(Stdio::piped())
+            .stderr(Stdio::piped())
+            .spawn()
+            .unwrap_or_else(|e| panic!("failed to spawn cargo for example {name}: {e}"));
+        let stdout = child.stdout.take().expect("stdout was piped");
+        let stderr = child.stderr.take().expect("stderr was piped");
+
+        let (status, out, err) = wait_with_timeout(&mut child, stdout, stderr);
+        let Some(status) = status else {
+            panic!(
+                "example {name} did not finish within {PER_EXAMPLE_TIMEOUT:?}\n\
+                 --- stdout so far ---\n{out}\n--- stderr so far ---\n{err}"
+            );
+        };
+        assert!(
+            status.success(),
+            "example {name} failed with {:?}\n--- stdout ---\n{out}\n--- stderr ---\n{err}",
+            status.code(),
+        );
+        assert!(
+            !out.is_empty(),
+            "example {name} produced no output in smoke mode"
+        );
+    }
+}
