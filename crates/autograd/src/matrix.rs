@@ -1,12 +1,21 @@
 //! Dense row-major `f32` matrices.
 //!
 //! The HGNN heads in this reproduction are small (hidden sizes ≤ a few
-//! hundred), so a straightforward cache-friendly `ikj` matmul is fast
-//! enough; all heavy propagation work happens in `freehgc-sparse`.
+//! hundred), so a cache-friendly `ikj` matmul — row-partitioned across
+//! threads for the larger products the trainer hits — is fast enough;
+//! all heavy propagation work happens in `freehgc-sparse`. Parallel
+//! partitions own disjoint output rows and accumulate in the serial
+//! order, so results are bitwise-identical at any thread count.
 
+use freehgc_parallel as par;
 use rand::rngs::StdRng;
 use rand::Rng;
 use rand::SeedableRng;
+use std::ops::Range;
+
+/// Minimum scalar multiply-adds a worker must own before a dense
+/// product goes parallel (several multiples of a scoped-thread spawn).
+const MATMUL_FLOP_GRAIN: usize = 65_536;
 
 /// A dense row-major matrix.
 #[derive(Clone, Debug, PartialEq)]
@@ -84,12 +93,30 @@ impl Matrix {
     }
 
     /// `C = A · B` with an `ikj` loop order for contiguous inner access.
+    /// Row-partitioned parallel: each worker owns a disjoint block of
+    /// output rows.
     pub fn matmul(&self, b: &Matrix) -> Matrix {
         assert_eq!(self.cols, b.rows, "matmul inner dimension mismatch");
         let mut c = Matrix::zeros(self.rows, b.cols);
-        for i in 0..self.rows {
+        let flops = self.rows * self.cols * b.cols;
+        let chunks = par::chunks_for(flops, MATMUL_FLOP_GRAIN, self.rows);
+        if chunks <= 1 {
+            self.matmul_rows(b, 0..self.rows, &mut c.data);
+        } else {
+            let ranges = par::chunk_ranges(self.rows, chunks);
+            let lens: Vec<usize> = ranges.iter().map(|r| r.len() * b.cols).collect();
+            par::par_write_chunks(ranges, lens, &mut c.data, |_, r, out| {
+                self.matmul_rows(b, r, out)
+            });
+        }
+        c
+    }
+
+    /// The `ikj` kernel over a contiguous output-row range of `A·B`.
+    fn matmul_rows(&self, b: &Matrix, rows: Range<usize>, out: &mut [f32]) {
+        for (ri, i) in rows.enumerate() {
             let arow = self.row(i);
-            let crow = &mut c.data[i * b.cols..(i + 1) * b.cols];
+            let crow = &mut out[ri * b.cols..(ri + 1) * b.cols];
             for (k, &aik) in arow.iter().enumerate() {
                 if aik == 0.0 {
                     continue;
@@ -100,34 +127,70 @@ impl Matrix {
                 }
             }
         }
-        c
     }
 
-    /// `C = Aᵀ · B` without materializing the transpose.
+    /// `C = Aᵀ · B` without materializing the transpose. Parallel
+    /// workers own disjoint blocks of output rows (columns of `A`) and
+    /// accumulate over `A`'s rows in increasing order — the serial
+    /// order — so results are bitwise-identical.
     pub fn matmul_tn(&self, b: &Matrix) -> Matrix {
         assert_eq!(self.rows, b.rows, "matmul_tn outer dimension mismatch");
         let mut c = Matrix::zeros(self.cols, b.cols);
+        let flops = self.rows * self.cols * b.cols;
+        let chunks = par::chunks_for(flops, MATMUL_FLOP_GRAIN, self.cols);
+        if chunks <= 1 {
+            self.matmul_tn_cols(b, 0..self.cols, &mut c.data);
+        } else {
+            let ranges = par::chunk_ranges(self.cols, chunks);
+            let lens: Vec<usize> = ranges.iter().map(|r| r.len() * b.cols).collect();
+            par::par_write_chunks(ranges, lens, &mut c.data, |_, r, out| {
+                self.matmul_tn_cols(b, r, out)
+            });
+        }
+        c
+    }
+
+    /// The `Aᵀ·B` kernel for output rows `ks` (a range of `A`'s
+    /// columns), accumulating over `A`'s rows in increasing order.
+    fn matmul_tn_cols(&self, b: &Matrix, ks: Range<usize>, out: &mut [f32]) {
         for i in 0..self.rows {
             let arow = self.row(i);
             let brow = b.row(i);
-            for (k, &aik) in arow.iter().enumerate() {
+            for k in ks.clone() {
+                let aik = arow[k];
                 if aik == 0.0 {
                     continue;
                 }
-                let crow = &mut c.data[k * b.cols..(k + 1) * b.cols];
+                let rel = k - ks.start;
+                let crow = &mut out[rel * b.cols..(rel + 1) * b.cols];
                 for (cj, &bij) in crow.iter_mut().zip(brow) {
                     *cj += aik * bij;
                 }
             }
         }
-        c
     }
 
-    /// `C = A · Bᵀ`.
+    /// `C = A · Bᵀ`. Row-partitioned parallel like [`Matrix::matmul`].
     pub fn matmul_nt(&self, b: &Matrix) -> Matrix {
         assert_eq!(self.cols, b.cols, "matmul_nt inner dimension mismatch");
         let mut c = Matrix::zeros(self.rows, b.rows);
-        for i in 0..self.rows {
+        let flops = self.rows * self.cols * b.rows;
+        let chunks = par::chunks_for(flops, MATMUL_FLOP_GRAIN, self.rows);
+        if chunks <= 1 {
+            self.matmul_nt_rows(b, 0..self.rows, &mut c.data);
+        } else {
+            let ranges = par::chunk_ranges(self.rows, chunks);
+            let lens: Vec<usize> = ranges.iter().map(|r| r.len() * b.rows).collect();
+            par::par_write_chunks(ranges, lens, &mut c.data, |_, r, out| {
+                self.matmul_nt_rows(b, r, out)
+            });
+        }
+        c
+    }
+
+    /// The `A·Bᵀ` kernel over a contiguous output-row range.
+    fn matmul_nt_rows(&self, b: &Matrix, rows: Range<usize>, out: &mut [f32]) {
+        for (ri, i) in rows.enumerate() {
             let arow = self.row(i);
             for j in 0..b.rows {
                 let brow = b.row(j);
@@ -135,10 +198,9 @@ impl Matrix {
                 for (&x, &y) in arow.iter().zip(brow) {
                     acc += x * y;
                 }
-                c.data[i * b.rows + j] = acc;
+                out[ri * b.rows + j] = acc;
             }
         }
-        c
     }
 
     pub fn transpose(&self) -> Matrix {
@@ -348,6 +410,20 @@ mod tests {
             m.data.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / m.data.len() as f32;
         assert!(mean.abs() < 0.02, "mean {mean}");
         assert!((var.sqrt() - 0.5).abs() < 0.05, "std {}", var.sqrt());
+    }
+
+    #[test]
+    fn parallel_matmuls_are_bitwise_serial() {
+        // Big enough to clear MATMUL_FLOP_GRAIN on several chunks.
+        let a = Matrix::xavier(96, 80, 11);
+        let b = Matrix::xavier(80, 96, 12);
+        let bt = Matrix::xavier(96, 80, 13);
+        par::set_thread_override(Some(1));
+        let serial = (a.matmul(&b), a.matmul_tn(&bt), a.matmul_nt(&bt));
+        par::set_thread_override(Some(4));
+        let parallel = (a.matmul(&b), a.matmul_tn(&bt), a.matmul_nt(&bt));
+        par::set_thread_override(None);
+        assert_eq!(serial, parallel);
     }
 
     #[test]

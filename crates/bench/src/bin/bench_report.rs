@@ -1,0 +1,275 @@
+//! Reproducible benchmark harness: measures the serial vs parallel
+//! wall-time of every hot kernel at fixed scales and writes a
+//! machine-readable `BENCH_*.json` so later PRs have a perf trajectory
+//! to regress against.
+//!
+//! ```bash
+//! cargo run --release -p freehgc_bench --bin bench_report            # full scales → BENCH_PR2.json
+//! cargo run --release -p freehgc_bench --bin bench_report -- --quick # smoke scales
+//! cargo run --release -p freehgc_bench --bin bench_report -- --threads=8 --out=path.json
+//! ```
+//!
+//! Every kernel is timed twice through the *same* public entry point:
+//! once with the thread override pinned to 1 (the serial escape hatch)
+//! and once at `--threads` (default 4). The harness also asserts the
+//! two results are bitwise-equal and records that bit in the JSON —
+//! a perf report that silently changed numerics would be worthless.
+
+use freehgc_core::selection::{condense_target, SelectionConfig};
+use freehgc_datasets::{generate, DatasetKind};
+use freehgc_hgnn::propagation::propagate;
+use freehgc_parallel as par;
+use freehgc_sparse::ppr::{ppr_push, PprConfig};
+use freehgc_sparse::CsrMatrix;
+use rand::rngs::StdRng;
+use rand::Rng;
+use rand::SeedableRng;
+use std::time::Instant;
+
+struct KernelRow {
+    name: String,
+    serial_ms: f64,
+    parallel_ms: f64,
+    bitwise_equal: bool,
+}
+
+impl KernelRow {
+    fn speedup(&self) -> f64 {
+        self.serial_ms / self.parallel_ms.max(1e-9)
+    }
+}
+
+/// Best-of-`reps` wall time in milliseconds plus the last output (for
+/// the bitwise-equality check). One untimed warmup run precedes the
+/// timed ones.
+fn time_best<T>(reps: usize, mut f: impl FnMut() -> T) -> (f64, T) {
+    let mut out = f();
+    let mut best = f64::INFINITY;
+    for _ in 0..reps.max(1) {
+        let start = Instant::now();
+        out = f();
+        best = best.min(start.elapsed().as_secs_f64() * 1e3);
+    }
+    (best, out)
+}
+
+/// Times `f` serially (override 1) and at `threads`, checking the two
+/// outputs are identical.
+fn measure<T: PartialEq>(
+    name: &str,
+    reps: usize,
+    threads: usize,
+    mut f: impl FnMut() -> T,
+) -> KernelRow {
+    par::set_thread_override(Some(1));
+    let (serial_ms, serial_out) = time_best(reps, &mut f);
+    par::set_thread_override(Some(threads));
+    let (parallel_ms, parallel_out) = time_best(reps, &mut f);
+    par::set_thread_override(None);
+    let row = KernelRow {
+        name: name.to_string(),
+        serial_ms,
+        parallel_ms,
+        bitwise_equal: serial_out == parallel_out,
+    };
+    eprintln!(
+        "{:<28} serial {:>9.3} ms   {}t {:>9.3} ms   speedup {:>5.2}x   bitwise_equal={}",
+        row.name,
+        row.serial_ms,
+        threads,
+        row.parallel_ms,
+        row.speedup(),
+        row.bitwise_equal
+    );
+    row
+}
+
+fn random_sparse(rows: usize, cols: usize, nnz_per_row: usize, seed: u64) -> CsrMatrix {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut edges = Vec::with_capacity(rows * nnz_per_row);
+    for r in 0..rows {
+        for _ in 0..nnz_per_row {
+            edges.push((r as u32, rng.gen_range(0..cols as u32)));
+        }
+    }
+    CsrMatrix::from_edges(rows, cols, &edges)
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn fmt_ms(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.4}")
+    } else {
+        "null".to_string()
+    }
+}
+
+fn main() {
+    let mut quick = false;
+    let mut threads = 4usize;
+    let mut out_path = "BENCH_PR2.json".to_string();
+    for arg in std::env::args().skip(1) {
+        if arg == "--quick" {
+            quick = true;
+        } else if let Some(v) = arg.strip_prefix("--threads=") {
+            threads = v.parse().expect("--threads takes an integer >= 2");
+        } else if let Some(v) = arg.strip_prefix("--out=") {
+            out_path = v.to_string();
+        } else if arg == "--help" {
+            eprintln!("options: --quick --threads=<n> --out=<path>");
+            std::process::exit(0);
+        } else {
+            // This tool writes checked-in baselines; a typo must not
+            // silently produce a default-config report.
+            eprintln!("unknown argument {arg:?} (see --help)");
+            std::process::exit(2);
+        }
+    }
+    assert!(threads >= 2, "--threads must be at least 2");
+
+    let (spgemm_n, mv_n, dim, reps, scale) = if quick {
+        (400usize, 2000usize, 16usize, 2usize, 0.2f64)
+    } else {
+        (2000, 20_000, 64, 5, 0.5)
+    };
+
+    eprintln!(
+        "bench_report: quick={quick} threads={threads} available_parallelism={}",
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    );
+
+    let mut rows: Vec<KernelRow> = Vec::new();
+
+    // Sparse × sparse (meta-path composition, Eq. 1).
+    let a = random_sparse(spgemm_n, spgemm_n, 8, 1);
+    let b = random_sparse(spgemm_n, spgemm_n, 8, 2);
+    rows.push(measure(
+        &format!("spgemm/{spgemm_n}"),
+        reps,
+        threads,
+        || a.spgemm(&b),
+    ));
+
+    // SpMV / SpMVᵀ / transpose / sparse×dense on one larger operand.
+    let m = random_sparse(mv_n, mv_n, 16, 3);
+    let x: Vec<f32> = (0..mv_n).map(|i| (i % 17) as f32 * 0.25 - 2.0).collect();
+    rows.push(measure(&format!("spmv/{mv_n}"), reps, threads, || {
+        m.spmv(&x)
+    }));
+    rows.push(measure(&format!("transpose/{mv_n}"), reps, threads, || {
+        m.transpose()
+    }));
+    // SpMVᵀ only parallelizes when its output is too big for cache
+    // (serial scattered adds are near-optimal below that), so it gets
+    // its own large-output operand.
+    let (tn, td) = if quick { (40_000, 8) } else { (150_000, 24) };
+    let mt = random_sparse(tn, tn, td, 7);
+    let xt: Vec<f32> = (0..tn).map(|i| (i % 7) as f32 * 0.5 - 1.5).collect();
+    rows.push(measure(&format!("spmv_t/{tn}x{td}"), reps, threads, || {
+        mt.spmv_t(&xt)
+    }));
+    let xd: Vec<f32> = (0..mv_n * dim)
+        .map(|i| (i % 13) as f32 * 0.1 - 0.6)
+        .collect();
+    rows.push(measure(
+        &format!("spmm_dense/{mv_n}x{dim}"),
+        reps,
+        threads,
+        || m.spmm_dense(&xd, dim),
+    ));
+
+    // Truncated-series PPR (Eq. 10–13) through the in-place SpMVᵀ.
+    let sym = random_sparse(mv_n / 2, mv_n / 2, 8, 4)
+        .symmetrize()
+        .sym_normalized();
+    let mut seed_vec = vec![0f32; sym.nrows()];
+    seed_vec[0] = 1.0;
+    let ppr_cfg = PprConfig::default();
+    rows.push(measure("ppr_push", reps, threads, || {
+        ppr_push(&sym, &seed_vec, &ppr_cfg)
+    }));
+
+    // Dense matmul as the trainer uses it (features × weights).
+    let dm_rows = if quick { 256 } else { 1024 };
+    let am = freehgc_autograd::Matrix::xavier(dm_rows, 256, 5);
+    let bm = freehgc_autograd::Matrix::xavier(256, 256, 6);
+    rows.push(measure(
+        &format!("matmul/{dm_rows}x256x256"),
+        reps,
+        threads,
+        || am.matmul(&bm),
+    ));
+
+    // End-to-end: feature propagation and Algorithm-1 target selection
+    // on the ACM family at bench scale.
+    let g = generate(DatasetKind::Acm, scale, 42);
+    rows.push(measure("propagate_acm_k2", reps.min(3), threads, || {
+        let pf = propagate(&g, 2, 12);
+        pf.blocks.into_iter().map(|m| m.data).collect::<Vec<_>>()
+    }));
+    let sel_cfg = SelectionConfig {
+        max_hops: 2,
+        max_paths: 16,
+        use_rf: true,
+        use_jaccard: true,
+    };
+    rows.push(measure("condense_target_acm", reps.min(3), threads, || {
+        let sel = condense_target(&g, 64, &sel_cfg);
+        (sel.selected, sel.scores)
+    }));
+
+    // Emit the JSON report.
+    let avail = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"pr\": 2,\n");
+    out.push_str("  \"created_by\": \"bench_report\",\n");
+    out.push_str(&format!("  \"quick\": {quick},\n"));
+    out.push_str("  \"machine\": {\n");
+    out.push_str(&format!("    \"available_parallelism\": {avail},\n"));
+    out.push_str(&format!(
+        "    \"os\": \"{}\",\n",
+        json_escape(std::env::consts::OS)
+    ));
+    out.push_str(&format!(
+        "    \"arch\": \"{}\"\n",
+        json_escape(std::env::consts::ARCH)
+    ));
+    out.push_str("  },\n");
+    out.push_str(&format!(
+        "  \"threads\": {{ \"serial\": 1, \"parallel\": {threads} }},\n"
+    ));
+    out.push_str(&format!("  \"samples_per_kernel\": {reps},\n"));
+    out.push_str(
+        "  \"note\": \"serial_ms/parallel_ms are best-of-N wall times through the same public \
+         kernels with the freehgc_parallel thread override pinned to 1 vs `threads.parallel`. \
+         bitwise_equal asserts the two results are identical. Speedups only materialize when \
+         machine.available_parallelism > 1; a report generated on a single-core runner is a \
+         parallel-overhead baseline, NOT a speedup claim — regenerate on a multi-core host \
+         before reading the speedup column as the perf trajectory.\",\n",
+    );
+    out.push_str("  \"kernels\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{ \"name\": \"{}\", \"serial_ms\": {}, \"parallel_ms\": {}, \"speedup\": {}, \"bitwise_equal\": {} }}{}\n",
+            json_escape(&r.name),
+            fmt_ms(r.serial_ms),
+            fmt_ms(r.parallel_ms),
+            fmt_ms(r.speedup()),
+            r.bitwise_equal,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n");
+    out.push_str("}\n");
+    std::fs::write(&out_path, &out).expect("write bench report");
+    eprintln!("wrote {out_path}");
+
+    if rows.iter().any(|r| !r.bitwise_equal) {
+        eprintln!("FATAL: a parallel kernel diverged from its serial result");
+        std::process::exit(1);
+    }
+}

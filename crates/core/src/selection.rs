@@ -123,6 +123,8 @@ pub fn celf_greedy(
 /// Per-node diversity bonus `1 − Ĵ_v(ϕ)` (Eq. 6–7) of one meta-path
 /// against its sibling paths with the same source type. Row supports are
 /// intersected by sorted-merge, so the cost is `O(Σ row nnz)` per pair.
+/// Chunk-parallel over target nodes (each entry is independent, so any
+/// partition yields identical bits).
 pub fn diversity_bonus(
     path_idx: usize,
     group: &[usize],
@@ -135,17 +137,20 @@ pub fn diversity_bonus(
         return vec![1.0; num_targets];
     }
     let a = &adjacencies[path_idx];
-    let mut bonus = vec![0.0f64; num_targets];
-    for (v, b) in bonus.iter_mut().enumerate() {
-        let ra = a.row_indices(v);
-        let mut sim_sum = 0.0f64;
-        for &j in &siblings {
-            let rb = adjacencies[j].row_indices(v);
-            sim_sum += jaccard_sorted(ra, rb);
+    freehgc_parallel::par_chunks(num_targets, 256, |range| {
+        let mut chunk = Vec::with_capacity(range.len());
+        for v in range {
+            let ra = a.row_indices(v);
+            let mut sim_sum = 0.0f64;
+            for &j in &siblings {
+                let rb = adjacencies[j].row_indices(v);
+                sim_sum += jaccard_sorted(ra, rb);
+            }
+            chunk.push(1.0 - sim_sum / siblings.len() as f64);
         }
-        *b = 1.0 - sim_sum / siblings.len() as f64;
-    }
-    bonus
+        chunk
+    })
+    .concat()
 }
 
 /// Jaccard index of two sorted index slices; 1.0 when both are empty
@@ -230,71 +235,59 @@ pub fn condense_target(g: &HeteroGraph, budget: usize, cfg: &SelectionConfig) ->
     // Lines 2–9: per meta-path, per class greedy; aggregate scores
     // (Eq. 9). Paths are independent — "the classes and meta-paths loop
     // can be easily parallelizable" (§IV, time-complexity analysis) — so
-    // each path's score vector is computed on its own thread and summed
+    // each path's score vector is computed on its own worker (via
+    // `freehgc_parallel`, which honors `FREEHGC_THREADS` and keeps the
+    // kernels inside from nesting their own parallelism) and summed
     // deterministically by path index afterwards.
-    let per_path_scores: Vec<Vec<f64>> = std::thread::scope(|scope| {
-        let handles: Vec<_> = adjacencies
-            .iter()
-            .enumerate()
-            .map(|(pi, adj)| {
-                let adjacencies = &adjacencies;
-                let class_pools = &class_pools;
-                let class_budgets = &class_budgets;
-                let group = group_of(pi).clone();
-                scope.spawn(move || {
-                    let bonus: Vec<f64> = if cfg.use_jaccard {
-                        diversity_bonus(pi, &group, adjacencies, n)
-                    } else {
-                        vec![0.0; n]
-                    };
-                    // |R̂| of Eq. 8 — "commonly chosen as the total number
-                    // of source-type nodes". At the paper's scale (3–5-hop
-                    // paths over graphs where hub receptive fields approach
-                    // |os|) that choice makes R(S)/|R̂| comparable to the
-                    // 1−J(S) term; on our scaled graphs it would degenerate
-                    // to ~1e-3 and let diversity dominate, so we normalize
-                    // by the largest receptive field in the pool instead
-                    // (documented deviation, DESIGN.md §4).
-                    let max_rf = class_pools
-                        .iter()
-                        .flatten()
-                        .map(|&v| adj.row_nnz(v as usize))
-                        .max()
-                        .unwrap_or(1);
-                    let norm = max_rf.max(1) as f64;
-                    let mut scores = vec![0.0f64; n];
-                    for (c, cpool) in class_pools.iter().enumerate() {
-                        if cpool.is_empty() || class_budgets[c] == 0 {
-                            continue;
-                        }
-                        let (sel, gains) = if cfg.use_rf {
-                            celf_greedy(adj, cpool, class_budgets[c], norm, &bonus)
-                        } else {
-                            // Variant#1: rank purely by the diversity bonus.
-                            let mut order: Vec<u32> = cpool.clone();
-                            order.sort_by(|&a, &b| {
-                                bonus[b as usize]
-                                    .partial_cmp(&bonus[a as usize])
-                                    .unwrap_or(Ordering::Equal)
-                                    .then(a.cmp(&b))
-                            });
-                            order.truncate(class_budgets[c]);
-                            let gains = order.iter().map(|&v| bonus[v as usize]).collect();
-                            (order, gains)
-                        };
-                        for (v, gain) in sel.iter().zip(gains) {
-                            scores[*v as usize] += gain;
-                        }
-                    }
-                    scores
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("path worker"))
-            .collect()
-    });
+    let per_path_scores: Vec<Vec<f64>> =
+        freehgc_parallel::scoped_map((0..adjacencies.len()).collect(), |_, pi: usize| {
+            let adj = &adjacencies[pi];
+            let bonus: Vec<f64> = if cfg.use_jaccard {
+                diversity_bonus(pi, group_of(pi), &adjacencies, n)
+            } else {
+                vec![0.0; n]
+            };
+            // |R̂| of Eq. 8 — "commonly chosen as the total number
+            // of source-type nodes". At the paper's scale (3–5-hop
+            // paths over graphs where hub receptive fields approach
+            // |os|) that choice makes R(S)/|R̂| comparable to the
+            // 1−J(S) term; on our scaled graphs it would degenerate
+            // to ~1e-3 and let diversity dominate, so we normalize
+            // by the largest receptive field in the pool instead
+            // (documented deviation, DESIGN.md §4).
+            let max_rf = class_pools
+                .iter()
+                .flatten()
+                .map(|&v| adj.row_nnz(v as usize))
+                .max()
+                .unwrap_or(1);
+            let norm = max_rf.max(1) as f64;
+            let mut scores = vec![0.0f64; n];
+            for (c, cpool) in class_pools.iter().enumerate() {
+                if cpool.is_empty() || class_budgets[c] == 0 {
+                    continue;
+                }
+                let (sel, gains) = if cfg.use_rf {
+                    celf_greedy(adj, cpool, class_budgets[c], norm, &bonus)
+                } else {
+                    // Variant#1: rank purely by the diversity bonus.
+                    let mut order: Vec<u32> = cpool.clone();
+                    order.sort_by(|&a, &b| {
+                        bonus[b as usize]
+                            .partial_cmp(&bonus[a as usize])
+                            .unwrap_or(Ordering::Equal)
+                            .then(a.cmp(&b))
+                    });
+                    order.truncate(class_budgets[c]);
+                    let gains = order.iter().map(|&v| bonus[v as usize]).collect();
+                    (order, gains)
+                };
+                for (v, gain) in sel.iter().zip(gains) {
+                    scores[*v as usize] += gain;
+                }
+            }
+            scores
+        });
     let mut scores = vec![0.0f64; n];
     for ps in &per_path_scores {
         for (s, p) in scores.iter_mut().zip(ps) {

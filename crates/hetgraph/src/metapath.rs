@@ -87,10 +87,19 @@ pub fn enumerate_metapaths(
         steps: Vec::new(),
     }];
     for _hop in 0..max_hops {
+        if out.len() >= max_paths {
+            break;
+        }
+        // Paths are emitted as they are generated (no full next-hop
+        // frontier built first, no second scan copying into `out`), and
+        // expansion stops the moment the cap is reached.
         let mut next: Vec<MetaPath> = Vec::new();
-        for path in &frontier {
+        'expand: for path in &frontier {
             let cur = path.source();
             for (edge, leaves_as_src) in schema.incident_edges(cur) {
+                if out.len() >= max_paths {
+                    break 'expand;
+                }
                 let (s, d) = schema.edge_endpoints(edge);
                 let nxt = if leaves_as_src { d } else { s };
                 let mut np = path.clone();
@@ -99,16 +108,9 @@ pub fn enumerate_metapaths(
                     edge,
                     forward: leaves_as_src,
                 });
+                out.push(np.clone());
                 next.push(np);
             }
-        }
-        for p in &next {
-            if out.len() < max_paths {
-                out.push(p.clone());
-            }
-        }
-        if out.len() >= max_paths {
-            break;
         }
         frontier = next;
     }
@@ -261,6 +263,17 @@ mod tests {
         assert_eq!(paths.len(), 3);
         // shortest-first order: 1-hop paths come before 2-hop.
         assert!(paths[0].hops() <= paths[2].hops());
+    }
+
+    #[test]
+    fn capped_enumeration_is_a_prefix_of_the_uncapped_one() {
+        let g = fixture();
+        let root = g.schema().target();
+        let full = enumerate_metapaths(g.schema(), root, 3, 1000);
+        for cap in 0..full.len() {
+            let capped = enumerate_metapaths(g.schema(), root, 3, cap);
+            assert_eq!(capped.as_slice(), &full[..cap], "cap={cap}");
+        }
     }
 
     #[test]

@@ -46,11 +46,17 @@ impl PropagatedFeatures {
 pub const DEFAULT_MAX_PATHS: usize = 24;
 
 /// Computes propagated blocks for the target type of `g`.
+///
+/// Adjacency composition runs first (the prefix cache is inherently
+/// sequential, but the SpGEMMs inside are row-parallel); the per-path
+/// `Â·X` products are then computed block-parallel, one worker per
+/// path, with results kept in path order so block layout is unchanged.
 pub fn propagate(g: &HeteroGraph, max_hops: usize, max_paths: usize) -> PropagatedFeatures {
     let schema = g.schema();
     let target = schema.target();
     let paths = enumerate_metapaths(schema, target, max_hops, max_paths);
     let mut engine = MetaPathEngine::new(g).with_max_row_nnz(256);
+    let adjacencies: Vec<_> = paths.iter().map(|p| engine.adjacency(p)).collect();
 
     let n = g.num_nodes(target);
     let raw = g.features(target);
@@ -59,13 +65,16 @@ pub fn propagate(g: &HeteroGraph, max_hops: usize, max_paths: usize) -> Propagat
     blocks.push(Matrix::from_vec(n, raw.dim(), raw.data().to_vec()));
     path_names.push("raw".to_string());
 
-    for p in &paths {
-        let adj = engine.adjacency(p);
-        let src_feat = g.features(p.source());
-        let data = adj.spmm_dense(src_feat.data(), src_feat.dim());
-        blocks.push(Matrix::from_vec(n, src_feat.dim(), data));
-        path_names.push(p.name(schema));
-    }
+    let propagated = freehgc_parallel::scoped_map(
+        paths.iter().zip(adjacencies).collect::<Vec<_>>(),
+        |_, (p, adj)| {
+            let src_feat = g.features(p.source());
+            let data = adj.spmm_dense(src_feat.data(), src_feat.dim());
+            Matrix::from_vec(n, src_feat.dim(), data)
+        },
+    );
+    blocks.extend(propagated);
+    path_names.extend(paths.iter().map(|p| p.name(schema)));
     PropagatedFeatures { blocks, path_names }
 }
 

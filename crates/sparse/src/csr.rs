@@ -6,6 +6,34 @@
 //! the paper) is bandwidth-bound.
 
 use crate::coo::CooMatrix;
+use freehgc_parallel as par;
+use std::ops::Range;
+
+/// Minimum rows a SpGEMM worker may own (caps the chunk count so tall
+/// ultra-sparse matrices don't over-partition).
+const SPGEMM_ROW_GRAIN: usize = 32;
+/// Minimum stored entries of `A` a SpGEMM worker must own — each entry
+/// triggers a row-of-`B` merge, so this is the work proxy that keeps
+/// near-empty matrices (tiny graphs, short meta-path prefixes) serial.
+const SPGEMM_NNZ_GRAIN: usize = 2048;
+/// Minimum stored entries a worker must own before SpMV/transpose go
+/// parallel. These kernels are cheap per entry, so the grain must be
+/// several multiples of a scoped-thread spawn (~tens of µs) to pay off.
+const SPARSE_NNZ_GRAIN: usize = 16_384;
+/// Minimum scalar multiply-adds a worker must own before the sparse ×
+/// dense product goes parallel.
+const DENSE_FLOP_GRAIN: usize = 65_536;
+/// Minimum output length before SpMVᵀ goes parallel. Its two-phase
+/// binning streams every entry twice, which only beats the serial
+/// scatter when the output vector is too large to sit in cache (small
+/// outputs make serial scattered adds near-optimal on any core count).
+const SPMVT_MIN_COLS: usize = 32_768;
+/// Minimum stored entries a SpMVᵀ worker must own.
+const SPMVT_NNZ_GRAIN: usize = 16_384;
+/// Minimum worker count before SpMVᵀ goes parallel at all: the
+/// order-preserving redistribution costs a few× the serial scatter per
+/// entry, so fewer workers than this cannot amortize it.
+const SPMVT_MIN_CHUNKS: usize = 4;
 
 /// An immutable CSR matrix. Rows are contiguous index/value slices with
 /// strictly increasing column indices.
@@ -166,6 +194,12 @@ impl CsrMatrix {
     }
 
     /// Transpose, producing a CSR matrix of shape `ncols × nrows`.
+    ///
+    /// Parallelized by *output-row ownership*: each worker owns a
+    /// contiguous range of original columns and fills the corresponding
+    /// disjoint region of the output buffers, visiting original rows in
+    /// increasing order — exactly the fill order of the serial path, so
+    /// the result is bitwise-identical at any thread count.
     pub fn transpose(&self) -> CsrMatrix {
         let mut counts = vec![0usize; self.ncols + 1];
         for &c in self.indices.iter() {
@@ -174,18 +208,27 @@ impl CsrMatrix {
         for i in 0..self.ncols {
             counts[i + 1] += counts[i];
         }
-        let indptr = counts.clone();
-        let mut cursor = counts;
+        let indptr = counts;
         let mut indices = vec![0u32; self.nnz()];
         let mut values = vec![0f32; self.nnz()];
-        for r in 0..self.nrows {
-            let (cols, vals) = self.row(r);
-            for (&c, &v) in cols.iter().zip(vals) {
-                let pos = cursor[c as usize];
-                indices[pos] = r as u32;
-                values[pos] = v;
-                cursor[c as usize] += 1;
-            }
+        let chunks = par::chunks_for(self.nnz(), SPARSE_NNZ_GRAIN, self.ncols);
+        if chunks <= 1 {
+            self.transpose_fill(0, self.ncols, &indptr, &mut indices, &mut values);
+        } else {
+            let ranges = par::chunk_ranges(self.ncols, chunks);
+            let lens: Vec<usize> = ranges
+                .iter()
+                .map(|r| indptr[r.end] - indptr[r.start])
+                .collect();
+            let islices = par::split_by_lens(&mut indices, lens.iter().copied());
+            let vslices = par::split_by_lens(&mut values, lens);
+            let work: Vec<_> = ranges
+                .into_iter()
+                .zip(islices.into_iter().zip(vslices))
+                .collect();
+            par::scoped_map(work, |_, (r, (isl, vsl))| {
+                self.transpose_fill(r.start, r.end, &indptr, isl, vsl);
+            });
         }
         // Rows of the transpose are filled in increasing original-row order,
         // so column indices are already sorted.
@@ -195,6 +238,41 @@ impl CsrMatrix {
             indptr: indptr.into_boxed_slice(),
             indices: indices.into_boxed_slice(),
             values: values.into_boxed_slice(),
+        }
+    }
+
+    /// Fills the transpose's output rows for original columns
+    /// `lo..hi`; `indices`/`values` cover exactly
+    /// `indptr[lo]..indptr[hi]` of the output buffers.
+    fn transpose_fill(
+        &self,
+        lo: usize,
+        hi: usize,
+        indptr: &[usize],
+        indices: &mut [u32],
+        values: &mut [f32],
+    ) {
+        let base = indptr[lo];
+        let mut cursor: Vec<usize> = indptr[lo..hi].iter().map(|&p| p - base).collect();
+        let full = lo == 0 && hi == self.ncols;
+        for r in 0..self.nrows {
+            let (cols, vals) = self.row(r);
+            // Row columns are sorted, so the slice owned by this worker
+            // is a contiguous window found by binary search.
+            let (s, e) = if full {
+                (0, cols.len())
+            } else {
+                (
+                    cols.partition_point(|&c| (c as usize) < lo),
+                    cols.partition_point(|&c| (c as usize) < hi),
+                )
+            };
+            for (&c, &v) in cols[s..e].iter().zip(&vals[s..e]) {
+                let slot = &mut cursor[c as usize - lo];
+                indices[*slot] = r as u32;
+                values[*slot] = v;
+                *slot += 1;
+            }
         }
     }
 
@@ -332,46 +410,157 @@ impl CsrMatrix {
         }
     }
 
-    /// Dense `y = A·x` (sparse matrix, dense vector).
+    /// Dense `y = A·x` (sparse matrix, dense vector). Row-partitioned
+    /// parallel: each worker owns a disjoint slice of `y`.
     pub fn spmv(&self, x: &[f32]) -> Vec<f32> {
-        assert_eq!(x.len(), self.ncols, "vector length mismatch");
         let mut y = vec![0f32; self.nrows];
-        for r in 0..self.nrows {
+        self.spmv_into(x, &mut y);
+        y
+    }
+
+    /// In-place `y = A·x`, overwriting `y` (length `nrows`). Lets hot
+    /// iterative callers (PPR) reuse buffers instead of allocating per
+    /// term.
+    pub fn spmv_into(&self, x: &[f32], y: &mut [f32]) {
+        assert_eq!(x.len(), self.ncols, "vector length mismatch");
+        assert_eq!(y.len(), self.nrows, "output length mismatch");
+        let chunks = par::chunks_for(self.nnz(), SPARSE_NNZ_GRAIN, self.nrows);
+        if chunks <= 1 {
+            self.spmv_rows(x, 0..self.nrows, y);
+        } else {
+            let ranges = par::chunk_ranges(self.nrows, chunks);
+            let lens: Vec<usize> = ranges.iter().map(|r| r.len()).collect();
+            par::par_write_chunks(ranges, lens, y, |_, r, ys| self.spmv_rows(x, r, ys));
+        }
+    }
+
+    /// `y[i] = A[rows.start + i, :] · x` for the given row range.
+    fn spmv_rows(&self, x: &[f32], rows: Range<usize>, y: &mut [f32]) {
+        for (i, r) in rows.enumerate() {
             let (cols, vals) = self.row(r);
             let mut acc = 0f32;
             for (&c, &v) in cols.iter().zip(vals) {
                 acc += v * x[c as usize];
             }
-            y[r] = acc;
+            y[i] = acc;
         }
-        y
     }
 
     /// Dense `y = Aᵀ·x` without materializing the transpose.
     pub fn spmv_t(&self, x: &[f32]) -> Vec<f32> {
-        assert_eq!(x.len(), self.nrows, "vector length mismatch");
         let mut y = vec![0f32; self.ncols];
-        for r in 0..self.nrows {
-            let (cols, vals) = self.row(r);
-            let xr = x[r];
-            if xr == 0.0 {
-                continue;
-            }
-            for (&c, &v) in cols.iter().zip(vals) {
-                y[c as usize] += v * xr;
-            }
-        }
+        self.spmv_t_into(x, &mut y);
         y
+    }
+
+    /// In-place `y = Aᵀ·x`, overwriting `y` (length `ncols`).
+    ///
+    /// Parallelized in two order-preserving phases: row-chunk workers
+    /// bin each contribution `A[r,c]·x[r]` by destination column chunk
+    /// (visiting rows, and within a row the sorted columns, in order),
+    /// then column-chunk owners apply their bins in source-chunk order.
+    /// Per output element the additions therefore happen in exactly the
+    /// increasing-row order of the serial scatter loop — bitwise
+    /// identical at any thread count. The parallel path streams every
+    /// entry twice, so it only engages when the output is large enough
+    /// that the serial scatter thrashes cache ([`SPMVT_MIN_COLS`]) and
+    /// there is enough work per chunk ([`SPMVT_NNZ_GRAIN`]).
+    pub fn spmv_t_into(&self, x: &[f32], y: &mut [f32]) {
+        assert_eq!(x.len(), self.nrows, "vector length mismatch");
+        assert_eq!(y.len(), self.ncols, "output length mismatch");
+        y.fill(0.0);
+        let mut chunks = if self.ncols >= SPMVT_MIN_COLS {
+            par::chunks_for(self.nnz(), SPMVT_NNZ_GRAIN, self.nrows.min(self.ncols))
+        } else {
+            1
+        };
+        if chunks < SPMVT_MIN_CHUNKS {
+            chunks = 1;
+        }
+        if chunks <= 1 {
+            // Serial scatter (the FREEHGC_THREADS=1 path).
+            for r in 0..self.nrows {
+                let xr = x[r];
+                if xr == 0.0 {
+                    continue;
+                }
+                let (cols, vals) = self.row(r);
+                for (&c, &v) in cols.iter().zip(vals) {
+                    y[c as usize] += v * xr;
+                }
+            }
+            return;
+        }
+        let row_ranges = par::chunk_ranges(self.nrows, chunks);
+        let col_ranges = par::chunk_ranges(self.ncols, chunks);
+        // Phase 1: bins[src][dst] = (column, A[r,c]·x[r]) contributions
+        // of source row chunk `src` into destination column chunk
+        // `dst`, in (row, column) order.
+        let bins: Vec<Vec<Vec<(u32, f32)>>> = par::scoped_map(row_ranges, |_, rr| {
+            let chunk_nnz = self.indptr[rr.end] - self.indptr[rr.start];
+            // (`vec![v; n]` would clone away the capacity — a cloned
+            // empty Vec has capacity 0.)
+            let mut out: Vec<Vec<(u32, f32)>> = (0..col_ranges.len())
+                .map(|_| Vec::with_capacity(chunk_nnz / col_ranges.len() + 16))
+                .collect();
+            for r in rr {
+                let xr = x[r];
+                if xr == 0.0 {
+                    continue;
+                }
+                let (cols, vals) = self.row(r);
+                let mut dst = 0usize;
+                for (&c, &v) in cols.iter().zip(vals) {
+                    // Columns are sorted, so the destination chunk only
+                    // ever advances within a row.
+                    while c as usize >= col_ranges[dst].end {
+                        dst += 1;
+                    }
+                    out[dst].push((c, v * xr));
+                }
+            }
+            out
+        });
+        // Phase 2: each destination owner applies its bins in source
+        // order, preserving the global increasing-row accumulation.
+        let lens: Vec<usize> = col_ranges.iter().map(|r| r.len()).collect();
+        let yslices = par::split_by_lens(y, lens);
+        let work: Vec<_> = col_ranges.iter().zip(yslices).collect();
+        par::scoped_map(work, |dst, (cr, ys)| {
+            for src_bins in &bins {
+                for &(c, contrib) in &src_bins[dst] {
+                    ys[c as usize - cr.start] += contrib;
+                }
+            }
+        });
     }
 
     /// Dense `Y = A·X` where `X` is row-major `ncols × dim`.
     /// This is the feature-propagation kernel of the HGNN pre-processing.
+    /// Row-partitioned parallel: each worker owns a disjoint block of
+    /// output rows.
     pub fn spmm_dense(&self, x: &[f32], dim: usize) -> Vec<f32> {
         assert_eq!(x.len(), self.ncols * dim, "dense operand shape mismatch");
         let mut y = vec![0f32; self.nrows * dim];
-        for r in 0..self.nrows {
+        let chunks = par::chunks_for(self.nnz().saturating_mul(dim), DENSE_FLOP_GRAIN, self.nrows);
+        if chunks <= 1 {
+            self.spmm_rows(x, dim, 0..self.nrows, &mut y);
+        } else {
+            let ranges = par::chunk_ranges(self.nrows, chunks);
+            let lens: Vec<usize> = ranges.iter().map(|r| r.len() * dim).collect();
+            par::par_write_chunks(ranges, lens, &mut y, |_, r, ys| {
+                self.spmm_rows(x, dim, r, ys)
+            });
+        }
+        y
+    }
+
+    /// The dense rows of `A·X` for the given row range, written into
+    /// `y` (length `rows.len() * dim`).
+    fn spmm_rows(&self, x: &[f32], dim: usize, rows: Range<usize>, y: &mut [f32]) {
+        for (i, r) in rows.enumerate() {
             let (cols, vals) = self.row(r);
-            let out = &mut y[r * dim..(r + 1) * dim];
+            let out = &mut y[i * dim..(i + 1) * dim];
             for (&c, &v) in cols.iter().zip(vals) {
                 let src = &x[c as usize * dim..(c as usize + 1) * dim];
                 for (o, s) in out.iter_mut().zip(src) {
@@ -379,24 +568,103 @@ impl CsrMatrix {
                 }
             }
         }
-        y
     }
 
     /// Sparse × sparse product by Gustavson's row-wise algorithm with a
     /// dense accumulator — O(flops), the standard SpGEMM for meta-path
     /// adjacency composition (Eq. 1).
+    ///
+    /// Row-partitioned parallel in two phases: each worker runs the
+    /// Gustavson kernel over its contiguous row chunk into chunk-local
+    /// buffers (recording per-row counts, which double as the symbolic
+    /// result), a serial prefix sum turns the counts into the exact
+    /// `indptr` offsets, and the chunk buffers are copied into their
+    /// disjoint regions of the final arrays in parallel. Every row is
+    /// produced by the same per-row kernel as the serial path, so the
+    /// output is bitwise-identical at any thread count.
     pub fn spgemm(&self, other: &CsrMatrix) -> CsrMatrix {
         assert_eq!(self.ncols, other.nrows, "inner dimension mismatch");
         let n = self.nrows;
-        let m = other.ncols;
-        let mut indptr = Vec::with_capacity(n + 1);
-        let mut indices: Vec<u32> = Vec::new();
-        let mut values: Vec<f32> = Vec::new();
-        indptr.push(0usize);
+        let chunks = par::chunks_for(self.nnz(), SPGEMM_NNZ_GRAIN, n / SPGEMM_ROW_GRAIN);
+        if chunks <= 1 {
+            return self.spgemm_serial(other);
+        }
+        let ranges = par::chunk_ranges(n, chunks);
+        let parts: Vec<(Vec<usize>, Vec<u32>, Vec<f32>)> =
+            par::scoped_map(ranges, |_, r| self.spgemm_rows(other, r));
 
+        // Exact offsets from the per-row counts.
+        let mut indptr = Vec::with_capacity(n + 1);
+        indptr.push(0usize);
+        let mut total = 0usize;
+        for (row_lens, _, _) in &parts {
+            for &len in row_lens {
+                total += len;
+                indptr.push(total);
+            }
+        }
+        let mut indices = vec![0u32; total];
+        let mut values = vec![0f32; total];
+        let chunk_lens: Vec<usize> = parts.iter().map(|(_, ci, _)| ci.len()).collect();
+        let islices = par::split_by_lens(&mut indices, chunk_lens.iter().copied());
+        let vslices = par::split_by_lens(&mut values, chunk_lens);
+        let fill: Vec<_> = parts
+            .into_iter()
+            .zip(islices.into_iter().zip(vslices))
+            .collect();
+        par::scoped_map(fill, |_, ((_, ci, cv), (isl, vsl))| {
+            isl.copy_from_slice(&ci);
+            vsl.copy_from_slice(&cv);
+        });
+        CsrMatrix {
+            nrows: n,
+            ncols: other.ncols,
+            indptr: indptr.into_boxed_slice(),
+            indices: indices.into_boxed_slice(),
+            values: values.into_boxed_slice(),
+        }
+    }
+
+    /// The serial SpGEMM path (also what `FREEHGC_THREADS=1` runs).
+    /// Kept public as the reference the equivalence suite and
+    /// `bench_report` compare against.
+    pub fn spgemm_serial(&self, other: &CsrMatrix) -> CsrMatrix {
+        assert_eq!(self.ncols, other.nrows, "inner dimension mismatch");
+        let n = self.nrows;
+        let (row_lens, indices, values) = self.spgemm_rows(other, 0..n);
+        let mut indptr = Vec::with_capacity(n + 1);
+        indptr.push(0usize);
+        let mut total = 0usize;
+        for &len in &row_lens {
+            total += len;
+            indptr.push(total);
+        }
+        CsrMatrix {
+            nrows: n,
+            ncols: other.ncols,
+            indptr: indptr.into_boxed_slice(),
+            indices: indices.into_boxed_slice(),
+            values: values.into_boxed_slice(),
+        }
+    }
+
+    /// Gustavson's kernel over a contiguous row range, into fresh
+    /// buffers: returns (per-row nnz, column indices, values). Both the
+    /// serial path and every parallel worker run exactly this code, which
+    /// is what makes the two bitwise-interchangeable.
+    fn spgemm_rows(
+        &self,
+        other: &CsrMatrix,
+        rows: Range<usize>,
+    ) -> (Vec<usize>, Vec<u32>, Vec<f32>) {
+        let m = other.ncols;
         let mut acc = vec![0f32; m];
         let mut touched: Vec<u32> = Vec::new();
-        for r in 0..n {
+        let mut row_lens = Vec::with_capacity(rows.len());
+        let mut indices: Vec<u32> = Vec::new();
+        let mut values: Vec<f32> = Vec::new();
+        for r in rows {
+            let before = indices.len();
             let (acols, avals) = self.row(r);
             for (&ac, &av) in acols.iter().zip(avals) {
                 let (bcols, bvals) = other.row(ac as usize);
@@ -419,15 +687,9 @@ impl CsrMatrix {
                 acc[c as usize] = 0.0;
             }
             touched.clear();
-            indptr.push(indices.len());
+            row_lens.push(indices.len() - before);
         }
-        CsrMatrix {
-            nrows: n,
-            ncols: m,
-            indptr: indptr.into_boxed_slice(),
-            indices: indices.into_boxed_slice(),
-            values: values.into_boxed_slice(),
-        }
+        (row_lens, indices, values)
     }
 
     /// Dense row-major copy (tests/small matrices only).
@@ -663,6 +925,34 @@ mod tests {
         let d = m.to_dense();
         let back = CsrMatrix::from_dense(2, 3, &d, 0.0);
         assert_eq!(back, m);
+    }
+
+    #[test]
+    fn spmv_t_into_matches_allocating_spmv_t() {
+        let m = small();
+        let x = vec![2.0, -1.0];
+        let mut y = vec![7.0; 3]; // stale contents must be overwritten
+        m.spmv_t_into(&x, &mut y);
+        assert_eq!(y, m.spmv_t(&x));
+    }
+
+    #[test]
+    fn spgemm_serial_equals_parallel_path() {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut edges = Vec::new();
+        // nnz must clear SPGEMM_NNZ_GRAIN on several chunks so the
+        // parallel path actually runs.
+        for r in 0..300u32 {
+            for _ in 0..16 {
+                edges.push((r, rng.gen_range(0..300u32)));
+            }
+        }
+        let a = CsrMatrix::from_edges(300, 300, &edges);
+        freehgc_parallel::set_thread_override(Some(4));
+        let parallel = a.spgemm(&a);
+        freehgc_parallel::set_thread_override(None);
+        assert_eq!(parallel, a.spgemm_serial(&a));
     }
 
     #[test]

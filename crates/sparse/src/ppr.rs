@@ -56,15 +56,22 @@ pub fn ppr_push(m: &CsrMatrix, seed: &[f32], cfg: &PprConfig) -> Vec<f32> {
     assert_eq!(m.nrows(), m.ncols(), "ppr_push needs a square operator");
     assert_eq!(seed.len(), m.nrows(), "seed length mismatch");
     let terms = cfg.num_terms();
+    // Two ping-pong state buffers instead of one allocation per term,
+    // and no advance after the last accumulated term (its result would
+    // be discarded — one whole SpMVᵀ saved).
     let mut x: Vec<f32> = seed.to_vec();
+    let mut next: Vec<f32> = vec![0.0; seed.len()];
     let mut acc: Vec<f32> = vec![0.0; seed.len()];
     let mut coeff = cfg.alpha;
-    for _ in 0..terms {
+    for k in 0..terms {
         for (a, &xi) in acc.iter_mut().zip(&x) {
             *a += coeff * xi;
         }
-        x = m.spmv_t(&x);
-        coeff *= 1.0 - cfg.alpha;
+        if k + 1 < terms {
+            m.spmv_t_into(&x, &mut next);
+            std::mem::swap(&mut x, &mut next);
+            coeff *= 1.0 - cfg.alpha;
+        }
     }
     acc
 }
@@ -138,10 +145,18 @@ pub fn bipartite_influence_seeded(
     // coeff = α (1−α)^k, the series weight of the state x_k.
     let mut coeff = cfg.alpha;
     let mut state_on_target = true;
-    for _k in 0..=terms {
+    // Only source-block states (odd k) contribute to the accumulator, so
+    // the last useful state is the largest odd k ≤ terms: stopping there
+    // skips one (terms odd) or two (terms even) full block-SpMV advances
+    // whose results would be discarded.
+    let last_src_k = terms - usize::from(terms.is_multiple_of(2));
+    for k in 0..=last_src_k {
         if !state_on_target {
             for (aa, &s) in acc_src.iter_mut().zip(&src) {
                 *aa += coeff * s;
+            }
+            if k == last_src_k {
+                break;
             }
         }
         // Advance x_k → x_{k+1} = x_k M across the bipartite blocks.
@@ -308,6 +323,98 @@ mod tests {
         assert!(inf[0] > 0.0);
         assert_eq!(inf[1], 0.0);
         assert_eq!(inf[2], 0.0);
+    }
+
+    /// Straightforward reference that runs every advance including the
+    /// discarded final ones — the restructured loop must match it bit
+    /// for bit.
+    fn bipartite_reference(a: &CsrMatrix, cfg: &PprConfig) -> Vec<f32> {
+        let (n, m) = (a.nrows(), a.ncols());
+        let row_sum = a.row_sums();
+        let mut col_sum = vec![0f32; m];
+        for r in 0..n {
+            let (cols, vals) = a.row(r);
+            for (&c, &v) in cols.iter().zip(vals) {
+                col_sum[c as usize] += v.abs();
+            }
+        }
+        let dr: Vec<f32> = row_sum
+            .iter()
+            .map(|&s| if s > 0.0 { s.sqrt().recip() } else { 0.0 })
+            .collect();
+        let dc: Vec<f32> = col_sum
+            .iter()
+            .map(|&s| if s > 0.0 { s.sqrt().recip() } else { 0.0 })
+            .collect();
+        let terms = cfg.num_terms();
+        let mut tgt = vec![1.0 / n as f32; n];
+        let mut src = vec![0f32; m];
+        let mut acc_src = vec![0f32; m];
+        let mut coeff = cfg.alpha;
+        let mut state_on_target = true;
+        for _k in 0..=terms {
+            if !state_on_target {
+                for (aa, &s) in acc_src.iter_mut().zip(&src) {
+                    *aa += coeff * s;
+                }
+            }
+            if state_on_target {
+                src.iter_mut().for_each(|v| *v = 0.0);
+                for r in 0..n {
+                    let (cols, vals) = a.row(r);
+                    let t = tgt[r] * dr[r];
+                    if t == 0.0 {
+                        continue;
+                    }
+                    for (&c, &v) in cols.iter().zip(vals) {
+                        src[c as usize] += v * dc[c as usize] * t;
+                    }
+                }
+            } else {
+                for r in 0..n {
+                    let (cols, vals) = a.row(r);
+                    let mut accr = 0f32;
+                    for (&c, &v) in cols.iter().zip(vals) {
+                        accr += v * dc[c as usize] * src[c as usize];
+                    }
+                    tgt[r] = accr * dr[r];
+                }
+            }
+            state_on_target = !state_on_target;
+            coeff *= 1.0 - cfg.alpha;
+        }
+        acc_src
+    }
+
+    #[test]
+    fn skipping_wasted_final_advances_preserves_bits() {
+        for (terms_parity_cfg, seed_edges) in [
+            (
+                PprConfig {
+                    alpha: 0.15,
+                    epsilon: 1e-3,
+                    max_iters: 64,
+                },
+                vec![(0u32, 0u32), (1, 0), (2, 1), (3, 2), (1, 2)],
+            ),
+            (
+                PprConfig {
+                    alpha: 0.15,
+                    epsilon: 1e-4,
+                    // The first config's eps yields 43 terms (odd); this
+                    // cap forces an even count so both parities of the
+                    // last_src_k arithmetic are exercised.
+                    max_iters: 42,
+                },
+                vec![(0, 1), (1, 1), (2, 0), (3, 3), (0, 3)],
+            ),
+        ] {
+            let a = CsrMatrix::from_edges(4, 4, &seed_edges);
+            assert_eq!(
+                bipartite_influence(&a, &terms_parity_cfg),
+                bipartite_reference(&a, &terms_parity_cfg)
+            );
+        }
     }
 
     #[test]
