@@ -9,10 +9,10 @@
 
 use freehgc_core::herding::herding_select;
 use freehgc_hetgraph::{
-    induce_selection, proportional_allocation, CondenseSpec, CondensedGraph, Condenser,
-    FeatureMatrix, HeteroGraph,
+    induce_selection, proportional_allocation, CondenseContext, CondenseSpec, CondensedGraph,
+    Condenser, FeatureMatrix, HeteroGraph,
 };
-use freehgc_hgnn::propagate;
+use freehgc_hgnn::propagate_ctx;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -20,8 +20,20 @@ use rand::SeedableRng;
 /// Concatenated meta-path propagated embeddings of the target type — the
 /// "intermediate embeddings from SeHGNN" the paper feeds the coreset
 /// methods.
-pub fn target_embeddings(g: &HeteroGraph, max_hops: usize) -> FeatureMatrix {
-    let pf = propagate(g, max_hops, 16);
+pub fn target_embeddings(g: &HeteroGraph, max_hops: usize, max_paths: usize) -> FeatureMatrix {
+    target_embeddings_in(&CondenseContext::new(g), max_hops, max_paths)
+}
+
+/// [`target_embeddings`] against a shared [`CondenseContext`]: the
+/// propagated blocks come from the context's `(max_hops, max_paths)`
+/// cache, so herding and k-center selection at several ratios (or after
+/// an eval pass over the same graph) pay for propagation once.
+pub fn target_embeddings_in(
+    ctx: &CondenseContext<'_>,
+    max_hops: usize,
+    max_paths: usize,
+) -> FeatureMatrix {
+    let pf = propagate_ctx(ctx, max_hops, max_paths);
     let dim: usize = pf.blocks.iter().map(|b| b.cols).sum();
     let n = pf.num_rows();
     let mut data = Vec::with_capacity(n * dim);
@@ -124,9 +136,14 @@ impl Condenser for HerdingHg {
     }
 
     fn condense(&self, g: &HeteroGraph, spec: &CondenseSpec) -> CondensedGraph {
-        let emb = target_embeddings(g, spec.max_hops);
+        self.condense_in(&CondenseContext::for_spec(g, spec), spec)
+    }
+
+    fn condense_in(&self, ctx: &CondenseContext<'_>, spec: &CondenseSpec) -> CondensedGraph {
+        ctx.check_spec(spec);
+        let emb = target_embeddings_in(ctx, spec.max_hops, spec.max_paths);
         condense_with(
-            g,
+            ctx.graph(),
             spec,
             |g, budget| {
                 let (pools, alloc) = class_pools(g, budget);
@@ -206,9 +223,14 @@ impl Condenser for KCenterHg {
     }
 
     fn condense(&self, g: &HeteroGraph, spec: &CondenseSpec) -> CondensedGraph {
-        let emb = target_embeddings(g, spec.max_hops);
+        self.condense_in(&CondenseContext::for_spec(g, spec), spec)
+    }
+
+    fn condense_in(&self, ctx: &CondenseContext<'_>, spec: &CondenseSpec) -> CondensedGraph {
+        ctx.check_spec(spec);
+        let emb = target_embeddings_in(ctx, spec.max_hops, spec.max_paths);
         condense_with(
-            g,
+            ctx.graph(),
             spec,
             |g, budget| {
                 let (pools, alloc) = class_pools(g, budget);
@@ -286,7 +308,7 @@ mod tests {
     #[test]
     fn embeddings_have_expected_shape() {
         let g = tiny(4);
-        let emb = target_embeddings(&g, 2);
+        let emb = target_embeddings(&g, 2, 16);
         assert_eq!(emb.num_rows(), g.num_nodes(g.schema().target()));
         assert!(emb.dim() > g.features(g.schema().target()).dim());
     }

@@ -12,9 +12,10 @@
 //! bytes is actually allocated, and condensation fails with
 //! [`OutOfMemory`] when it exceeds the budget.
 
-use crate::relay::{gradient_matching_refine, GradMatchConfig, GradMatchStats, RelayKind};
+use crate::relay::{gradient_matching_refine_in, GradMatchConfig, GradMatchStats, RelayKind};
 use freehgc_hetgraph::{
-    induce_selection, proportional_allocation, CondenseSpec, CondensedGraph, Condenser, HeteroGraph,
+    induce_selection, proportional_allocation, CondenseContext, CondenseSpec, CondensedGraph,
+    Condenser, HeteroGraph,
 };
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -75,6 +76,18 @@ impl GCondBaseline {
         g: &HeteroGraph,
         spec: &CondenseSpec,
     ) -> Result<(CondensedGraph, GradMatchStats), OutOfMemory> {
+        self.try_condense_in(&CondenseContext::for_spec(g, spec), spec)
+    }
+
+    /// [`GCondBaseline::try_condense`] against a shared
+    /// [`CondenseContext`] (reuses the real-side propagated blocks).
+    pub fn try_condense_in(
+        &self,
+        ctx: &CondenseContext<'_>,
+        spec: &CondenseSpec,
+    ) -> Result<(CondensedGraph, GradMatchStats), OutOfMemory> {
+        ctx.check_spec(spec);
+        let g = ctx.graph();
         let total_budget: usize = spec.budgets(g).iter().sum();
         let required = g.total_nodes() * total_budget * std::mem::size_of::<f32>();
         if required > self.memory_limit_bytes {
@@ -123,7 +136,7 @@ impl GCondBaseline {
         let mut cond = induce_selection(g, keep);
 
         // Bi-level gradient matching on the synthetic target features.
-        let stats = gradient_matching_refine(g, &mut cond, spec, &self.cfg);
+        let stats = gradient_matching_refine_in(ctx, &mut cond, spec, &self.cfg);
         Ok((cond, stats))
     }
 }
@@ -137,7 +150,13 @@ impl Condenser for GCondBaseline {
     /// Panics on simulated OOM; use [`GCondBaseline::try_condense`] where
     /// OOM is an expected outcome (Table VI).
     fn condense(&self, g: &HeteroGraph, spec: &CondenseSpec) -> CondensedGraph {
-        match self.try_condense(g, spec) {
+        self.condense_in(&CondenseContext::for_spec(g, spec), spec)
+    }
+
+    /// # Panics
+    /// Panics on simulated OOM, like [`Condenser::condense`].
+    fn condense_in(&self, ctx: &CondenseContext<'_>, spec: &CondenseSpec) -> CondensedGraph {
+        match self.try_condense_in(ctx, spec) {
             Ok((cg, _)) => cg,
             Err(e) => panic!("{e}"),
         }

@@ -12,10 +12,11 @@
 //! stronger relays (HGT / HGB / SeHGNN) fail to improve condensation.
 
 use crate::cluster::{kmeans, medoid};
-use crate::relay::{gradient_matching_refine, GradMatchConfig, GradMatchStats, RelayKind};
+use crate::relay::{gradient_matching_refine_in, GradMatchConfig, GradMatchStats, RelayKind};
 use freehgc_hetgraph::condense::{assemble, SynthesizedNodes, TypePlan};
 use freehgc_hetgraph::{
-    proportional_allocation, CondenseSpec, CondensedGraph, Condenser, FeatureMatrix, HeteroGraph,
+    proportional_allocation, CondenseContext, CondenseSpec, CondensedGraph, Condenser,
+    FeatureMatrix, HeteroGraph,
 };
 
 /// The HGCond baseline.
@@ -57,6 +58,18 @@ impl HGCondBaseline {
         g: &HeteroGraph,
         spec: &CondenseSpec,
     ) -> (CondensedGraph, GradMatchStats) {
+        self.condense_with_stats_in(&CondenseContext::for_spec(g, spec), spec)
+    }
+
+    /// [`HGCondBaseline::condense_with_stats`] against a shared
+    /// [`CondenseContext`] (reuses the real-side propagated blocks).
+    pub fn condense_with_stats_in(
+        &self,
+        ctx: &CondenseContext<'_>,
+        spec: &CondenseSpec,
+    ) -> (CondensedGraph, GradMatchStats) {
+        ctx.check_spec(spec);
+        let g = ctx.graph();
         let schema = g.schema();
         let target = schema.target();
 
@@ -116,7 +129,7 @@ impl HGCondBaseline {
         let mut cond = assemble(g, &plans);
 
         // Bi-level OPS gradient matching on the target features.
-        let stats = gradient_matching_refine(g, &mut cond, spec, &self.cfg);
+        let stats = gradient_matching_refine_in(ctx, &mut cond, spec, &self.cfg);
         (cond, stats)
     }
 }
@@ -128,6 +141,10 @@ impl Condenser for HGCondBaseline {
 
     fn condense(&self, g: &HeteroGraph, spec: &CondenseSpec) -> CondensedGraph {
         self.condense_with_stats(g, spec).0
+    }
+
+    fn condense_in(&self, ctx: &CondenseContext<'_>, spec: &CondenseSpec) -> CondensedGraph {
+        self.condense_with_stats_in(ctx, spec).0
     }
 }
 

@@ -4,7 +4,7 @@
 //! to regress against.
 //!
 //! ```bash
-//! cargo run --release -p freehgc_bench --bin bench_report            # full scales → BENCH_PR2.json
+//! cargo run --release -p freehgc_bench --bin bench_report            # full scales → BENCH_PR3.json
 //! cargo run --release -p freehgc_bench --bin bench_report -- --quick # smoke scales
 //! cargo run --release -p freehgc_bench --bin bench_report -- --threads=8 --out=path.json
 //! ```
@@ -14,9 +14,22 @@
 //! and once at `--threads` (default 4). The harness also asserts the
 //! two results are bitwise-equal and records that bit in the JSON —
 //! a perf report that silently changed numerics would be worthless.
+//!
+//! The `sweep` section measures the shared-[`CondenseContext`] reuse: a
+//! ratio × method sweep run cold (a fresh context per condensation, the
+//! pre-context behaviour) versus warm (one context shared across the
+//! whole sweep), asserting the condensed graphs are bitwise-equal and
+//! recording the wall times and cache hit/miss counters. Unlike the
+//! kernel speedups this win is algorithmic, so it shows up even on a
+//! single-core runner.
 
+use freehgc_baselines::HerdingHg;
 use freehgc_core::selection::{condense_target, SelectionConfig};
+use freehgc_core::FreeHgc;
 use freehgc_datasets::{generate, DatasetKind};
+use freehgc_hetgraph::{
+    CacheCounters, CondenseContext, CondenseSpec, CondensedGraph, Condenser, HeteroGraph,
+};
 use freehgc_hgnn::propagation::propagate;
 use freehgc_parallel as par;
 use freehgc_sparse::ppr::{ppr_push, PprConfig};
@@ -99,6 +112,96 @@ fn json_escape(s: &str) -> String {
     s.replace('\\', "\\\\").replace('"', "\\\"")
 }
 
+/// Structural equality of two heterogeneous graphs: same per-type node
+/// counts, adjacencies, features, labels and split, bit for bit.
+fn graphs_equal(a: &HeteroGraph, b: &HeteroGraph) -> bool {
+    let schema = a.schema();
+    schema
+        .node_type_ids()
+        .all(|t| a.num_nodes(t) == b.num_nodes(t) && a.features(t) == b.features(t))
+        && schema
+            .edge_type_ids()
+            .all(|e| a.adjacency(e) == b.adjacency(e))
+        && a.labels() == b.labels()
+        && a.split() == b.split()
+}
+
+fn condensed_equal(a: &CondensedGraph, b: &CondensedGraph) -> bool {
+    a.orig_ids == b.orig_ids && graphs_equal(&a.graph, &b.graph)
+}
+
+struct SweepReport {
+    dataset: String,
+    ratios: Vec<f64>,
+    methods: Vec<String>,
+    cold_ms: f64,
+    warm_ms: f64,
+    bitwise_equal: bool,
+    cache: CacheCounters,
+}
+
+impl SweepReport {
+    fn speedup(&self) -> f64 {
+        self.cold_ms / self.warm_ms.max(1e-9)
+    }
+}
+
+/// Cold-context vs warm-context wall time over a ratio × method sweep on
+/// one graph. "Cold" condenses through `Condenser::condense` (a fresh
+/// context per call — the pre-context behaviour); "warm" condenses the
+/// same (method, ratio) grid through one shared context.
+fn run_sweep(quick: bool) -> SweepReport {
+    let scale = if quick { 0.1 } else { 0.3 };
+    let g = generate(DatasetKind::Acm, scale, 42);
+    let ratios = vec![0.05f64, 0.1, 0.2];
+    let methods: Vec<Box<dyn Condenser>> = vec![Box::new(FreeHgc::default()), Box::new(HerdingHg)];
+    let spec_for = |r: f64| CondenseSpec::new(r).with_max_hops(3).with_seed(7);
+
+    let t_cold = Instant::now();
+    let mut cold: Vec<CondensedGraph> = Vec::new();
+    for m in &methods {
+        for &r in &ratios {
+            cold.push(m.condense(&g, &spec_for(r)));
+        }
+    }
+    let cold_ms = t_cold.elapsed().as_secs_f64() * 1e3;
+
+    let ctx = CondenseContext::new(&g);
+    let t_warm = Instant::now();
+    let mut warm: Vec<CondensedGraph> = Vec::new();
+    for m in &methods {
+        for &r in &ratios {
+            warm.push(m.condense_in(&ctx, &spec_for(r)));
+        }
+    }
+    let warm_ms = t_warm.elapsed().as_secs_f64() * 1e3;
+
+    let bitwise_equal =
+        cold.len() == warm.len() && cold.iter().zip(&warm).all(|(a, b)| condensed_equal(a, b));
+    let report = SweepReport {
+        dataset: "acm".to_string(),
+        ratios,
+        methods: methods.iter().map(|m| m.name().to_string()).collect(),
+        cold_ms,
+        warm_ms,
+        bitwise_equal,
+        cache: ctx.stats(),
+    };
+    eprintln!(
+        "sweep ({} × {} ratios)        cold {:>9.3} ms   warm {:>9.3} ms   speedup {:>5.2}x   \
+         cache {} hits / {} misses   bitwise_equal={}",
+        report.methods.join("+"),
+        report.ratios.len(),
+        report.cold_ms,
+        report.warm_ms,
+        report.speedup(),
+        report.cache.total_hits(),
+        report.cache.total_misses(),
+        report.bitwise_equal
+    );
+    report
+}
+
 fn fmt_ms(v: f64) -> String {
     if v.is_finite() {
         format!("{v:.4}")
@@ -110,7 +213,7 @@ fn fmt_ms(v: f64) -> String {
 fn main() {
     let mut quick = false;
     let mut threads = 4usize;
-    let mut out_path = "BENCH_PR2.json".to_string();
+    let mut out_path = "BENCH_PR3.json".to_string();
     for arg in std::env::args().skip(1) {
         if arg == "--quick" {
             quick = true;
@@ -221,11 +324,16 @@ fn main() {
         (sel.selected, sel.scores)
     }));
 
+    // Shared-context sweep: cold vs warm condensation over a
+    // ratio × method grid (run at the default thread budget — the win
+    // here is cache reuse, not parallelism).
+    let sweep = run_sweep(quick);
+
     // Emit the JSON report.
     let avail = std::thread::available_parallelism().map_or(1, |n| n.get());
     let mut out = String::new();
     out.push_str("{\n");
-    out.push_str("  \"pr\": 2,\n");
+    out.push_str("  \"pr\": 3,\n");
     out.push_str("  \"created_by\": \"bench_report\",\n");
     out.push_str(&format!("  \"quick\": {quick},\n"));
     out.push_str("  \"machine\": {\n");
@@ -263,13 +371,79 @@ fn main() {
             if i + 1 < rows.len() { "," } else { "" }
         ));
     }
-    out.push_str("  ]\n");
+    out.push_str("  ],\n");
+    out.push_str("  \"sweep\": {\n");
+    out.push_str(
+        "    \"note\": \"cold_ms condenses each (method, ratio) cell through a fresh \
+         CondenseContext (the pre-context behaviour); warm_ms runs the identical sweep through \
+         one shared context. bitwise_equal asserts every condensed graph matches across the two \
+         runs. The speedup is algorithmic cache reuse, visible even at \
+         available_parallelism=1.\",\n",
+    );
+    out.push_str(&format!(
+        "    \"dataset\": \"{}\",\n",
+        json_escape(&sweep.dataset)
+    ));
+    out.push_str(&format!(
+        "    \"ratios\": [{}],\n",
+        sweep
+            .ratios
+            .iter()
+            .map(|r| format!("{r}"))
+            .collect::<Vec<_>>()
+            .join(", ")
+    ));
+    out.push_str(&format!(
+        "    \"methods\": [{}],\n",
+        sweep
+            .methods
+            .iter()
+            .map(|m| format!("\"{}\"", json_escape(m)))
+            .collect::<Vec<_>>()
+            .join(", ")
+    ));
+    out.push_str(&format!("    \"cold_ms\": {},\n", fmt_ms(sweep.cold_ms)));
+    out.push_str(&format!("    \"warm_ms\": {},\n", fmt_ms(sweep.warm_ms)));
+    out.push_str(&format!("    \"speedup\": {},\n", fmt_ms(sweep.speedup())));
+    out.push_str(&format!(
+        "    \"bitwise_equal\": {},\n",
+        sweep.bitwise_equal
+    ));
+    out.push_str("    \"cache\": {\n");
+    let c = &sweep.cache;
+    for (name, (hits, misses)) in [
+        ("paths", c.paths),
+        ("factors", c.factors),
+        ("composed", c.composed),
+        ("oriented", c.oriented),
+        ("influence", c.influence),
+        ("propagated", c.propagated),
+    ] {
+        out.push_str(&format!(
+            "      \"{name}\": {{ \"hits\": {hits}, \"misses\": {misses} }},\n"
+        ));
+    }
+    out.push_str(&format!(
+        "      \"total_hits\": {},\n      \"total_misses\": {}\n",
+        c.total_hits(),
+        c.total_misses()
+    ));
+    out.push_str("    }\n");
+    out.push_str("  }\n");
     out.push_str("}\n");
     std::fs::write(&out_path, &out).expect("write bench report");
     eprintln!("wrote {out_path}");
 
     if rows.iter().any(|r| !r.bitwise_equal) {
         eprintln!("FATAL: a parallel kernel diverged from its serial result");
+        std::process::exit(1);
+    }
+    if !sweep.bitwise_equal {
+        eprintln!("FATAL: a shared-context condensation diverged from its fresh-context result");
+        std::process::exit(1);
+    }
+    if sweep.cache.total_hits() == 0 {
+        eprintln!("FATAL: the warm sweep recorded zero cache hits — context reuse is broken");
         std::process::exit(1);
     }
 }

@@ -10,9 +10,13 @@
 //! [`ImportanceMethod`] provides degree, HITS and closeness alternatives,
 //! exercised by the ablation bench.
 
-use freehgc_hetgraph::{metapaths_to, HeteroGraph, MetaPathEngine, NodeTypeId};
+use freehgc_hetgraph::{CondenseContext, HeteroGraph, InfluenceKey, NodeTypeId};
 use freehgc_sparse::centrality::{closeness_influence, degree_influence, hits_authority};
 use freehgc_sparse::ppr::{bipartite_influence_seeded, PprConfig};
+
+/// HITS power-iteration count used by [`ImportanceMethod::Hits`]; named
+/// so the influence-cache key encodes the same value the kernel runs.
+const HITS_ITERS: usize = 20;
 
 /// Node-importance backend for the father-type condensation.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -42,6 +46,40 @@ impl ImportanceMethod {
             ImportanceMethod::Closeness => "Closeness",
         }
     }
+
+    /// Bit-exact cache-key encoding: discriminant plus every parameter
+    /// the backend's computation depends on (PPR's full [`PprConfig`] as
+    /// raw bits, HITS's iteration count). Two methods that could produce
+    /// different scores must encode differently.
+    fn cache_key(self) -> (u8, [u32; 4]) {
+        match self {
+            ImportanceMethod::Ppr { alpha } => {
+                let cfg = PprConfig {
+                    alpha,
+                    ..Default::default()
+                };
+                (
+                    0,
+                    [
+                        cfg.alpha.to_bits(),
+                        cfg.epsilon.to_bits(),
+                        cfg.max_iters as u32,
+                        0,
+                    ],
+                )
+            }
+            ImportanceMethod::Degree => (1, [0; 4]),
+            ImportanceMethod::Hits => (2, [HITS_ITERS as u32, 0, 0, 0]),
+            ImportanceMethod::Closeness => (3, [0; 4]),
+        }
+    }
+
+    /// Whether the backend's scores depend on the RNG seed. Only the
+    /// sampled closeness backend does; for the others the cache key
+    /// normalizes the seed away so a seed sweep reuses one computation.
+    fn uses_seed(self) -> bool {
+        matches!(self, ImportanceMethod::Closeness)
+    }
 }
 
 /// Computes the aggregate influence score `Σ_i N^s_{i,:}` (Eq. 12–13) of
@@ -70,33 +108,71 @@ pub fn influence_scores_seeded(
     method: ImportanceMethod,
     seed: u64,
 ) -> Vec<f64> {
-    let schema = g.schema();
-    let target = schema.target();
-    let paths = metapaths_to(schema, target, father, max_hops, max_paths);
-    let mut engine = MetaPathEngine::new(g).with_max_row_nnz(256);
-    let m = g.num_nodes(father);
-    let mut total = vec![0.0f64; m];
-    for p in &paths {
-        let adj = engine.adjacency(p);
-        let scores: Vec<f32> = match method {
-            ImportanceMethod::Ppr { alpha } => {
-                let cfg = PprConfig {
-                    alpha,
-                    ..Default::default()
-                };
-                bipartite_influence_seeded(&adj, seed_targets, &cfg)
+    (*influence_scores_seeded_in(
+        &CondenseContext::new(g),
+        father,
+        seed_targets,
+        max_hops,
+        max_paths,
+        method,
+        seed,
+    ))
+    .clone()
+}
+
+/// [`influence_scores_seeded`] against a shared [`CondenseContext`]: the
+/// aggregated score vector is memoized under an [`InfluenceKey`] covering
+/// every input, and the per-path adjacencies come from the context's
+/// composition caches. Returns the cached `Arc` so warm hits are
+/// copy-free. Bitwise-identical to the fresh-context path.
+#[allow(clippy::too_many_arguments)]
+pub fn influence_scores_seeded_in(
+    ctx: &CondenseContext<'_>,
+    father: NodeTypeId,
+    seed_targets: Option<&[u32]>,
+    max_hops: usize,
+    max_paths: usize,
+    method: ImportanceMethod,
+    seed: u64,
+) -> std::sync::Arc<Vec<f64>> {
+    let key = InfluenceKey {
+        father,
+        max_hops,
+        max_paths,
+        method: method.cache_key(),
+        seed_targets: seed_targets.map(<[u32]>::to_vec),
+        // Seed-independent backends produce identical scores for every
+        // seed; normalizing the key lets a seed sweep hit one entry.
+        seed: if method.uses_seed() { seed } else { 0 },
+    };
+    ctx.influence(key, || {
+        let g = ctx.graph();
+        let target = g.schema().target();
+        let paths = ctx.metapaths_to(target, father, max_hops, max_paths);
+        let m = g.num_nodes(father);
+        let mut total = vec![0.0f64; m];
+        for p in &paths {
+            let adj = ctx.adjacency(p);
+            let scores: Vec<f32> = match method {
+                ImportanceMethod::Ppr { alpha } => {
+                    let cfg = PprConfig {
+                        alpha,
+                        ..Default::default()
+                    };
+                    bipartite_influence_seeded(&adj, seed_targets, &cfg)
+                }
+                ImportanceMethod::Degree => degree_influence(&adj),
+                ImportanceMethod::Hits => hits_authority(&adj, HITS_ITERS),
+                ImportanceMethod::Closeness => {
+                    closeness_influence(&adj, 32.min(adj.nrows()).max(1), seed)
+                }
+            };
+            for (t, &s) in total.iter_mut().zip(&scores) {
+                *t += s as f64;
             }
-            ImportanceMethod::Degree => degree_influence(&adj),
-            ImportanceMethod::Hits => hits_authority(&adj, 20),
-            ImportanceMethod::Closeness => {
-                closeness_influence(&adj, 32.min(adj.nrows()).max(1), seed)
-            }
-        };
-        for (t, &s) in total.iter_mut().zip(&scores) {
-            *t += s as f64;
         }
-    }
-    total
+        total
+    })
 }
 
 /// Eq. 13: keep the top-`budget` father nodes by aggregate influence,
@@ -125,8 +201,32 @@ pub fn condense_father_seeded(
     method: ImportanceMethod,
     seed: u64,
 ) -> Vec<u32> {
+    condense_father_seeded_in(
+        &CondenseContext::new(g),
+        father,
+        seed_targets,
+        budget,
+        max_hops,
+        max_paths,
+        method,
+        seed,
+    )
+}
+
+/// [`condense_father_seeded`] against a shared [`CondenseContext`].
+#[allow(clippy::too_many_arguments)]
+pub fn condense_father_seeded_in(
+    ctx: &CondenseContext<'_>,
+    father: NodeTypeId,
+    seed_targets: Option<&[u32]>,
+    budget: usize,
+    max_hops: usize,
+    max_paths: usize,
+    method: ImportanceMethod,
+    seed: u64,
+) -> Vec<u32> {
     let scores =
-        influence_scores_seeded(g, father, seed_targets, max_hops, max_paths, method, seed);
+        influence_scores_seeded_in(ctx, father, seed_targets, max_hops, max_paths, method, seed);
     top_k_by_score(&scores, budget)
 }
 
@@ -205,6 +305,24 @@ mod tests {
             sorted.sort_unstable();
             assert_eq!(sel, sorted, "output must be sorted");
         }
+    }
+
+    #[test]
+    fn seed_independent_backends_share_one_cache_entry_across_seeds() {
+        let g = tiny(4);
+        let f = father_type(&g);
+        let ctx = CondenseContext::new(&g);
+        let ppr = ImportanceMethod::default();
+        let a = influence_scores_seeded_in(&ctx, f, None, 2, 16, ppr, 0);
+        let b = influence_scores_seeded_in(&ctx, f, None, 2, 16, ppr, 1);
+        assert!(
+            std::sync::Arc::ptr_eq(&a, &b),
+            "PPR ignores the seed, so a seed sweep must hit one entry"
+        );
+        // Closeness is sampled: different seeds are distinct entries.
+        let c0 = influence_scores_seeded_in(&ctx, f, None, 2, 16, ImportanceMethod::Closeness, 0);
+        let c1 = influence_scores_seeded_in(&ctx, f, None, 2, 16, ImportanceMethod::Closeness, 1);
+        assert!(!std::sync::Arc::ptr_eq(&c0, &c1));
     }
 
     #[test]

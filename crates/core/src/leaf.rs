@@ -11,7 +11,7 @@
 //! budget are merged lowest-degree-first (Eq. 16).
 
 use freehgc_hetgraph::condense::SynthesizedNodes;
-use freehgc_hetgraph::{FeatureMatrix, HeteroGraph, NodeTypeId};
+use freehgc_hetgraph::{CondenseContext, FeatureMatrix, HeteroGraph, NodeTypeId};
 use freehgc_sparse::FxHashSet;
 
 /// A synthesized (leaf) node type: hyper-nodes whose `members` record the
@@ -29,8 +29,29 @@ pub fn synthesize_leaf(
     parent_selected: &[u32],
     budget: usize,
 ) -> SynthesizedType {
+    synthesize_leaf_in(
+        &CondenseContext::new(g),
+        leaf,
+        parent,
+        parent_selected,
+        budget,
+    )
+}
+
+/// [`synthesize_leaf`] against a shared [`CondenseContext`]: the oriented
+/// parent↔leaf adjacencies (including the transpose used by the Eq. 16
+/// merge) come from the context's caches instead of being rebuilt per
+/// call.
+pub fn synthesize_leaf_in(
+    ctx: &CondenseContext<'_>,
+    leaf: NodeTypeId,
+    parent: NodeTypeId,
+    parent_selected: &[u32],
+    budget: usize,
+) -> SynthesizedType {
+    let g = ctx.graph();
     let leaf_feat = g.features(leaf);
-    let adj = g.adjacency_between(parent, leaf).unwrap_or_else(|| {
+    let adj = ctx.adjacency_between(parent, leaf).unwrap_or_else(|| {
         panic!(
             "no relation between parent {:?} and leaf {:?}",
             g.schema().node_type_name(parent),
@@ -51,7 +72,9 @@ pub fn synthesize_leaf(
     // here is the number of selected parents adjacent to the member set —
     // the hyper-node's connectivity in the condensed graph.
     if members.len() > budget.max(1) {
-        let parent_adj = adj.transpose(); // leaf -> parent
+        let parent_adj = ctx
+            .adjacency_between(leaf, parent)
+            .expect("reverse relation exists whenever the forward one does");
         let selected_set: FxHashSet<u32> = parent_selected.iter().copied().collect();
         let degree = |mem: &[u32]| -> usize {
             let mut parents: FxHashSet<u32> = FxHashSet::default();

@@ -28,14 +28,16 @@ pub mod selection;
 
 pub use assemble::{assemble, TypePlan};
 pub use father::{
-    condense_father, condense_father_seeded, influence_scores, influence_scores_seeded,
-    top_k_by_score, ImportanceMethod,
+    condense_father, condense_father_seeded, condense_father_seeded_in, influence_scores,
+    influence_scores_seeded, influence_scores_seeded_in, top_k_by_score, ImportanceMethod,
 };
 pub use herding::{herding_select, herding_select_stratified};
-pub use leaf::{synthesize_leaf, SynthesizedType};
-pub use selection::{condense_target, SelectionConfig, TargetSelection};
+pub use leaf::{synthesize_leaf, synthesize_leaf_in, SynthesizedType};
+pub use selection::{condense_target, condense_target_in, SelectionConfig, TargetSelection};
 
-use freehgc_hetgraph::{CondenseSpec, CondensedGraph, Condenser, HeteroGraph, NodeTypeId, Role};
+use freehgc_hetgraph::{
+    CondenseContext, CondenseSpec, CondensedGraph, Condenser, HeteroGraph, NodeTypeId, Role,
+};
 
 /// How target-type nodes are condensed.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -59,6 +61,12 @@ pub enum OtherStrategy {
 }
 
 /// Full FreeHGC configuration.
+///
+/// The meta-path caps (`max_hops`, `max_paths`) live on
+/// [`CondenseSpec`], not here: they parameterize *every* layer of a run
+/// (selection, father influence, propagation), so keeping them on the
+/// spec is what guarantees condensation and evaluation enumerate the
+/// same path family.
 #[derive(Clone, Debug)]
 pub struct FreeHgcConfig {
     pub target: TargetStrategy,
@@ -68,8 +76,6 @@ pub struct FreeHgcConfig {
     pub leaf: OtherStrategy,
     /// Importance backend for NIM.
     pub importance: ImportanceMethod,
-    /// Cap on enumerated meta-paths per task.
-    pub max_paths: usize,
 }
 
 impl Default for FreeHgcConfig {
@@ -82,7 +88,6 @@ impl Default for FreeHgcConfig {
             father: OtherStrategy::Nim,
             leaf: OtherStrategy::Ilm,
             importance: ImportanceMethod::default(),
-            max_paths: 24,
         }
     }
 }
@@ -142,19 +147,20 @@ impl FreeHgc {
             } => (use_rf, use_jaccard),
             TargetStrategy::Herding => (true, true),
         };
-        condense_target(
-            g,
+        condense_target_in(
+            &CondenseContext::for_spec(g, spec),
             budget,
             &SelectionConfig {
                 max_hops: spec.max_hops,
-                max_paths: self.config.max_paths,
+                max_paths: spec.max_paths,
                 use_rf,
                 use_jaccard,
             },
         )
     }
 
-    fn plan_target(&self, g: &HeteroGraph, spec: &CondenseSpec) -> Vec<u32> {
+    fn plan_target(&self, ctx: &CondenseContext<'_>, spec: &CondenseSpec) -> Vec<u32> {
+        let g = ctx.graph();
         let tgt = g.schema().target();
         let budget = spec.budget_for(g.num_nodes(tgt));
         match self.config.target {
@@ -162,12 +168,12 @@ impl FreeHgc {
                 use_rf,
                 use_jaccard,
             } => {
-                condense_target(
-                    g,
+                condense_target_in(
+                    ctx,
                     budget,
                     &SelectionConfig {
                         max_hops: spec.max_hops,
-                        max_paths: self.config.max_paths,
+                        max_paths: spec.max_paths,
                         use_rf,
                         use_jaccard,
                     },
@@ -187,7 +193,7 @@ impl FreeHgc {
     #[allow(clippy::too_many_arguments)]
     fn plan_other(
         &self,
-        g: &HeteroGraph,
+        ctx: &CondenseContext<'_>,
         t: NodeTypeId,
         strategy: OtherStrategy,
         spec: &CondenseSpec,
@@ -195,15 +201,16 @@ impl FreeHgc {
         parent_type: NodeTypeId,
         seed_targets: &[u32],
     ) -> TypePlan {
+        let g = ctx.graph();
         let budget = spec.budget_for(g.num_nodes(t));
         match strategy {
-            OtherStrategy::Nim => TypePlan::Selected(condense_father_seeded(
-                g,
+            OtherStrategy::Nim => TypePlan::Selected(condense_father_seeded_in(
+                ctx,
                 t,
                 Some(seed_targets),
                 budget,
                 spec.max_hops,
-                self.config.max_paths,
+                spec.max_paths,
                 self.config.importance,
                 spec.seed,
             )),
@@ -211,9 +218,13 @@ impl FreeHgc {
                 let all: Vec<u32> = (0..g.num_nodes(t) as u32).collect();
                 TypePlan::Selected(herding_select(g.features(t), &all, budget))
             }
-            OtherStrategy::Ilm => {
-                TypePlan::Synthesized(synthesize_leaf(g, t, parent_type, parent_selected, budget))
-            }
+            OtherStrategy::Ilm => TypePlan::Synthesized(synthesize_leaf_in(
+                ctx,
+                t,
+                parent_type,
+                parent_selected,
+                budget,
+            )),
         }
     }
 }
@@ -224,12 +235,18 @@ impl Condenser for FreeHgc {
     }
 
     fn condense(&self, g: &HeteroGraph, spec: &CondenseSpec) -> CondensedGraph {
+        self.condense_in(&CondenseContext::for_spec(g, spec), spec)
+    }
+
+    fn condense_in(&self, ctx: &CondenseContext<'_>, spec: &CondenseSpec) -> CondensedGraph {
+        ctx.check_spec(spec);
+        let g = ctx.graph();
         let schema = g.schema().clone();
         let target = schema.target();
         let n_types = schema.num_node_types();
 
         // Stage 1: target-type selection (Algorithm 1).
-        let target_sel = self.plan_target(g, spec);
+        let target_sel = self.plan_target(ctx, spec);
 
         let mut plans: Vec<Option<TypePlan>> = (0..n_types).map(|_| None).collect();
         plans[target.0 as usize] = Some(TypePlan::Selected(target_sel.clone()));
@@ -238,7 +255,7 @@ impl Condenser for FreeHgc {
         // (Variant #5) synthesizes around the selected target nodes.
         for t in schema.types_with_role(Role::Father) {
             let plan = self.plan_other(
-                g,
+                ctx,
                 t,
                 self.config.father,
                 spec,
@@ -273,7 +290,15 @@ impl Condenser for FreeHgc {
             } else {
                 self.config.leaf
             };
-            let plan = self.plan_other(g, t, strategy, spec, &parent_ids, parent_type, &target_sel);
+            let plan = self.plan_other(
+                ctx,
+                t,
+                strategy,
+                spec,
+                &parent_ids,
+                parent_type,
+                &target_sel,
+            );
             plans[t.0 as usize] = Some(plan);
         }
 

@@ -16,10 +16,7 @@
 //! are aggregated across meta-paths (Eq. 9) and the per-class top-k nodes
 //! are kept, with class budgets proportional to the original distribution.
 
-use freehgc_hetgraph::{
-    enumerate_metapaths as hg_enumerate, proportional_allocation, HeteroGraph, MetaPath,
-    MetaPathEngine,
-};
+use freehgc_hetgraph::{proportional_allocation, CondenseContext, HeteroGraph};
 use freehgc_sparse::{Bitset, CsrMatrix};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
@@ -190,8 +187,21 @@ pub struct TargetSelection {
 ///
 /// `budget` is the number of target nodes to keep; the training pool is
 /// the graph's train split (selection only ever picks labeled nodes, as in
-/// coreset selection).
+/// coreset selection). Builds a fresh single-use [`CondenseContext`]; use
+/// [`condense_target_in`] to share one across calls.
 pub fn condense_target(g: &HeteroGraph, budget: usize, cfg: &SelectionConfig) -> TargetSelection {
+    condense_target_in(&CondenseContext::new(g), budget, cfg)
+}
+
+/// [`condense_target`] against a shared [`CondenseContext`]: meta-path
+/// enumeration and the composed adjacencies come from (and warm) the
+/// context's caches. Bitwise-identical to the fresh-context path.
+pub fn condense_target_in(
+    ctx: &CondenseContext<'_>,
+    budget: usize,
+    cfg: &SelectionConfig,
+) -> TargetSelection {
+    let g = ctx.graph();
     let schema = g.schema();
     let target = schema.target();
     let n = g.num_nodes(target);
@@ -200,9 +210,8 @@ pub fn condense_target(g: &HeteroGraph, budget: usize, cfg: &SelectionConfig) ->
     assert!(!pool.is_empty(), "empty training pool");
 
     // Line 1: M = GeneralMetaPaths(G, K).
-    let paths: Vec<MetaPath> = hg_enumerate(schema, target, cfg.max_hops, cfg.max_paths);
-    let mut engine = MetaPathEngine::new(g).with_max_row_nnz(256);
-    let adjacencies: Vec<Arc<CsrMatrix>> = paths.iter().map(|p| engine.adjacency(p)).collect();
+    let paths = ctx.metapaths(target, cfg.max_hops, cfg.max_paths);
+    let adjacencies: Vec<Arc<CsrMatrix>> = paths.iter().map(|p| ctx.adjacency(p)).collect();
 
     // Group paths by source type for the Jaccard term (Eq. 5 requires a
     // shared source type).
@@ -315,6 +324,7 @@ pub fn condense_target(g: &HeteroGraph, budget: usize, cfg: &SelectionConfig) ->
 mod tests {
     use super::*;
     use freehgc_datasets::tiny;
+    use freehgc_hetgraph::{enumerate_metapaths as hg_enumerate, MetaPathEngine};
 
     #[test]
     fn jaccard_sorted_basics() {

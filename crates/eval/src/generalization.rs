@@ -7,7 +7,7 @@
 //! the relay model's semantic fusion.
 
 use crate::pipeline::Bench;
-use freehgc_hetgraph::{CondenseSpec, Condenser};
+use freehgc_hetgraph::Condenser;
 use freehgc_hgnn::metrics::mean_std;
 use freehgc_hgnn::models::ModelKind;
 use freehgc_hgnn::propagation::propagate;
@@ -31,10 +31,11 @@ pub fn across_models(
 ) -> GeneralizationRow {
     let mut per_model_accs: Vec<Vec<f64>> = vec![Vec::new(); models.len()];
     for &seed in seeds {
-        let spec = CondenseSpec::new(ratio)
-            .with_max_hops(bench.cfg.max_hops)
-            .with_seed(seed);
-        let cond = condenser.condense(bench.graph, &spec);
+        // One condensation per seed through the bench's shared context —
+        // the generalization matrix reuses the same precompute the
+        // accuracy tables warmed.
+        let spec = bench.spec(ratio, seed);
+        let cond = condenser.condense_in(&bench.ctx, &spec);
         let pf_cond = propagate(&cond.graph, bench.cfg.max_hops, bench.cfg.max_paths);
         let labels = cond.graph.labels().to_vec();
         for (mi, &mk) in models.iter().enumerate() {

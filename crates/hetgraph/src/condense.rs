@@ -8,8 +8,19 @@
 //! apportioned class-by-class proportionally to the original class
 //! distribution.
 
+use crate::context::CondenseContext;
 use crate::graph::HeteroGraph;
 use crate::schema::NodeTypeId;
+
+/// Default per-row fill-in cap for composed meta-path adjacencies — the
+/// scalability lever that keeps intermediate SpGEMM products sparse
+/// (mirroring approximate propagation in NARS/SeHGNN). One shared named
+/// knob: condensation and propagation read the same value and can no
+/// longer silently disagree.
+pub const DEFAULT_MAX_ROW_NNZ: usize = 256;
+
+/// Default cap on the number of enumerated meta-paths per task.
+pub const DEFAULT_MAX_PATHS: usize = 24;
 
 /// Parameters shared by all condensation methods.
 #[derive(Clone, Debug)]
@@ -19,6 +30,14 @@ pub struct CondenseSpec {
     pub ratio: f64,
     /// Maximum meta-path hop count `K` (paper §V-B sets K per dataset).
     pub max_hops: usize,
+    /// Cap on the number of enumerated meta-paths. Threaded through both
+    /// condensation and feature propagation so the two layers work from
+    /// the same path family.
+    pub max_paths: usize,
+    /// Per-row fill-in cap for composed meta-path adjacencies (`None`
+    /// disables capping). Applied by the [`CondenseContext`] built for
+    /// this spec, so every layer of one run shares the same cap.
+    pub max_row_nnz: Option<usize>,
     /// RNG seed for stochastic components (tie-breaking, sampling).
     pub seed: u64,
 }
@@ -29,12 +48,24 @@ impl CondenseSpec {
         Self {
             ratio,
             max_hops: 2,
+            max_paths: DEFAULT_MAX_PATHS,
+            max_row_nnz: Some(DEFAULT_MAX_ROW_NNZ),
             seed: 0,
         }
     }
 
     pub fn with_max_hops(mut self, k: usize) -> Self {
         self.max_hops = k;
+        self
+    }
+
+    pub fn with_max_paths(mut self, n: usize) -> Self {
+        self.max_paths = n;
+        self
+    }
+
+    pub fn with_max_row_nnz(mut self, k: Option<usize>) -> Self {
+        self.max_row_nnz = k;
         self
     }
 
@@ -169,6 +200,20 @@ pub trait Condenser {
 
     /// Condenses `g` according to `spec`.
     fn condense(&self, g: &HeteroGraph, spec: &CondenseSpec) -> CondensedGraph;
+
+    /// Condenses the context's graph according to `spec`, reusing the
+    /// context's precompute (meta-path compositions, influence scores,
+    /// propagated blocks). The contract is strict transparency: the
+    /// result must be bitwise-identical to `condense(ctx.graph(), spec)`
+    /// — a context only memoizes, never alters.
+    ///
+    /// The default delegates to [`Condenser::condense`], so methods with
+    /// no reusable precompute work unchanged; methods that do reuse
+    /// (FreeHGC, the propagation-based coresets, the gradient-matching
+    /// baselines) override it.
+    fn condense_in(&self, ctx: &CondenseContext<'_>, spec: &CondenseSpec) -> CondensedGraph {
+        self.condense(ctx.graph(), spec)
+    }
 }
 
 /// A synthesized node type: hyper-nodes with provenance to the original
@@ -351,6 +396,16 @@ mod tests {
     #[should_panic(expected = "ratio must be in")]
     fn rejects_bad_ratio() {
         CondenseSpec::new(0.0);
+    }
+
+    #[test]
+    fn spec_defaults_use_the_shared_knobs() {
+        let spec = CondenseSpec::new(0.5);
+        assert_eq!(spec.max_paths, DEFAULT_MAX_PATHS);
+        assert_eq!(spec.max_row_nnz, Some(DEFAULT_MAX_ROW_NNZ));
+        let spec = spec.with_max_paths(7).with_max_row_nnz(None);
+        assert_eq!(spec.max_paths, 7);
+        assert_eq!(spec.max_row_nnz, None);
     }
 
     #[test]

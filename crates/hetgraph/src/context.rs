@@ -1,0 +1,552 @@
+//! The shared condensation context: one precompute, many condensers.
+//!
+//! FreeHGC is training-free, so the cost of condensing a graph is
+//! dominated by *reusable* pre-processing: meta-path enumeration over the
+//! schema, SpGEMM composition of the per-path adjacencies (Eq. 1), PPR
+//! influence scoring (Eq. 10–13), and meta-path feature propagation.
+//! None of that work depends on the condensation ratio, the variant, or
+//! the seed — only on the full graph — yet historically each layer
+//! rebuilt its own `MetaPathEngine` per call, so a single run paid for
+//! the same compositions up to three times and every sweep recomputed
+//! everything on an unchanged graph.
+//!
+//! [`CondenseContext`] owns that precompute once per full graph, behind
+//! interior mutability so it can be shared immutably (`&CondenseContext`)
+//! across methods, ratios, seeds, and threads:
+//!
+//! * the enumerated meta-path sets, keyed by `(root, max_hops, max_paths)`;
+//! * the meta-path engine's single-step *factor* and composed *prefix*
+//!   caches (the Eq. 1 products), keyed by the step sequence;
+//! * oriented per-relation adjacencies (`from → to`, transposing stored
+//!   reverse relations), used by the leaf synthesis;
+//! * aggregated influence-score vectors, keyed by [`InfluenceKey`]
+//!   (father type, hop/path caps, the importance backend's bit-exact
+//!   parameters, the seed-target set, and the RNG seed);
+//! * propagated-feature blocks, keyed by `(max_hops, max_paths)` and
+//!   stored type-erased so the `hgnn` layer (which this crate cannot
+//!   depend on) can cache its `PropagatedFeatures` here.
+//!
+//! Every cached value is the output of a deterministic pure function of
+//! the graph and the key, so caching is *transparent*: a condenser run
+//! through a warm context is bitwise-identical to a fresh run — the same
+//! contract the parallel kernels keep across thread counts. Hit/miss
+//! counters ([`CondenseContext::stats`]) make reuse observable; the
+//! `bench_report` sweep section records them per PR.
+
+use crate::condense::{CondenseSpec, DEFAULT_MAX_ROW_NNZ};
+use crate::graph::HeteroGraph;
+use crate::metapath::{enumerate_metapaths, MetaPath, MetaPathStep};
+use crate::schema::NodeTypeId;
+use freehgc_sparse::{CsrMatrix, FxHashMap};
+use std::any::Any;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// One hit/miss pair, updated with relaxed atomics (counters are
+/// diagnostics, never control flow).
+#[derive(Debug, Default)]
+struct Counter {
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl Counter {
+    fn hit(&self) {
+        self.hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn miss(&self) {
+        self.misses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn snapshot(&self) -> (u64, u64) {
+        (
+            self.hits.load(Ordering::Relaxed),
+            self.misses.load(Ordering::Relaxed),
+        )
+    }
+}
+
+/// A point-in-time snapshot of every cache's hit/miss counts.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheCounters {
+    /// Meta-path enumerations.
+    pub paths: (u64, u64),
+    /// Single-step row-normalized factors.
+    pub factors: (u64, u64),
+    /// Composed meta-path adjacencies (the SpGEMM products).
+    pub composed: (u64, u64),
+    /// Oriented per-relation adjacencies.
+    pub oriented: (u64, u64),
+    /// Aggregated influence-score vectors.
+    pub influence: (u64, u64),
+    /// Propagated-feature blocks.
+    pub propagated: (u64, u64),
+}
+
+impl CacheCounters {
+    /// Total hits across every cache.
+    pub fn total_hits(&self) -> u64 {
+        self.paths.0
+            + self.factors.0
+            + self.composed.0
+            + self.oriented.0
+            + self.influence.0
+            + self.propagated.0
+    }
+
+    /// Total misses across every cache.
+    pub fn total_misses(&self) -> u64 {
+        self.paths.1
+            + self.factors.1
+            + self.composed.1
+            + self.oriented.1
+            + self.influence.1
+            + self.propagated.1
+    }
+}
+
+/// Cache key for an aggregated influence-score vector (Eq. 12–13).
+///
+/// The key must capture *every* input the computation depends on, or a
+/// cache hit could silently return scores for a different query; the
+/// importance backend is encoded as a caller-defined discriminant plus
+/// its bit-exact `f32`/count parameters (e.g. PPR's alpha, epsilon and
+/// iteration cap as raw bits) so distinct configurations never collide.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct InfluenceKey {
+    /// The scored (father) node type.
+    pub father: NodeTypeId,
+    /// Meta-path hop bound of the query.
+    pub max_hops: usize,
+    /// Meta-path cap of the query.
+    pub max_paths: usize,
+    /// Backend discriminant plus bit-exact parameters.
+    pub method: (u8, [u32; 4]),
+    /// The seed-target subset (`None` = all targets).
+    pub seed_targets: Option<Vec<u32>>,
+    /// RNG seed (sampled backends such as closeness depend on it).
+    pub seed: u64,
+}
+
+type PathKey = (NodeTypeId, usize, usize);
+type AnyArc = Arc<dyn Any + Send + Sync>;
+
+/// Shared, thread-safe precompute for one full graph. See the module
+/// docs for what is cached; construction is cheap (all caches start
+/// empty), so a context costs nothing until work flows through it.
+pub struct CondenseContext<'g> {
+    graph: &'g HeteroGraph,
+    max_row_nnz: Option<usize>,
+    paths: Mutex<FxHashMap<PathKey, Arc<Vec<MetaPath>>>>,
+    factors: Mutex<FxHashMap<MetaPathStep, Arc<CsrMatrix>>>,
+    composed: Mutex<FxHashMap<Vec<MetaPathStep>, Arc<CsrMatrix>>>,
+    oriented: Mutex<FxHashMap<(NodeTypeId, NodeTypeId), Arc<CsrMatrix>>>,
+    influence: Mutex<FxHashMap<InfluenceKey, Arc<Vec<f64>>>>,
+    propagated: Mutex<FxHashMap<(usize, usize), AnyArc>>,
+    paths_stats: Counter,
+    factors_stats: Counter,
+    composed_stats: Counter,
+    oriented_stats: Counter,
+    influence_stats: Counter,
+    propagated_stats: Counter,
+}
+
+impl<'g> CondenseContext<'g> {
+    /// A context with the workspace-default per-row fill-in cap
+    /// ([`DEFAULT_MAX_ROW_NNZ`]) — the setting every condensation and
+    /// propagation layer shares.
+    pub fn new(graph: &'g HeteroGraph) -> Self {
+        Self {
+            graph,
+            max_row_nnz: Some(DEFAULT_MAX_ROW_NNZ),
+            paths: Mutex::default(),
+            factors: Mutex::default(),
+            composed: Mutex::default(),
+            oriented: Mutex::default(),
+            influence: Mutex::default(),
+            propagated: Mutex::default(),
+            paths_stats: Counter::default(),
+            factors_stats: Counter::default(),
+            composed_stats: Counter::default(),
+            oriented_stats: Counter::default(),
+            influence_stats: Counter::default(),
+            propagated_stats: Counter::default(),
+        }
+    }
+
+    /// A context whose fill-in cap comes from the spec — the one knob
+    /// both condensation and propagation obey (there is deliberately no
+    /// per-call cap anywhere downstream).
+    pub fn for_spec(graph: &'g HeteroGraph, spec: &CondenseSpec) -> Self {
+        Self::new(graph).with_max_row_nnz(spec.max_row_nnz)
+    }
+
+    /// Overrides the per-row fill-in cap of composed adjacencies.
+    ///
+    /// Must be set before any composition is cached: the cap changes the
+    /// composed matrices, so flipping it on a warm context would mix
+    /// incompatible entries.
+    pub fn with_max_row_nnz(mut self, k: Option<usize>) -> Self {
+        assert!(
+            self.composed.get_mut().unwrap().is_empty(),
+            "cannot change max_row_nnz on a context with cached compositions"
+        );
+        self.max_row_nnz = k;
+        self
+    }
+
+    /// The full graph this context precomputes for.
+    pub fn graph(&self) -> &'g HeteroGraph {
+        self.graph
+    }
+
+    /// The per-row fill-in cap applied to composed adjacencies.
+    pub fn max_row_nnz(&self) -> Option<usize> {
+        self.max_row_nnz
+    }
+
+    /// Asserts that condensing `spec` through this context cannot
+    /// diverge from a fresh `CondenseContext::for_spec` run: the spec's
+    /// fill-in cap must match the context's, since the cap changes the
+    /// composed matrices and a silent mismatch would break the
+    /// bitwise-transparency contract of `Condenser::condense_in`.
+    /// Context-aware condensers call this before touching the caches.
+    pub fn check_spec(&self, spec: &CondenseSpec) {
+        assert_eq!(
+            spec.max_row_nnz, self.max_row_nnz,
+            "CondenseSpec.max_row_nnz disagrees with the context's cap; \
+             build the context with CondenseContext::for_spec (or align \
+             the spec) so cached compositions match the spec"
+        );
+    }
+
+    /// A point-in-time snapshot of all cache counters.
+    pub fn stats(&self) -> CacheCounters {
+        CacheCounters {
+            paths: self.paths_stats.snapshot(),
+            factors: self.factors_stats.snapshot(),
+            composed: self.composed_stats.snapshot(),
+            oriented: self.oriented_stats.snapshot(),
+            influence: self.influence_stats.snapshot(),
+            propagated: self.propagated_stats.snapshot(),
+        }
+    }
+
+    /// Number of cached composed adjacencies (for tests/benches).
+    pub fn composed_len(&self) -> usize {
+        self.composed.lock().unwrap().len()
+    }
+
+    /// Cached [`enumerate_metapaths`]: every proper meta-path rooted at
+    /// `root` with 1..=`max_hops` hops, capped at `max_paths`.
+    pub fn metapaths(
+        &self,
+        root: NodeTypeId,
+        max_hops: usize,
+        max_paths: usize,
+    ) -> Arc<Vec<MetaPath>> {
+        let key = (root, max_hops, max_paths);
+        if let Some(p) = self.paths.lock().unwrap().get(&key) {
+            self.paths_stats.hit();
+            return Arc::clone(p);
+        }
+        self.paths_stats.miss();
+        let paths = Arc::new(enumerate_metapaths(
+            self.graph.schema(),
+            root,
+            max_hops,
+            max_paths,
+        ));
+        Arc::clone(self.paths.lock().unwrap().entry(key).or_insert(paths))
+    }
+
+    /// Cached counterpart of [`crate::metapath::metapaths_to`]: the paths
+    /// from `root` that end at `source` (the path family `Φ_L`), derived
+    /// from the same over-enumeration so results match it exactly.
+    pub fn metapaths_to(
+        &self,
+        root: NodeTypeId,
+        source: NodeTypeId,
+        max_hops: usize,
+        max_paths: usize,
+    ) -> Vec<MetaPath> {
+        self.metapaths(root, max_hops, max_paths * 8)
+            .iter()
+            .filter(|p| p.source() == source)
+            .take(max_paths)
+            .cloned()
+            .collect()
+    }
+
+    /// The composed, row-normalized adjacency `Â` of `path` (Eq. 1),
+    /// shared across every caller of this context.
+    pub fn adjacency(&self, path: &MetaPath) -> Arc<CsrMatrix> {
+        assert!(!path.steps.is_empty(), "meta-path must have ≥ 1 hop");
+        self.compose(&path.steps)
+    }
+
+    fn factor(&self, step: MetaPathStep) -> Arc<CsrMatrix> {
+        if let Some(f) = self.factors.lock().unwrap().get(&step) {
+            self.factors_stats.hit();
+            return Arc::clone(f);
+        }
+        self.factors_stats.miss();
+        let a = self.graph.adjacency(step.edge);
+        let m = if step.forward {
+            a.row_normalized()
+        } else {
+            a.transpose().row_normalized()
+        };
+        Arc::clone(
+            self.factors
+                .lock()
+                .unwrap()
+                .entry(step)
+                .or_insert(Arc::new(m)),
+        )
+    }
+
+    fn compose(&self, steps: &[MetaPathStep]) -> Arc<CsrMatrix> {
+        if let Some(m) = self.composed.lock().unwrap().get(steps) {
+            self.composed_stats.hit();
+            return Arc::clone(m);
+        }
+        self.composed_stats.miss();
+        // Compute outside the lock: compositions recurse into their
+        // prefixes and run SpGEMMs that must not serialize other cache
+        // users. Concurrent computes of the same key produce identical
+        // bits (pure function of graph + steps), so the entry-or-insert
+        // below is safe whichever thread lands first.
+        let result = if steps.len() == 1 {
+            self.factor(steps[0])
+        } else {
+            let prefix = self.compose(&steps[..steps.len() - 1]);
+            let last = self.factor(steps[steps.len() - 1]);
+            let mut prod = prefix.spgemm(&last);
+            if let Some(k) = self.max_row_nnz {
+                if prod.nnz() > k * prod.nrows() {
+                    prod = prod.top_k_per_row(k);
+                }
+            }
+            Arc::new(prod)
+        };
+        Arc::clone(
+            self.composed
+                .lock()
+                .unwrap()
+                .entry(steps.to_vec())
+                .or_insert(result),
+        )
+    }
+
+    /// Cached [`HeteroGraph::adjacency_between`]: the `from → to`
+    /// per-relation adjacency, transposing a stored reverse relation when
+    /// needed. `None` when the schema has no relation between the types.
+    pub fn adjacency_between(&self, from: NodeTypeId, to: NodeTypeId) -> Option<Arc<CsrMatrix>> {
+        let key = (from, to);
+        if let Some(a) = self.oriented.lock().unwrap().get(&key) {
+            self.oriented_stats.hit();
+            return Some(Arc::clone(a));
+        }
+        let a = self.graph.adjacency_between(from, to)?;
+        self.oriented_stats.miss();
+        Some(Arc::clone(
+            self.oriented
+                .lock()
+                .unwrap()
+                .entry(key)
+                .or_insert(Arc::new(a)),
+        ))
+    }
+
+    /// Returns the cached influence vector for `key`, computing it with
+    /// `compute` on a miss. `compute` runs outside the cache lock.
+    pub fn influence(
+        &self,
+        key: InfluenceKey,
+        compute: impl FnOnce() -> Vec<f64>,
+    ) -> Arc<Vec<f64>> {
+        if let Some(v) = self.influence.lock().unwrap().get(&key) {
+            self.influence_stats.hit();
+            return Arc::clone(v);
+        }
+        self.influence_stats.miss();
+        let v = Arc::new(compute());
+        Arc::clone(self.influence.lock().unwrap().entry(key).or_insert(v))
+    }
+
+    /// Returns the cached propagated-feature value for `key`, computing
+    /// it with `compute` on a miss. The value is stored type-erased so
+    /// higher layers can cache their own block types here; `T` must be
+    /// the same type for every use of a given context (guaranteed in
+    /// practice — one layer owns this cache).
+    pub fn propagated<T: Any + Send + Sync>(
+        &self,
+        key: (usize, usize),
+        compute: impl FnOnce() -> T,
+    ) -> Arc<T> {
+        if let Some(v) = self.propagated.lock().unwrap().get(&key) {
+            self.propagated_stats.hit();
+            return Arc::clone(v)
+                .downcast::<T>()
+                .expect("propagated cache holds one concrete type per context");
+        }
+        self.propagated_stats.miss();
+        let v: AnyArc = Arc::new(compute());
+        Arc::clone(self.propagated.lock().unwrap().entry(key).or_insert(v))
+            .downcast::<T>()
+            .expect("propagated cache holds one concrete type per context")
+    }
+}
+
+impl std::fmt::Debug for CondenseContext<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CondenseContext")
+            .field("max_row_nnz", &self.max_row_nnz)
+            .field("composed_len", &self.composed_len())
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::features::FeatureMatrix;
+    use crate::graph::HeteroGraphBuilder;
+    use crate::metapath::{metapaths_to, MetaPathEngine};
+    use crate::schema::Schema;
+
+    fn fixture() -> HeteroGraph {
+        let mut s = Schema::new();
+        let p = s.add_node_type("paper");
+        let a = s.add_node_type("author");
+        let f = s.add_node_type("field");
+        let pa = s.add_edge_type("pa", p, a);
+        let pf = s.add_edge_type("pf", p, f);
+        s.set_target(p);
+        let mut b = HeteroGraphBuilder::new(s, vec![3, 2, 2]);
+        for (pp, aa) in [(0, 0), (1, 0), (1, 1), (2, 1)] {
+            b.add_edge(pa, pp, aa);
+        }
+        for (pp, ff) in [(0, 0), (1, 1), (2, 1)] {
+            b.add_edge(pf, pp, ff);
+        }
+        b.set_features(p, FeatureMatrix::zeros(3, 1));
+        b.set_features(a, FeatureMatrix::zeros(2, 1));
+        b.set_features(f, FeatureMatrix::zeros(2, 1));
+        b.set_labels(vec![0, 1, 0], 2);
+        b.build()
+    }
+
+    #[test]
+    fn repeated_queries_share_one_computation() {
+        let g = fixture();
+        let ctx = CondenseContext::new(&g);
+        let root = g.schema().target();
+        let paths = ctx.metapaths(root, 2, 100);
+        let a = ctx.adjacency(&paths[0]);
+        let b = ctx.adjacency(&paths[0]);
+        assert!(Arc::ptr_eq(&a, &b), "second query must return the cache");
+        let st = ctx.stats();
+        assert_eq!(st.composed.0, 1, "one composed hit");
+        assert_eq!(st.composed.1, 1, "one composed miss");
+        assert!(Arc::ptr_eq(&paths, &ctx.metapaths(root, 2, 100)));
+    }
+
+    #[test]
+    fn context_matches_fresh_engine_bitwise() {
+        let g = fixture();
+        let ctx = CondenseContext::new(&g);
+        let mut engine = MetaPathEngine::new(&g).with_max_row_nnz(DEFAULT_MAX_ROW_NNZ);
+        let root = g.schema().target();
+        for p in ctx.metapaths(root, 2, 100).iter() {
+            assert_eq!(*ctx.adjacency(p), *engine.adjacency(p), "{:?}", p.steps);
+        }
+    }
+
+    #[test]
+    fn metapaths_to_matches_uncached_function() {
+        let g = fixture();
+        let ctx = CondenseContext::new(&g);
+        let root = g.schema().target();
+        let author = g.schema().node_type_by_name("author").unwrap();
+        assert_eq!(
+            ctx.metapaths_to(root, author, 2, 16),
+            metapaths_to(g.schema(), root, author, 2, 16)
+        );
+    }
+
+    #[test]
+    fn adjacency_between_matches_graph_and_caches() {
+        let g = fixture();
+        let ctx = CondenseContext::new(&g);
+        let p = g.schema().target();
+        let a = g.schema().node_type_by_name("author").unwrap();
+        let fwd = ctx.adjacency_between(p, a).unwrap();
+        assert_eq!(*fwd, g.adjacency_between(p, a).unwrap());
+        let rev = ctx.adjacency_between(a, p).unwrap();
+        assert_eq!(*rev, g.adjacency_between(a, p).unwrap());
+        assert!(Arc::ptr_eq(&fwd, &ctx.adjacency_between(p, a).unwrap()));
+        assert_eq!(ctx.stats().oriented, (1, 2));
+    }
+
+    #[test]
+    fn influence_cache_keys_discriminate() {
+        let g = fixture();
+        let ctx = CondenseContext::new(&g);
+        let f = g.schema().node_type_by_name("field").unwrap();
+        let key = |alpha: f32| InfluenceKey {
+            father: f,
+            max_hops: 2,
+            max_paths: 8,
+            method: (0, [alpha.to_bits(), 0, 0, 0]),
+            seed_targets: None,
+            seed: 0,
+        };
+        let a = ctx.influence(key(0.15), || vec![1.0]);
+        let b = ctx.influence(key(0.15), || unreachable!("must hit"));
+        assert!(Arc::ptr_eq(&a, &b));
+        let c = ctx.influence(key(0.5), || vec![2.0]);
+        assert_eq!(*c, vec![2.0], "different alpha must not collide");
+    }
+
+    #[test]
+    fn propagated_cache_round_trips_any_type() {
+        let g = fixture();
+        let ctx = CondenseContext::new(&g);
+        let a = ctx.propagated((2, 12), || vec![1u32, 2, 3]);
+        let b = ctx.propagated((2, 12), || unreachable!("must hit"));
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(ctx.stats().propagated, (1, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "disagrees with the context's cap")]
+    fn check_spec_rejects_mismatched_fill_in_cap() {
+        let g = fixture();
+        let ctx = CondenseContext::new(&g);
+        ctx.check_spec(&CondenseSpec::new(0.5).with_max_row_nnz(None));
+    }
+
+    #[test]
+    fn check_spec_accepts_matching_cap() {
+        let g = fixture();
+        let ctx = CondenseContext::new(&g);
+        ctx.check_spec(&CondenseSpec::new(0.5));
+        let uncapped = CondenseContext::new(&g).with_max_row_nnz(None);
+        uncapped.check_spec(&CondenseSpec::new(0.5).with_max_row_nnz(None));
+    }
+
+    #[test]
+    #[should_panic(expected = "cached compositions")]
+    fn rejects_cap_change_on_warm_context() {
+        let g = fixture();
+        let ctx = CondenseContext::new(&g);
+        let root = g.schema().target();
+        let paths = ctx.metapaths(root, 1, 8);
+        ctx.adjacency(&paths[0]);
+        let _ = ctx.with_max_row_nnz(None);
+    }
+}

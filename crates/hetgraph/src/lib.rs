@@ -15,6 +15,7 @@
 //! with provenance back to original node ids where applicable.
 
 pub mod condense;
+pub mod context;
 pub mod features;
 pub mod graph;
 pub mod metapath;
@@ -23,7 +24,9 @@ pub mod split;
 
 pub use condense::{
     all_ids, induce_selection, proportional_allocation, CondenseSpec, CondensedGraph, Condenser,
+    DEFAULT_MAX_PATHS, DEFAULT_MAX_ROW_NNZ,
 };
+pub use context::{CacheCounters, CondenseContext, InfluenceKey};
 pub use features::FeatureMatrix;
 pub use graph::{HeteroGraph, HeteroGraphBuilder};
 pub use metapath::{enumerate_metapaths, metapaths_to, MetaPath, MetaPathEngine, MetaPathStep};

@@ -12,11 +12,15 @@
 //!
 //! [`MetaPathEngine`] computes these products with prefix caching so that
 //! sibling paths (e.g. `PAP` and `PAPA`) share work, and can cap per-row
-//! fill-in for large graphs.
+//! fill-in for large graphs. The caches themselves live in
+//! [`CondenseContext`](crate::context::CondenseContext) so they can be
+//! shared across condensers, ratios and seeds; the engine is the
+//! single-owner convenience wrapper around a private context.
 
+use crate::context::CondenseContext;
 use crate::graph::HeteroGraph;
 use crate::schema::{EdgeTypeId, NodeTypeId, Schema};
-use freehgc_sparse::{CsrMatrix, FxHashMap};
+use freehgc_sparse::CsrMatrix;
 use std::sync::Arc;
 
 /// One hop of a meta-path: an edge type and the direction it is traversed
@@ -135,80 +139,41 @@ pub fn metapaths_to(
 
 /// Computes composed, row-normalized meta-path adjacencies with prefix
 /// caching (Eq. 1).
+///
+/// This is a thin single-owner wrapper around a private
+/// [`CondenseContext`]: same composition algorithm, same caches — so an
+/// engine-computed adjacency is bitwise-identical to a context-computed
+/// one. Code that wants *sharing* (across condensers, ratios, seeds)
+/// should hold a `CondenseContext` directly; the engine exists for
+/// callers that need one-shot composition over a graph they own.
 pub struct MetaPathEngine<'g> {
-    graph: &'g HeteroGraph,
-    /// Cache of composed prefixes keyed by the step sequence.
-    composed: FxHashMap<Vec<MetaPathStep>, Arc<CsrMatrix>>,
-    /// Cache of single-step row-normalized factors.
-    factors: FxHashMap<MetaPathStep, Arc<CsrMatrix>>,
-    /// Optional cap on stored entries per row of intermediate products —
-    /// the scalability lever for large graphs (keeps the strongest
-    /// connections, mirroring approximate propagation in NARS/SeHGNN).
-    max_row_nnz: Option<usize>,
+    ctx: CondenseContext<'g>,
 }
 
 impl<'g> MetaPathEngine<'g> {
+    /// An uncapped engine (no per-row fill-in limit), matching the
+    /// historical default.
     pub fn new(graph: &'g HeteroGraph) -> Self {
         Self {
-            graph,
-            composed: FxHashMap::default(),
-            factors: FxHashMap::default(),
-            max_row_nnz: None,
+            ctx: CondenseContext::new(graph).with_max_row_nnz(None),
         }
     }
 
     /// Caps per-row fill-in of intermediate products.
     pub fn with_max_row_nnz(mut self, k: usize) -> Self {
-        self.max_row_nnz = Some(k);
+        self.ctx = self.ctx.with_max_row_nnz(Some(k));
         self
-    }
-
-    fn factor(&mut self, step: MetaPathStep) -> Arc<CsrMatrix> {
-        if let Some(f) = self.factors.get(&step) {
-            return Arc::clone(f);
-        }
-        let a = self.graph.adjacency(step.edge);
-        let m = if step.forward {
-            a.row_normalized()
-        } else {
-            a.transpose().row_normalized()
-        };
-        let rc = Arc::new(m);
-        self.factors.insert(step, Arc::clone(&rc));
-        rc
     }
 
     /// The composed adjacency `Â` of `path`: shape
     /// `|root type| × |source type|`.
     pub fn adjacency(&mut self, path: &MetaPath) -> Arc<CsrMatrix> {
-        assert!(!path.steps.is_empty(), "meta-path must have ≥ 1 hop");
-        self.compose(&path.steps)
-    }
-
-    fn compose(&mut self, steps: &[MetaPathStep]) -> Arc<CsrMatrix> {
-        if let Some(m) = self.composed.get(steps) {
-            return Arc::clone(m);
-        }
-        let result = if steps.len() == 1 {
-            self.factor(steps[0])
-        } else {
-            let prefix = self.compose(&steps[..steps.len() - 1]);
-            let last = self.factor(steps[steps.len() - 1]);
-            let mut prod = prefix.spgemm(&last);
-            if let Some(k) = self.max_row_nnz {
-                if prod.nnz() > k * prod.nrows() {
-                    prod = prod.top_k_per_row(k);
-                }
-            }
-            Arc::new(prod)
-        };
-        self.composed.insert(steps.to_vec(), Arc::clone(&result));
-        result
+        self.ctx.adjacency(path)
     }
 
     /// Number of cached composed matrices (for tests/benches).
     pub fn cache_len(&self) -> usize {
-        self.composed.len()
+        self.ctx.composed_len()
     }
 }
 

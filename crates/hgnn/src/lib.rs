@@ -25,5 +25,5 @@ pub mod propagation;
 pub mod trainer;
 
 pub use models::{build_model, Model, ModelKind};
-pub use propagation::{propagate, PropagatedFeatures};
+pub use propagation::{propagate, propagate_ctx, PropagatedFeatures};
 pub use trainer::{train, EvalData, TrainConfig, TrainReport};

@@ -11,8 +11,8 @@
 //! on the condensed graph be evaluated on the full graph.
 
 use freehgc_autograd::Matrix;
-use freehgc_hetgraph::metapath::enumerate_metapaths;
-use freehgc_hetgraph::{HeteroGraph, MetaPathEngine};
+use freehgc_hetgraph::{CondenseContext, HeteroGraph};
+use std::sync::Arc;
 
 /// Per-meta-path propagated feature blocks for the target type.
 #[derive(Clone, Debug)]
@@ -42,21 +42,48 @@ impl PropagatedFeatures {
     }
 }
 
-/// Default cap on the number of enumerated meta-paths.
-pub const DEFAULT_MAX_PATHS: usize = 24;
+/// Default cap on the number of enumerated meta-paths (re-exported from
+/// `freehgc_hetgraph`, where [`freehgc_hetgraph::CondenseSpec`] uses it
+/// as its default too — one knob for both layers).
+pub use freehgc_hetgraph::DEFAULT_MAX_PATHS;
 
 /// Computes propagated blocks for the target type of `g`.
 ///
+/// Builds a fresh single-use [`CondenseContext`]; use [`propagate_ctx`]
+/// to share the compositions and the finished blocks across callers.
+pub fn propagate(g: &HeteroGraph, max_hops: usize, max_paths: usize) -> PropagatedFeatures {
+    propagate_uncached(&CondenseContext::new(g), max_hops, max_paths)
+}
+
+/// [`propagate`] against a shared [`CondenseContext`]: the *finished
+/// block set* is memoized under `(max_hops, max_paths)` — a warm context
+/// returns the same `Arc` without recomputing anything — and on a miss
+/// the adjacency compositions come from (and warm) the context's caches.
+/// Bitwise-identical to the fresh-context path.
+pub fn propagate_ctx(
+    ctx: &CondenseContext<'_>,
+    max_hops: usize,
+    max_paths: usize,
+) -> Arc<PropagatedFeatures> {
+    ctx.propagated((max_hops, max_paths), || {
+        propagate_uncached(ctx, max_hops, max_paths)
+    })
+}
+
 /// Adjacency composition runs first (the prefix cache is inherently
 /// sequential, but the SpGEMMs inside are row-parallel); the per-path
 /// `Â·X` products are then computed block-parallel, one worker per
 /// path, with results kept in path order so block layout is unchanged.
-pub fn propagate(g: &HeteroGraph, max_hops: usize, max_paths: usize) -> PropagatedFeatures {
+fn propagate_uncached(
+    ctx: &CondenseContext<'_>,
+    max_hops: usize,
+    max_paths: usize,
+) -> PropagatedFeatures {
+    let g = ctx.graph();
     let schema = g.schema();
     let target = schema.target();
-    let paths = enumerate_metapaths(schema, target, max_hops, max_paths);
-    let mut engine = MetaPathEngine::new(g).with_max_row_nnz(256);
-    let adjacencies: Vec<_> = paths.iter().map(|p| engine.adjacency(p)).collect();
+    let paths = ctx.metapaths(target, max_hops, max_paths);
+    let adjacencies: Vec<_> = paths.iter().map(|p| ctx.adjacency(p)).collect();
 
     let n = g.num_nodes(target);
     let raw = g.features(target);
@@ -131,6 +158,23 @@ mod tests {
         let gathered = pf.gather(&rows);
         assert_eq!(gathered[0].rows, 3);
         assert_eq!(gathered[0].row(1), pf.blocks[0].row(2));
+    }
+
+    #[test]
+    fn context_propagation_matches_fresh_and_is_cached() {
+        let g = tiny(5);
+        let ctx = CondenseContext::new(&g);
+        let fresh = propagate(&g, 2, 16);
+        let a = propagate_ctx(&ctx, 2, 16);
+        assert_eq!(a.path_names, fresh.path_names);
+        for (ab, fb) in a.blocks.iter().zip(&fresh.blocks) {
+            assert_eq!(ab.data, fb.data, "context block must match fresh");
+        }
+        let b = propagate_ctx(&ctx, 2, 16);
+        assert!(Arc::ptr_eq(&a, &b), "second call must hit the cache");
+        // A different key is a different computation.
+        let c = propagate_ctx(&ctx, 1, 16);
+        assert!(c.blocks.len() < a.blocks.len());
     }
 
     #[test]

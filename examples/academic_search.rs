@@ -14,7 +14,7 @@
 use freehgc::core::FreeHgc;
 use freehgc::datasets::{generate, DatasetKind};
 use freehgc::eval::pipeline::{Bench, EvalConfig};
-use freehgc::hetgraph::{CondenseSpec, Condenser};
+use freehgc::hetgraph::Condenser;
 use freehgc::hgnn::models::ModelKind;
 use freehgc::hgnn::propagation::propagate;
 use freehgc::hgnn::trainer::{predict, train, EvalData, TrainConfig};
@@ -95,9 +95,10 @@ fn main() {
     let full = search(&bench, &full_blocks, &full_labels);
     let full_time = t0.elapsed().as_secs_f64();
 
-    // Search on a 2.4% condensed graph.
-    let spec = CondenseSpec::new(0.024).with_max_hops(2);
-    let cond = FreeHgc::default().condense(&graph, &spec);
+    // Search on a 2.4% condensed graph — through the bench's shared
+    // context, so condensation reuses the meta-path compositions the
+    // full-graph propagation above already paid for.
+    let cond = FreeHgc::default().condense_in(&bench.ctx, &bench.spec(0.024, 0));
     let pf_cond = propagate(&cond.graph, bench.cfg.max_hops, bench.cfg.max_paths);
     let cond_labels = cond.graph.labels().to_vec();
     let t0 = Instant::now();

@@ -67,6 +67,14 @@ fn main() {
     }
     println!("{}", table.render());
     println!("whole-graph (ideal) accuracy: {:.2}", ideal.acc_mean);
+    let st = bench.ctx.stats();
+    println!(
+        "shared-context cache over the sweep: {} hits / {} misses\n\
+         (every ratio after the first reuses the same meta-path\n\
+         compositions and full-graph propagated blocks)",
+        st.total_hits(),
+        st.total_misses()
+    );
     println!(
         "\nNote how FreeHGC's condensation time barely grows with the ratio\n\
          while the training-based HGCond gets slower — and how FreeHGC's\n\
