@@ -4,7 +4,7 @@
 //! to regress against.
 //!
 //! ```bash
-//! cargo run --release -p freehgc_bench --bin bench_report            # full scales → BENCH_PR3.json
+//! cargo run --release -p freehgc_bench --bin bench_report            # full scales → BENCH_PR4.json
 //! cargo run --release -p freehgc_bench --bin bench_report -- --quick # smoke scales
 //! cargo run --release -p freehgc_bench --bin bench_report -- --threads=8 --out=path.json
 //! ```
@@ -19,8 +19,15 @@
 //! ratio × method sweep run cold (a fresh context per condensation, the
 //! pre-context behaviour) versus warm (one context shared across the
 //! whole sweep), asserting the condensed graphs are bitwise-equal and
-//! recording the wall times and cache hit/miss counters. Unlike the
-//! kernel speedups this win is algorithmic, so it shows up even on a
+//! recording the wall times and cache hit/miss counters — including the
+//! memoized diversity-bonus cache, which a warm ratio sweep must hit.
+//! Two further legs exercise the PR-4 serving layer: a *registry* leg
+//! resolves every condensation through a keyed [`ContextRegistry`] (the
+//! cross-request sharing path), and an *evicting* leg runs the same
+//! sweep through a context whose composed cache is byte-budgeted,
+//! asserting the peak resident bytes never exceed the budget and the
+//! outputs still match the cold reference bitwise. Unlike the kernel
+//! speedups these wins are algorithmic, so they show up even on a
 //! single-core runner.
 
 use freehgc_baselines::HerdingHg;
@@ -28,7 +35,8 @@ use freehgc_core::selection::{condense_target, SelectionConfig};
 use freehgc_core::FreeHgc;
 use freehgc_datasets::{generate, DatasetKind};
 use freehgc_hetgraph::{
-    CacheCounters, CondenseContext, CondenseSpec, CondensedGraph, Condenser, HeteroGraph,
+    CacheCounters, CondenseContext, CondenseSpec, CondensedGraph, Condenser, ContextRegistry,
+    HeteroGraph,
 };
 use freehgc_hgnn::propagation::propagate;
 use freehgc_parallel as par;
@@ -37,6 +45,7 @@ use freehgc_sparse::CsrMatrix;
 use rand::rngs::StdRng;
 use rand::Rng;
 use rand::SeedableRng;
+use std::sync::Arc;
 use std::time::Instant;
 
 struct KernelRow {
@@ -138,6 +147,14 @@ struct SweepReport {
     warm_ms: f64,
     bitwise_equal: bool,
     cache: CacheCounters,
+    registry_ms: f64,
+    registry_equal: bool,
+    registry_hits: u64,
+    registry_misses: u64,
+    evict_ms: f64,
+    evict_equal: bool,
+    evict_budget_bytes: usize,
+    evict_cache: CacheCounters,
 }
 
 impl SweepReport {
@@ -147,9 +164,12 @@ impl SweepReport {
 }
 
 /// Cold-context vs warm-context wall time over a ratio × method sweep on
-/// one graph. "Cold" condenses through `Condenser::condense` (a fresh
-/// context per call — the pre-context behaviour); "warm" condenses the
-/// same (method, ratio) grid through one shared context.
+/// one graph, plus the registry and evicting legs. "Cold" condenses
+/// through `Condenser::condense` (a fresh context per call — the
+/// pre-context behaviour); "warm" condenses the same (method, ratio)
+/// grid through one shared context; "registry" resolves each call
+/// through a keyed `ContextRegistry`; "evicting" reruns the grid with
+/// the composed cache budgeted to half its unbounded footprint.
 fn run_sweep(quick: bool) -> SweepReport {
     let scale = if quick { 0.1 } else { 0.3 };
     let g = generate(DatasetKind::Acm, scale, 42);
@@ -157,27 +177,46 @@ fn run_sweep(quick: bool) -> SweepReport {
     let methods: Vec<Box<dyn Condenser>> = vec![Box::new(FreeHgc::default()), Box::new(HerdingHg)];
     let spec_for = |r: f64| CondenseSpec::new(r).with_max_hops(3).with_seed(7);
 
-    let t_cold = Instant::now();
-    let mut cold: Vec<CondensedGraph> = Vec::new();
-    for m in &methods {
-        for &r in &ratios {
-            cold.push(m.condense(&g, &spec_for(r)));
+    // One timed pass over the identical (method, ratio) grid per leg —
+    // only the per-cell condensation call differs, so every leg's
+    // output vector is cell-for-cell comparable to the cold reference.
+    let run_grid = |condense_cell: &dyn Fn(&dyn Condenser, f64) -> CondensedGraph| {
+        let t = Instant::now();
+        let mut out: Vec<CondensedGraph> = Vec::new();
+        for m in &methods {
+            for &r in &ratios {
+                out.push(condense_cell(m.as_ref(), r));
+            }
         }
-    }
-    let cold_ms = t_cold.elapsed().as_secs_f64() * 1e3;
+        (out, t.elapsed().as_secs_f64() * 1e3)
+    };
+
+    let (cold, cold_ms) = run_grid(&|m, r| m.condense(&g, &spec_for(r)));
 
     let ctx = CondenseContext::new(&g);
-    let t_warm = Instant::now();
-    let mut warm: Vec<CondensedGraph> = Vec::new();
-    for m in &methods {
-        for &r in &ratios {
-            warm.push(m.condense_in(&ctx, &spec_for(r)));
-        }
-    }
-    let warm_ms = t_warm.elapsed().as_secs_f64() * 1e3;
+    let (warm, warm_ms) = run_grid(&|m, r| m.condense_in(&ctx, &spec_for(r)));
 
-    let bitwise_equal =
-        cold.len() == warm.len() && cold.iter().zip(&warm).all(|(a, b)| condensed_equal(a, b));
+    let matches_cold = |other: &[CondensedGraph]| {
+        cold.len() == other.len() && cold.iter().zip(other).all(|(a, b)| condensed_equal(a, b))
+    };
+    let bitwise_equal = matches_cold(&warm);
+
+    // Registry leg: every condensation resolves its context by graph
+    // fingerprint, the way concurrent serving requests would.
+    let ga = Arc::new(g.clone());
+    let registry = ContextRegistry::new();
+    let (through_registry, registry_ms) =
+        run_grid(&|m, r| m.condense_shared(&registry, &ga, &spec_for(r)));
+    let registry_equal = matches_cold(&through_registry);
+    let (registry_hits, registry_misses) = registry.lookup_stats();
+
+    // Evicting leg: budget the composed cache to half its unbounded
+    // footprint, forcing cost-aware eviction while outputs stay fixed.
+    let evict_budget_bytes = (ctx.composed_bytes() / 2).max(1);
+    let evicting = CondenseContext::new(&g).with_composed_budget(Some(evict_budget_bytes));
+    let (evicted, evict_ms) = run_grid(&|m, r| m.condense_in(&evicting, &spec_for(r)));
+    let evict_equal = matches_cold(&evicted);
+
     let report = SweepReport {
         dataset: "acm".to_string(),
         ratios,
@@ -186,10 +225,18 @@ fn run_sweep(quick: bool) -> SweepReport {
         warm_ms,
         bitwise_equal,
         cache: ctx.stats(),
+        registry_ms,
+        registry_equal,
+        registry_hits,
+        registry_misses,
+        evict_ms,
+        evict_equal,
+        evict_budget_bytes,
+        evict_cache: evicting.stats(),
     };
     eprintln!(
         "sweep ({} × {} ratios)        cold {:>9.3} ms   warm {:>9.3} ms   speedup {:>5.2}x   \
-         cache {} hits / {} misses   bitwise_equal={}",
+         cache {} hits / {} misses   diversity {} hits   bitwise_equal={}",
         report.methods.join("+"),
         report.ratios.len(),
         report.cold_ms,
@@ -197,7 +244,22 @@ fn run_sweep(quick: bool) -> SweepReport {
         report.speedup(),
         report.cache.total_hits(),
         report.cache.total_misses(),
+        report.cache.diversity.0,
         report.bitwise_equal
+    );
+    eprintln!(
+        "  registry leg {:>9.3} ms   lookups {} hits / {} misses   bitwise_equal={}",
+        report.registry_ms, report.registry_hits, report.registry_misses, report.registry_equal
+    );
+    eprintln!(
+        "  evicting leg {:>9.3} ms   budget {} B   peak {} B   evictions {}   rejected {}   \
+         bitwise_equal={}",
+        report.evict_ms,
+        report.evict_budget_bytes,
+        report.evict_cache.composed_peak_bytes,
+        report.evict_cache.composed_evictions,
+        report.evict_cache.composed_rejected,
+        report.evict_equal
     );
     report
 }
@@ -213,7 +275,7 @@ fn fmt_ms(v: f64) -> String {
 fn main() {
     let mut quick = false;
     let mut threads = 4usize;
-    let mut out_path = "BENCH_PR3.json".to_string();
+    let mut out_path = "BENCH_PR4.json".to_string();
     for arg in std::env::args().skip(1) {
         if arg == "--quick" {
             quick = true;
@@ -333,7 +395,7 @@ fn main() {
     let avail = std::thread::available_parallelism().map_or(1, |n| n.get());
     let mut out = String::new();
     out.push_str("{\n");
-    out.push_str("  \"pr\": 3,\n");
+    out.push_str("  \"pr\": 4,\n");
     out.push_str("  \"created_by\": \"bench_report\",\n");
     out.push_str(&format!("  \"quick\": {quick},\n"));
     out.push_str("  \"machine\": {\n");
@@ -377,7 +439,10 @@ fn main() {
         "    \"note\": \"cold_ms condenses each (method, ratio) cell through a fresh \
          CondenseContext (the pre-context behaviour); warm_ms runs the identical sweep through \
          one shared context. bitwise_equal asserts every condensed graph matches across the two \
-         runs. The speedup is algorithmic cache reuse, visible even at \
+         runs. The registry leg resolves contexts through a keyed ContextRegistry (cross-request \
+         sharing); the evicting leg budgets the composed cache to half its unbounded footprint \
+         and must stay within it (peak_bytes <= budget_bytes) while matching the cold outputs \
+         bitwise. The speedup is algorithmic cache reuse, visible even at \
          available_parallelism=1.\",\n",
     );
     out.push_str(&format!(
@@ -417,6 +482,7 @@ fn main() {
         ("composed", c.composed),
         ("oriented", c.oriented),
         ("influence", c.influence),
+        ("diversity", c.diversity),
         ("propagated", c.propagated),
     ] {
         out.push_str(&format!(
@@ -428,7 +494,36 @@ fn main() {
         c.total_hits(),
         c.total_misses()
     ));
-    out.push_str("    }\n");
+    out.push_str("    },\n");
+    out.push_str("    \"registry\": {\n");
+    out.push_str(&format!("      \"ms\": {},\n", fmt_ms(sweep.registry_ms)));
+    out.push_str(&format!(
+        "      \"lookup_hits\": {},\n      \"lookup_misses\": {},\n",
+        sweep.registry_hits, sweep.registry_misses
+    ));
+    out.push_str(&format!(
+        "      \"bitwise_equal\": {}\n    }},\n",
+        sweep.registry_equal
+    ));
+    out.push_str("    \"evicting\": {\n");
+    out.push_str(&format!("      \"ms\": {},\n", fmt_ms(sweep.evict_ms)));
+    out.push_str(&format!(
+        "      \"budget_bytes\": {},\n",
+        sweep.evict_budget_bytes
+    ));
+    let ec = &sweep.evict_cache;
+    out.push_str(&format!(
+        "      \"peak_bytes\": {},\n      \"resident_bytes\": {},\n",
+        ec.composed_peak_bytes, ec.composed_bytes
+    ));
+    out.push_str(&format!(
+        "      \"evictions\": {},\n      \"rejected\": {},\n",
+        ec.composed_evictions, ec.composed_rejected
+    ));
+    out.push_str(&format!(
+        "      \"bitwise_equal\": {}\n    }}\n",
+        sweep.evict_equal
+    ));
     out.push_str("  }\n");
     out.push_str("}\n");
     std::fs::write(&out_path, &out).expect("write bench report");
@@ -438,12 +533,32 @@ fn main() {
         eprintln!("FATAL: a parallel kernel diverged from its serial result");
         std::process::exit(1);
     }
-    if !sweep.bitwise_equal {
+    if !sweep.bitwise_equal || !sweep.registry_equal || !sweep.evict_equal {
         eprintln!("FATAL: a shared-context condensation diverged from its fresh-context result");
         std::process::exit(1);
     }
     if sweep.cache.total_hits() == 0 {
         eprintln!("FATAL: the warm sweep recorded zero cache hits — context reuse is broken");
+        std::process::exit(1);
+    }
+    if sweep.cache.diversity.0 == 0 {
+        eprintln!("FATAL: the warm ratio sweep recorded zero diversity-bonus hits");
+        std::process::exit(1);
+    }
+    if sweep.registry_hits == 0 {
+        eprintln!("FATAL: the registry leg recorded zero lookup hits — keyed sharing is broken");
+        std::process::exit(1);
+    }
+    let ec = &sweep.evict_cache;
+    if ec.composed_peak_bytes > sweep.evict_budget_bytes as u64 {
+        eprintln!(
+            "FATAL: the evicting sweep exceeded its byte budget ({} > {})",
+            ec.composed_peak_bytes, sweep.evict_budget_bytes
+        );
+        std::process::exit(1);
+    }
+    if ec.composed_evictions + ec.composed_rejected == 0 {
+        eprintln!("FATAL: the evicting sweep never exercised the budget — eviction is untested");
         std::process::exit(1);
     }
 }

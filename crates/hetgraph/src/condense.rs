@@ -38,6 +38,12 @@ pub struct CondenseSpec {
     /// disables capping). Applied by the [`CondenseContext`] built for
     /// this spec, so every layer of one run shares the same cap.
     pub max_row_nnz: Option<usize>,
+    /// Byte budget for the context's composed-adjacency cache (`None` =
+    /// unbounded, the default). When set, the [`CondenseContext`] built
+    /// for this spec evicts cheap shallow compositions first to stay
+    /// within the budget; outputs never change — eviction only forces
+    /// pure recomputes.
+    pub composed_cache_bytes: Option<usize>,
     /// RNG seed for stochastic components (tie-breaking, sampling).
     pub seed: u64,
 }
@@ -50,6 +56,7 @@ impl CondenseSpec {
             max_hops: 2,
             max_paths: DEFAULT_MAX_PATHS,
             max_row_nnz: Some(DEFAULT_MAX_ROW_NNZ),
+            composed_cache_bytes: None,
             seed: 0,
         }
     }
@@ -66,6 +73,11 @@ impl CondenseSpec {
 
     pub fn with_max_row_nnz(mut self, k: Option<usize>) -> Self {
         self.max_row_nnz = k;
+        self
+    }
+
+    pub fn with_composed_cache_bytes(mut self, bytes: Option<usize>) -> Self {
+        self.composed_cache_bytes = bytes;
         self
     }
 
@@ -213,6 +225,21 @@ pub trait Condenser {
     /// baselines) override it.
     fn condense_in(&self, ctx: &CondenseContext<'_>, spec: &CondenseSpec) -> CondensedGraph {
         self.condense(ctx.graph(), spec)
+    }
+
+    /// Condenses `graph` through `registry`: the context is looked up by
+    /// the graph's fingerprint (and the spec's cache-shaping knobs), so
+    /// concurrent requests on the same dataset — across condensers,
+    /// ratios and seeds — share one warm precompute. Same transparency
+    /// contract as [`Condenser::condense_in`]: bitwise-identical to a
+    /// fresh-context run.
+    fn condense_shared(
+        &self,
+        registry: &crate::registry::ContextRegistry,
+        graph: &std::sync::Arc<HeteroGraph>,
+        spec: &CondenseSpec,
+    ) -> CondensedGraph {
+        self.condense_in(&registry.context_for(graph, spec), spec)
     }
 }
 
@@ -403,9 +430,14 @@ mod tests {
         let spec = CondenseSpec::new(0.5);
         assert_eq!(spec.max_paths, DEFAULT_MAX_PATHS);
         assert_eq!(spec.max_row_nnz, Some(DEFAULT_MAX_ROW_NNZ));
-        let spec = spec.with_max_paths(7).with_max_row_nnz(None);
+        assert_eq!(spec.composed_cache_bytes, None);
+        let spec = spec
+            .with_max_paths(7)
+            .with_max_row_nnz(None)
+            .with_composed_cache_bytes(Some(1 << 20));
         assert_eq!(spec.max_paths, 7);
         assert_eq!(spec.max_row_nnz, None);
+        assert_eq!(spec.composed_cache_bytes, Some(1 << 20));
     }
 
     #[test]

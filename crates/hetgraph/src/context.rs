@@ -3,12 +3,13 @@
 //! FreeHGC is training-free, so the cost of condensing a graph is
 //! dominated by *reusable* pre-processing: meta-path enumeration over the
 //! schema, SpGEMM composition of the per-path adjacencies (Eq. 1), PPR
-//! influence scoring (Eq. 10–13), and meta-path feature propagation.
-//! None of that work depends on the condensation ratio, the variant, or
-//! the seed — only on the full graph — yet historically each layer
-//! rebuilt its own `MetaPathEngine` per call, so a single run paid for
-//! the same compositions up to three times and every sweep recomputed
-//! everything on an unchanged graph.
+//! influence scoring (Eq. 10–13), the per-path Jaccard diversity bonus of
+//! Algorithm 1 (Eq. 5–7), and meta-path feature propagation. None of that
+//! work depends on the condensation ratio, the variant, or the seed —
+//! only on the full graph — yet historically each layer rebuilt its own
+//! `MetaPathEngine` per call, so a single run paid for the same
+//! compositions up to three times and every sweep recomputed everything
+//! on an unchanged graph.
 //!
 //! [`CondenseContext`] owns that precompute once per full graph, behind
 //! interior mutability so it can be shared immutably (`&CondenseContext`)
@@ -16,12 +17,19 @@
 //!
 //! * the enumerated meta-path sets, keyed by `(root, max_hops, max_paths)`;
 //! * the meta-path engine's single-step *factor* and composed *prefix*
-//!   caches (the Eq. 1 products), keyed by the step sequence;
+//!   caches (the Eq. 1 products), keyed by the step sequence — the
+//!   composed cache is optionally *size-bounded* with cost-aware eviction
+//!   (see below);
 //! * oriented per-relation adjacencies (`from → to`, transposing stored
-//!   reverse relations), used by the leaf synthesis;
+//!   reverse relations), used by the leaf synthesis — including the
+//!   *negative* answer when the schema has no relation between two types;
 //! * aggregated influence-score vectors, keyed by [`InfluenceKey`]
 //!   (father type, hop/path caps, the importance backend's bit-exact
 //!   parameters, the seed-target set, and the RNG seed);
+//! * the per-path diversity bonuses `1 − Ĵ_v(ϕ)` of Algorithm 1, keyed by
+//!   [`DiversityKey`] — they depend only on the composed adjacencies and
+//!   the sibling-path grouping, never on the ratio or seed, so a ratio or
+//!   seed sweep computes each one exactly once;
 //! * propagated-feature blocks, keyed by `(max_hops, max_paths)` and
 //!   stored type-erased so the `hgnn` layer (which this crate cannot
 //!   depend on) can cache its `PropagatedFeatures` here.
@@ -32,6 +40,28 @@
 //! contract the parallel kernels keep across thread counts. Hit/miss
 //! counters ([`CondenseContext::stats`]) make reuse observable; the
 //! `bench_report` sweep section records them per PR.
+//!
+//! # Composed-cache eviction
+//!
+//! Large schemas at high hop counts accumulate many composed adjacencies;
+//! a serving process cannot keep them all. The composed cache accepts a
+//! byte budget ([`CondenseContext::with_composed_budget`], surfaced as
+//! `CondenseSpec::composed_cache_bytes`) and, when inserting would exceed
+//! it, evicts the entries that are *cheapest to recompute* first: each
+//! entry carries a deterministic recompute-cost estimate (the SpGEMM
+//! multiply-add count that produced it), ties broken toward the least
+//! recently used. Single-step paths never occupy composed budget at
+//! all — they are served by the unbounded factor cache, whose buffers
+//! would stay pinned regardless. Expensive deep compositions stay
+//! resident. An entry larger than the whole budget is never
+//! admitted, so the cache's resident bytes *never* exceed the budget.
+//! Eviction only ever forces a recompute of a pure function, so a
+//! budgeted context remains bitwise-identical to an unbounded one.
+//!
+//! The context borrows its graph by default ([`CondenseContext::new`]);
+//! [`CondenseContext::shared`] instead takes `Arc<HeteroGraph>` ownership
+//! so a `'static` context can live in the cross-request
+//! [`ContextRegistry`](crate::registry::ContextRegistry).
 
 use crate::condense::{CondenseSpec, DEFAULT_MAX_ROW_NNZ};
 use crate::graph::HeteroGraph;
@@ -67,7 +97,8 @@ impl Counter {
     }
 }
 
-/// A point-in-time snapshot of every cache's hit/miss counts.
+/// A point-in-time snapshot of every cache's hit/miss counts, plus the
+/// composed cache's eviction accounting.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct CacheCounters {
     /// Meta-path enumerations.
@@ -80,8 +111,21 @@ pub struct CacheCounters {
     pub oriented: (u64, u64),
     /// Aggregated influence-score vectors.
     pub influence: (u64, u64),
+    /// Per-path diversity bonuses (Eq. 5–7).
+    pub diversity: (u64, u64),
     /// Propagated-feature blocks.
     pub propagated: (u64, u64),
+    /// Composed entries evicted to stay within the byte budget.
+    pub composed_evictions: u64,
+    /// Composed entries never admitted (larger than the whole budget).
+    pub composed_rejected: u64,
+    /// Resident bytes of the composed cache right now.
+    pub composed_bytes: u64,
+    /// High-water mark of resident composed bytes since the budget was
+    /// last applied (≤ budget when one is set — the invariant
+    /// `bench_report` and CI assert; budgeting a warm context restarts
+    /// the mark at its post-eviction resident size).
+    pub composed_peak_bytes: u64,
 }
 
 impl CacheCounters {
@@ -92,6 +136,7 @@ impl CacheCounters {
             + self.composed.0
             + self.oriented.0
             + self.influence.0
+            + self.diversity.0
             + self.propagated.0
     }
 
@@ -102,6 +147,7 @@ impl CacheCounters {
             + self.composed.1
             + self.oriented.1
             + self.influence.1
+            + self.diversity.1
             + self.propagated.1
     }
 }
@@ -129,34 +175,173 @@ pub struct InfluenceKey {
     pub seed: u64,
 }
 
+/// Cache key for one path's diversity bonus `1 − Ĵ_v(ϕ)` (Eq. 6–7):
+/// `(root, max_hops, max_paths, path index)`. The enumerated path family
+/// and its sibling grouping are deterministic functions of the first
+/// three components (and the graph), and the composed adjacencies the
+/// bonus reads are fixed by the context's fill-in cap, so the quadruple
+/// pins the value exactly — the ratio and seed play no part in it.
+pub type DiversityKey = (NodeTypeId, usize, usize, usize);
+
 type PathKey = (NodeTypeId, usize, usize);
 type AnyArc = Arc<dyn Any + Send + Sync>;
+/// Oriented-adjacency cache: `None` is the cached *negative* answer for
+/// a type pair the schema has no relation between.
+type OrientedMap = FxHashMap<(NodeTypeId, NodeTypeId), Option<Arc<CsrMatrix>>>;
+
+/// The graph a context precomputes for: borrowed for single-owner use,
+/// `Arc`-shared for registry-resident `'static` contexts.
+enum GraphHandle<'g> {
+    Borrowed(&'g HeteroGraph),
+    Shared(Arc<HeteroGraph>),
+}
+
+impl GraphHandle<'_> {
+    fn get(&self) -> &HeteroGraph {
+        match self {
+            GraphHandle::Borrowed(g) => g,
+            GraphHandle::Shared(g) => g,
+        }
+    }
+}
+
+/// One resident composed adjacency plus the bookkeeping eviction needs.
+struct ComposedEntry {
+    matrix: Arc<CsrMatrix>,
+    bytes: usize,
+    /// Deterministic recompute-cost estimate (SpGEMM multiply-adds, or
+    /// nnz for a single-step normalization). Cheap entries evict first.
+    cost: u64,
+    /// Logical insert/touch time; breaks cost ties toward the least
+    /// recently used entry.
+    touch: u64,
+}
+
+/// The composed-adjacency cache: a map plus byte accounting and the
+/// cost-aware eviction policy. Lives behind the context's mutex.
+#[derive(Default)]
+struct ComposedCache {
+    map: FxHashMap<Vec<MetaPathStep>, ComposedEntry>,
+    budget: Option<usize>,
+    bytes: usize,
+    peak_bytes: usize,
+    clock: u64,
+    evictions: u64,
+    rejected: u64,
+}
+
+impl ComposedCache {
+    fn get(&mut self, steps: &[MetaPathStep]) -> Option<Arc<CsrMatrix>> {
+        self.clock += 1;
+        let now = self.clock;
+        self.map.get_mut(steps).map(|e| {
+            e.touch = now;
+            Arc::clone(&e.matrix)
+        })
+    }
+
+    /// Admits `matrix` under the budget, evicting cheapest-first until it
+    /// fits. Returns the resident value (the already-cached one if a
+    /// concurrent compute of the same key landed first — identical bits
+    /// either way, so whichever wins is correct).
+    fn insert(
+        &mut self,
+        steps: &[MetaPathStep],
+        matrix: Arc<CsrMatrix>,
+        cost: u64,
+    ) -> Arc<CsrMatrix> {
+        if let Some(e) = self.map.get(steps) {
+            return Arc::clone(&e.matrix);
+        }
+        let bytes = matrix.storage_bytes();
+        if let Some(budget) = self.budget {
+            if bytes > budget {
+                // Never admitted: resident bytes must not exceed the
+                // budget even transiently. The caller still gets its
+                // freshly computed matrix.
+                self.rejected += 1;
+                return matrix;
+            }
+            while self.bytes + bytes > budget && self.evict_one() {}
+        }
+        self.clock += 1;
+        self.bytes += bytes;
+        self.peak_bytes = self.peak_bytes.max(self.bytes);
+        self.map.insert(
+            steps.to_vec(),
+            ComposedEntry {
+                matrix: Arc::clone(&matrix),
+                bytes,
+                cost,
+                touch: self.clock,
+            },
+        );
+        matrix
+    }
+
+    /// Evicts the entry that is cheapest to recompute (ties broken toward
+    /// the least recently touched). Returns false when the cache is empty.
+    fn evict_one(&mut self) -> bool {
+        let victim = self
+            .map
+            .iter()
+            .min_by_key(|(_, e)| (e.cost, e.touch))
+            .map(|(k, _)| k.clone());
+        match victim {
+            Some(k) => {
+                let e = self.map.remove(&k).expect("victim key just observed");
+                self.bytes -= e.bytes;
+                self.evictions += 1;
+                true
+            }
+            None => false,
+        }
+    }
+}
+
+/// Deterministic SpGEMM work estimate for `prefix · last`: the number of
+/// scalar multiply-adds, `Σ_{(i,k) ∈ prefix} nnz(last_k)`. This is the
+/// actual recompute cost of a composed entry (given resident inputs), so
+/// ordering evictions by it keeps the expensive deep products resident.
+fn spgemm_cost(prefix: &CsrMatrix, last: &CsrMatrix) -> u64 {
+    prefix
+        .indices()
+        .iter()
+        .map(|&k| last.row_nnz(k as usize) as u64)
+        .sum::<u64>()
+        .max(1)
+}
+
+/// Whether any row of `m` holds more than `k` entries — the per-row
+/// fill-in contract `max_row_nnz` promises.
+fn any_row_exceeds(m: &CsrMatrix, k: usize) -> bool {
+    (0..m.nrows()).any(|r| m.row_nnz(r) > k)
+}
 
 /// Shared, thread-safe precompute for one full graph. See the module
 /// docs for what is cached; construction is cheap (all caches start
 /// empty), so a context costs nothing until work flows through it.
 pub struct CondenseContext<'g> {
-    graph: &'g HeteroGraph,
+    graph: GraphHandle<'g>,
     max_row_nnz: Option<usize>,
     paths: Mutex<FxHashMap<PathKey, Arc<Vec<MetaPath>>>>,
     factors: Mutex<FxHashMap<MetaPathStep, Arc<CsrMatrix>>>,
-    composed: Mutex<FxHashMap<Vec<MetaPathStep>, Arc<CsrMatrix>>>,
-    oriented: Mutex<FxHashMap<(NodeTypeId, NodeTypeId), Arc<CsrMatrix>>>,
+    composed: Mutex<ComposedCache>,
+    oriented: Mutex<OrientedMap>,
     influence: Mutex<FxHashMap<InfluenceKey, Arc<Vec<f64>>>>,
+    diversity: Mutex<FxHashMap<DiversityKey, Arc<Vec<f64>>>>,
     propagated: Mutex<FxHashMap<(usize, usize), AnyArc>>,
     paths_stats: Counter,
     factors_stats: Counter,
     composed_stats: Counter,
     oriented_stats: Counter,
     influence_stats: Counter,
+    diversity_stats: Counter,
     propagated_stats: Counter,
 }
 
 impl<'g> CondenseContext<'g> {
-    /// A context with the workspace-default per-row fill-in cap
-    /// ([`DEFAULT_MAX_ROW_NNZ`]) — the setting every condensation and
-    /// propagation layer shares.
-    pub fn new(graph: &'g HeteroGraph) -> Self {
+    fn with_handle(graph: GraphHandle<'g>) -> Self {
         Self {
             graph,
             max_row_nnz: Some(DEFAULT_MAX_ROW_NNZ),
@@ -165,21 +350,32 @@ impl<'g> CondenseContext<'g> {
             composed: Mutex::default(),
             oriented: Mutex::default(),
             influence: Mutex::default(),
+            diversity: Mutex::default(),
             propagated: Mutex::default(),
             paths_stats: Counter::default(),
             factors_stats: Counter::default(),
             composed_stats: Counter::default(),
             oriented_stats: Counter::default(),
             influence_stats: Counter::default(),
+            diversity_stats: Counter::default(),
             propagated_stats: Counter::default(),
         }
     }
 
-    /// A context whose fill-in cap comes from the spec — the one knob
-    /// both condensation and propagation obey (there is deliberately no
-    /// per-call cap anywhere downstream).
+    /// A context with the workspace-default per-row fill-in cap
+    /// ([`DEFAULT_MAX_ROW_NNZ`]) — the setting every condensation and
+    /// propagation layer shares.
+    pub fn new(graph: &'g HeteroGraph) -> Self {
+        Self::with_handle(GraphHandle::Borrowed(graph))
+    }
+
+    /// A context whose fill-in cap and composed-cache budget come from
+    /// the spec — the knobs both condensation and propagation obey
+    /// (there is deliberately no per-call cap anywhere downstream).
     pub fn for_spec(graph: &'g HeteroGraph, spec: &CondenseSpec) -> Self {
-        Self::new(graph).with_max_row_nnz(spec.max_row_nnz)
+        Self::new(graph)
+            .with_max_row_nnz(spec.max_row_nnz)
+            .with_composed_budget(spec.composed_cache_bytes)
     }
 
     /// Overrides the per-row fill-in cap of composed adjacencies.
@@ -189,21 +385,69 @@ impl<'g> CondenseContext<'g> {
     /// incompatible entries.
     pub fn with_max_row_nnz(mut self, k: Option<usize>) -> Self {
         assert!(
-            self.composed.get_mut().unwrap().is_empty(),
+            self.composed.get_mut().unwrap().map.is_empty(),
             "cannot change max_row_nnz on a context with cached compositions"
         );
         self.max_row_nnz = k;
         self
     }
 
+    /// Sets the composed-cache byte budget (`None` = unbounded, the
+    /// default). Unlike the fill-in cap this never changes any output —
+    /// eviction only forces pure recomputes — so it may be set on a warm
+    /// context; resident entries are evicted immediately to fit, and the
+    /// `composed_peak_bytes` high-water mark restarts at the resident
+    /// size so it keeps the `peak ≤ budget` invariant from this point on
+    /// (pre-budget history would trivially exceed any new budget).
+    pub fn with_composed_budget(mut self, bytes: Option<usize>) -> Self {
+        let cache = self.composed.get_mut().unwrap();
+        cache.budget = bytes;
+        if let Some(b) = bytes {
+            while cache.bytes > b && cache.evict_one() {}
+            cache.peak_bytes = cache.bytes;
+        }
+        self
+    }
+}
+
+impl CondenseContext<'static> {
+    /// A context that co-owns its graph, so it has no borrow to outlive —
+    /// the form the [`ContextRegistry`](crate::registry::ContextRegistry)
+    /// stores and hands to concurrent requests.
+    pub fn shared(graph: Arc<HeteroGraph>) -> Self {
+        Self::with_handle(GraphHandle::Shared(graph))
+    }
+}
+
+impl CondenseContext<'_> {
     /// The full graph this context precomputes for.
-    pub fn graph(&self) -> &'g HeteroGraph {
-        self.graph
+    pub fn graph(&self) -> &HeteroGraph {
+        self.graph.get()
+    }
+
+    /// The co-owned graph `Arc`, when this context was built with
+    /// [`CondenseContext::shared`] (registry-resident contexts always
+    /// are). `None` for borrowed contexts.
+    pub(crate) fn shared_graph(&self) -> Option<&Arc<HeteroGraph>> {
+        match &self.graph {
+            GraphHandle::Shared(a) => Some(a),
+            GraphHandle::Borrowed(_) => None,
+        }
     }
 
     /// The per-row fill-in cap applied to composed adjacencies.
     pub fn max_row_nnz(&self) -> Option<usize> {
         self.max_row_nnz
+    }
+
+    /// The composed-cache byte budget (`None` = unbounded).
+    pub fn composed_budget(&self) -> Option<usize> {
+        self.composed.lock().unwrap().budget
+    }
+
+    /// Resident bytes of the composed cache right now.
+    pub fn composed_bytes(&self) -> usize {
+        self.composed.lock().unwrap().bytes
     }
 
     /// Asserts that condensing `spec` through this context cannot
@@ -212,6 +456,8 @@ impl<'g> CondenseContext<'g> {
     /// composed matrices and a silent mismatch would break the
     /// bitwise-transparency contract of `Condenser::condense_in`.
     /// Context-aware condensers call this before touching the caches.
+    /// (The composed-cache budget is deliberately *not* checked: it
+    /// affects memory, never outputs.)
     pub fn check_spec(&self, spec: &CondenseSpec) {
         assert_eq!(
             spec.max_row_nnz, self.max_row_nnz,
@@ -223,19 +469,25 @@ impl<'g> CondenseContext<'g> {
 
     /// A point-in-time snapshot of all cache counters.
     pub fn stats(&self) -> CacheCounters {
+        let composed = self.composed.lock().unwrap();
         CacheCounters {
             paths: self.paths_stats.snapshot(),
             factors: self.factors_stats.snapshot(),
             composed: self.composed_stats.snapshot(),
             oriented: self.oriented_stats.snapshot(),
             influence: self.influence_stats.snapshot(),
+            diversity: self.diversity_stats.snapshot(),
             propagated: self.propagated_stats.snapshot(),
+            composed_evictions: composed.evictions,
+            composed_rejected: composed.rejected,
+            composed_bytes: composed.bytes as u64,
+            composed_peak_bytes: composed.peak_bytes as u64,
         }
     }
 
     /// Number of cached composed adjacencies (for tests/benches).
     pub fn composed_len(&self) -> usize {
-        self.composed.lock().unwrap().len()
+        self.composed.lock().unwrap().map.len()
     }
 
     /// Cached [`enumerate_metapaths`]: every proper meta-path rooted at
@@ -253,7 +505,7 @@ impl<'g> CondenseContext<'g> {
         }
         self.paths_stats.miss();
         let paths = Arc::new(enumerate_metapaths(
-            self.graph.schema(),
+            self.graph().schema(),
             root,
             max_hops,
             max_paths,
@@ -261,9 +513,14 @@ impl<'g> CondenseContext<'g> {
         Arc::clone(self.paths.lock().unwrap().entry(key).or_insert(paths))
     }
 
-    /// Cached counterpart of [`crate::metapath::metapaths_to`]: the paths
-    /// from `root` that end at `source` (the path family `Φ_L`), derived
-    /// from the same over-enumeration so results match it exactly.
+    /// The paths from `root` that end at `source` (the path family
+    /// `Φ_L`), with exactly the semantics of
+    /// [`crate::metapath::metapaths_to`]: filtered during breadth-first
+    /// expansion so no valid path is lost to an enumeration cap and the
+    /// full enumeration is never materialized (let alone cached — its
+    /// size is exponential in `max_hops`). Deliberately uncached: the
+    /// only hot consumer is influence scoring, whose *result* vectors
+    /// the [`CondenseContext::influence`] cache already memoizes.
     pub fn metapaths_to(
         &self,
         root: NodeTypeId,
@@ -271,12 +528,7 @@ impl<'g> CondenseContext<'g> {
         max_hops: usize,
         max_paths: usize,
     ) -> Vec<MetaPath> {
-        self.metapaths(root, max_hops, max_paths * 8)
-            .iter()
-            .filter(|p| p.source() == source)
-            .take(max_paths)
-            .cloned()
-            .collect()
+        crate::metapath::metapaths_to(self.graph().schema(), root, source, max_hops, max_paths)
     }
 
     /// The composed, row-normalized adjacency `Â` of `path` (Eq. 1),
@@ -292,7 +544,7 @@ impl<'g> CondenseContext<'g> {
             return Arc::clone(f);
         }
         self.factors_stats.miss();
-        let a = self.graph.adjacency(step.edge);
+        let a = self.graph().adjacency(step.edge);
         let m = if step.forward {
             a.row_normalized()
         } else {
@@ -308,56 +560,65 @@ impl<'g> CondenseContext<'g> {
     }
 
     fn compose(&self, steps: &[MetaPathStep]) -> Arc<CsrMatrix> {
+        // Single-step "compositions" ARE factors: they are served by
+        // (and counted against) the unbounded factor cache alone.
+        // Inserting them into the byte-budgeted composed cache would
+        // charge budget for buffers the factor cache pins anyway, and
+        // their admission could evict a real SpGEMM product without
+        // freeing a byte of process memory.
+        if steps.len() == 1 {
+            return self.factor(steps[0]);
+        }
         if let Some(m) = self.composed.lock().unwrap().get(steps) {
             self.composed_stats.hit();
-            return Arc::clone(m);
+            return m;
         }
         self.composed_stats.miss();
         // Compute outside the lock: compositions recurse into their
         // prefixes and run SpGEMMs that must not serialize other cache
         // users. Concurrent computes of the same key produce identical
-        // bits (pure function of graph + steps), so the entry-or-insert
-        // below is safe whichever thread lands first.
-        let result = if steps.len() == 1 {
-            self.factor(steps[0])
-        } else {
-            let prefix = self.compose(&steps[..steps.len() - 1]);
-            let last = self.factor(steps[steps.len() - 1]);
-            let mut prod = prefix.spgemm(&last);
-            if let Some(k) = self.max_row_nnz {
-                if prod.nnz() > k * prod.nrows() {
-                    prod = prod.top_k_per_row(k);
-                }
+        // bits (pure function of graph + steps), so the insert below is
+        // safe whichever thread lands first.
+        let prefix = self.compose(&steps[..steps.len() - 1]);
+        let last = self.factor(steps[steps.len() - 1]);
+        let cost = spgemm_cost(&prefix, &last);
+        let mut prod = prefix.spgemm(&last);
+        if let Some(k) = self.max_row_nnz {
+            // The cap is a *per-row* contract: apply it whenever any
+            // row exceeds k, not only when the aggregate density
+            // does (a skewed product can hide an over-full row
+            // behind many empty ones).
+            if any_row_exceeds(&prod, k) {
+                prod = prod.top_k_per_row(k);
             }
-            Arc::new(prod)
-        };
-        Arc::clone(
-            self.composed
-                .lock()
-                .unwrap()
-                .entry(steps.to_vec())
-                .or_insert(result),
-        )
+        }
+        self.composed
+            .lock()
+            .unwrap()
+            .insert(steps, Arc::new(prod), cost)
     }
 
     /// Cached [`HeteroGraph::adjacency_between`]: the `from → to`
     /// per-relation adjacency, transposing a stored reverse relation when
-    /// needed. `None` when the schema has no relation between the types.
+    /// needed. `None` when the schema has no relation between the types —
+    /// a negative answer that is cached (and counted) like any other, so
+    /// repeated misses on an absent relation neither recompute nor
+    /// under-report.
     pub fn adjacency_between(&self, from: NodeTypeId, to: NodeTypeId) -> Option<Arc<CsrMatrix>> {
         let key = (from, to);
         if let Some(a) = self.oriented.lock().unwrap().get(&key) {
             self.oriented_stats.hit();
-            return Some(Arc::clone(a));
+            return a.as_ref().map(Arc::clone);
         }
-        let a = self.graph.adjacency_between(from, to)?;
         self.oriented_stats.miss();
-        Some(Arc::clone(
-            self.oriented
-                .lock()
-                .unwrap()
-                .entry(key)
-                .or_insert(Arc::new(a)),
-        ))
+        let a = self.graph().adjacency_between(from, to).map(Arc::new);
+        self.oriented
+            .lock()
+            .unwrap()
+            .entry(key)
+            .or_insert(a)
+            .as_ref()
+            .map(Arc::clone)
     }
 
     /// Returns the cached influence vector for `key`, computing it with
@@ -374,6 +635,25 @@ impl<'g> CondenseContext<'g> {
         self.influence_stats.miss();
         let v = Arc::new(compute());
         Arc::clone(self.influence.lock().unwrap().entry(key).or_insert(v))
+    }
+
+    /// Returns the cached diversity-bonus vector for `key` (one entry per
+    /// target node), computing it with `compute` on a miss. `compute`
+    /// runs outside the cache lock. The caller guarantees `compute` is
+    /// the deterministic Eq. 6–7 bonus for `key`'s path family — see
+    /// [`DiversityKey`] for why the quadruple pins it.
+    pub fn diversity(
+        &self,
+        key: DiversityKey,
+        compute: impl FnOnce() -> Vec<f64>,
+    ) -> Arc<Vec<f64>> {
+        if let Some(v) = self.diversity.lock().unwrap().get(&key) {
+            self.diversity_stats.hit();
+            return Arc::clone(v);
+        }
+        self.diversity_stats.miss();
+        let v = Arc::new(compute());
+        Arc::clone(self.diversity.lock().unwrap().entry(key).or_insert(v))
     }
 
     /// Returns the cached propagated-feature value for `key`, computing
@@ -404,6 +684,7 @@ impl std::fmt::Debug for CondenseContext<'_> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("CondenseContext")
             .field("max_row_nnz", &self.max_row_nnz)
+            .field("composed_budget", &self.composed_budget())
             .field("composed_len", &self.composed_len())
             .field("stats", &self.stats())
             .finish()
@@ -440,19 +721,49 @@ mod tests {
         b.build()
     }
 
+    /// Six papers, one hub author shared by papers 0–2: the P-A-P product
+    /// has three rows with 3 entries each (9 nnz over 6 rows), so the old
+    /// aggregate gate `nnz > k·nrows` stays silent at k = 2 while three
+    /// rows violate the per-row cap.
+    fn skewed_fixture() -> HeteroGraph {
+        let mut s = Schema::new();
+        let p = s.add_node_type("paper");
+        let a = s.add_node_type("author");
+        let pa = s.add_edge_type("pa", p, a);
+        s.set_target(p);
+        let mut b = HeteroGraphBuilder::new(s, vec![6, 2]);
+        for pp in 0..3 {
+            b.add_edge(pa, pp, 0);
+        }
+        b.add_edge(pa, 4, 1);
+        b.set_features(p, FeatureMatrix::zeros(6, 1));
+        b.set_features(a, FeatureMatrix::zeros(2, 1));
+        b.set_labels(vec![0, 1, 0, 1, 0, 1], 2);
+        b.build()
+    }
+
     #[test]
     fn repeated_queries_share_one_computation() {
         let g = fixture();
         let ctx = CondenseContext::new(&g);
         let root = g.schema().target();
         let paths = ctx.metapaths(root, 2, 100);
-        let a = ctx.adjacency(&paths[0]);
-        let b = ctx.adjacency(&paths[0]);
+        let two_hop = paths.iter().find(|p| p.hops() == 2).unwrap();
+        let a = ctx.adjacency(two_hop);
+        let b = ctx.adjacency(two_hop);
         assert!(Arc::ptr_eq(&a, &b), "second query must return the cache");
         let st = ctx.stats();
         assert_eq!(st.composed.0, 1, "one composed hit");
         assert_eq!(st.composed.1, 1, "one composed miss");
         assert!(Arc::ptr_eq(&paths, &ctx.metapaths(root, 2, 100)));
+        // A single-step path is a factor, not a composed product: it
+        // must never touch the composed cache or its budget.
+        let one_hop = paths.iter().find(|p| p.hops() == 1).unwrap();
+        let f1 = ctx.adjacency(one_hop);
+        let f2 = ctx.adjacency(one_hop);
+        assert!(Arc::ptr_eq(&f1, &f2));
+        assert_eq!(ctx.stats().composed, st.composed, "composed untouched");
+        assert!(ctx.stats().factors.0 >= 1, "served by the factor cache");
     }
 
     #[test]
@@ -463,6 +774,29 @@ mod tests {
         let root = g.schema().target();
         for p in ctx.metapaths(root, 2, 100).iter() {
             assert_eq!(*ctx.adjacency(p), *engine.adjacency(p), "{:?}", p.steps);
+        }
+    }
+
+    #[test]
+    fn per_row_cap_holds_on_skewed_products() {
+        let g = skewed_fixture();
+        let ctx = CondenseContext::new(&g).with_max_row_nnz(Some(2));
+        let root = g.schema().target();
+        let pap = ctx
+            .metapaths(root, 2, 100)
+            .iter()
+            .find(|p| p.hops() == 2)
+            .cloned()
+            .expect("P-A-P exists");
+        let m = ctx.adjacency(&pap);
+        // Aggregate density is below the old gate (9 nnz ≤ 2 × 6 rows
+        // before capping), yet every cached row must obey the contract.
+        for r in 0..m.nrows() {
+            assert!(
+                m.row_nnz(r) <= 2,
+                "row {r} has {} entries, cap is 2",
+                m.row_nnz(r)
+            );
         }
     }
 
@@ -479,6 +813,41 @@ mod tests {
     }
 
     #[test]
+    fn metapaths_to_survives_wide_schemas() {
+        // Nine edge types out of the root; the path to `late` enumerates
+        // after 8 others, so the old `max_paths * 8` over-enumeration
+        // (with max_paths = 1) truncated before the filter could see it.
+        let mut s = Schema::new();
+        let root = s.add_node_type("root");
+        for i in 0..8 {
+            let t = s.add_node_type(&format!("t{i}"));
+            s.add_edge_type(&format!("e{i}"), root, t);
+        }
+        let late = s.add_node_type("late");
+        s.add_edge_type("elate", root, late);
+        s.set_target(root);
+        let n_types = s.num_node_types();
+        let mut b = HeteroGraphBuilder::new(s, vec![1; n_types]);
+        for t in 0..n_types {
+            b.set_features(
+                crate::schema::NodeTypeId(t as u16),
+                FeatureMatrix::zeros(1, 1),
+            );
+        }
+        b.set_labels(vec![0], 1);
+        let g = b.build();
+
+        let found = metapaths_to(g.schema(), root, late, 1, 1);
+        assert_eq!(found.len(), 1, "the 1-hop root→late path must be found");
+        let ctx = CondenseContext::new(&g);
+        assert_eq!(
+            ctx.metapaths_to(root, late, 1, 1),
+            found,
+            "cached and uncached Φ_L must agree"
+        );
+    }
+
+    #[test]
     fn adjacency_between_matches_graph_and_caches() {
         let g = fixture();
         let ctx = CondenseContext::new(&g);
@@ -490,6 +859,24 @@ mod tests {
         assert_eq!(*rev, g.adjacency_between(a, p).unwrap());
         assert!(Arc::ptr_eq(&fwd, &ctx.adjacency_between(p, a).unwrap()));
         assert_eq!(ctx.stats().oriented, (1, 2));
+    }
+
+    #[test]
+    fn absent_relations_are_cached_and_counted() {
+        let g = fixture();
+        let ctx = CondenseContext::new(&g);
+        let a = g.schema().node_type_by_name("author").unwrap();
+        let f = g.schema().node_type_by_name("field").unwrap();
+        assert!(g.schema().edge_between(a, f).is_none());
+        assert!(ctx.adjacency_between(a, f).is_none());
+        assert_eq!(ctx.stats().oriented, (0, 1), "first ask is a miss");
+        assert!(ctx.adjacency_between(a, f).is_none());
+        assert!(ctx.adjacency_between(a, f).is_none());
+        assert_eq!(
+            ctx.stats().oriented,
+            (2, 1),
+            "repeat asks hit the cached negative answer"
+        );
     }
 
     #[test]
@@ -510,6 +897,19 @@ mod tests {
         assert!(Arc::ptr_eq(&a, &b));
         let c = ctx.influence(key(0.5), || vec![2.0]);
         assert_eq!(*c, vec![2.0], "different alpha must not collide");
+    }
+
+    #[test]
+    fn diversity_cache_hits_and_discriminates() {
+        let g = fixture();
+        let ctx = CondenseContext::new(&g);
+        let root = g.schema().target();
+        let a = ctx.diversity((root, 2, 24, 0), || vec![0.5, 1.0, 0.0]);
+        let b = ctx.diversity((root, 2, 24, 0), || unreachable!("must hit"));
+        assert!(Arc::ptr_eq(&a, &b));
+        let c = ctx.diversity((root, 2, 24, 1), || vec![0.25]);
+        assert_eq!(*c, vec![0.25], "different path index must not collide");
+        assert_eq!(ctx.stats().diversity, (1, 2));
     }
 
     #[test]
@@ -545,8 +945,144 @@ mod tests {
         let g = fixture();
         let ctx = CondenseContext::new(&g);
         let root = g.schema().target();
-        let paths = ctx.metapaths(root, 1, 8);
-        ctx.adjacency(&paths[0]);
+        // A multi-hop composition is what the cap applies to (factors
+        // are cap-independent, so a factors-only context may re-cap).
+        let paths = ctx.metapaths(root, 2, 100);
+        ctx.adjacency(paths.iter().find(|p| p.hops() == 2).unwrap());
         let _ = ctx.with_max_row_nnz(None);
+    }
+
+    #[test]
+    fn owned_context_serves_the_same_graph() {
+        let g = Arc::new(fixture());
+        let ctx = CondenseContext::shared(Arc::clone(&g));
+        let root = g.schema().target();
+        let borrowed = CondenseContext::new(&g);
+        for p in ctx.metapaths(root, 2, 100).iter() {
+            assert_eq!(*ctx.adjacency(p), *borrowed.adjacency(p));
+        }
+    }
+
+    #[test]
+    fn budgeted_cache_never_exceeds_budget_and_stays_bitwise_identical() {
+        let g = fixture();
+        let unbounded = CondenseContext::new(&g);
+        let root = g.schema().target();
+        let paths = unbounded.metapaths(root, 3, 100);
+        for p in paths.iter() {
+            unbounded.adjacency(p);
+        }
+        let full_bytes = unbounded.composed_bytes();
+        assert!(full_bytes > 0);
+
+        // A budget of roughly half the unbounded footprint forces
+        // evictions while still admitting every individual entry.
+        let budget = (full_bytes / 2).max(64);
+        let evicting = CondenseContext::new(&g).with_composed_budget(Some(budget));
+        // Two sweeps: the second re-fetches entries the first evicted.
+        for _ in 0..2 {
+            for p in paths.iter() {
+                assert_eq!(
+                    *evicting.adjacency(p),
+                    *unbounded.adjacency(p),
+                    "eviction must never change a composed adjacency"
+                );
+            }
+        }
+        let st = evicting.stats();
+        assert!(st.composed_evictions > 0, "budget must force evictions");
+        assert!(
+            st.composed_peak_bytes <= budget as u64,
+            "peak {} exceeded budget {budget}",
+            st.composed_peak_bytes
+        );
+        assert!(st.composed_bytes <= budget as u64);
+    }
+
+    #[test]
+    fn budgeting_a_warm_context_evicts_and_restarts_the_peak() {
+        let g = fixture();
+        let ctx = CondenseContext::new(&g);
+        let root = g.schema().target();
+        let paths = ctx.metapaths(root, 3, 100);
+        for p in paths.iter() {
+            ctx.adjacency(p);
+        }
+        // Shrink to just below the full footprint: something must go,
+        // and the high-water mark restarts so the peak ≤ budget
+        // invariant holds from this point on.
+        let multi_hop = paths.iter().filter(|p| p.hops() >= 2).count();
+        let budget = ctx.composed_bytes().saturating_sub(1);
+        let ctx = ctx.with_composed_budget(Some(budget));
+        let st = ctx.stats();
+        assert!(st.composed_evictions >= 1);
+        assert!(ctx.composed_len() < multi_hop);
+        assert!(
+            st.composed_peak_bytes <= budget as u64,
+            "peak {} must restart under the new budget {budget}",
+            st.composed_peak_bytes
+        );
+        // Evicted entries recompute to identical bits.
+        let fresh = CondenseContext::new(&g);
+        for p in paths.iter() {
+            assert_eq!(*ctx.adjacency(p), *fresh.adjacency(p));
+        }
+    }
+
+    #[test]
+    fn eviction_removes_cheapest_entries_first() {
+        // Deterministic policy check straight on the cache: cost
+        // ascending decides the victim, logical touch time breaks ties.
+        let step = |e: u16| MetaPathStep {
+            edge: crate::schema::EdgeTypeId(e),
+            forward: true,
+        };
+        let m = |seed: u32| Arc::new(CsrMatrix::from_edges(2, 2, &[(0, seed % 2), (1, 1)]));
+        let bytes_each = m(0).storage_bytes();
+        let mut cache = ComposedCache {
+            budget: Some(bytes_each * 3),
+            ..Default::default()
+        };
+        cache.insert(&[step(0), step(1)], m(0), 10); // cheap
+        cache.insert(&[step(0), step(2)], m(1), 10); // cheap, same cost
+        cache.insert(&[step(0), step(3)], m(0), 50); // expensive
+        assert_eq!(cache.evictions, 0);
+        // Touch the first cheap entry so the second becomes the
+        // least-recently-used one of the cheapest tier.
+        assert!(cache.get([step(0), step(1)].as_slice()).is_some());
+        cache.insert(&[step(0), step(4)], m(1), 30);
+        assert_eq!(cache.evictions, 1);
+        assert!(
+            cache.map.contains_key([step(0), step(1)].as_slice()),
+            "recently touched equal-cost entry must survive"
+        );
+        assert!(
+            !cache.map.contains_key([step(0), step(2)].as_slice()),
+            "the untouched cheapest entry is the victim"
+        );
+        assert!(cache.map.contains_key([step(0), step(3)].as_slice()));
+        // Across cost tiers, cheapest-first beats recency: the freshly
+        // touched cost-10 entry still goes before cost-30/50 ones.
+        cache.insert(&[step(0), step(5)], m(0), 40);
+        assert_eq!(cache.evictions, 2);
+        assert!(!cache.map.contains_key([step(0), step(1)].as_slice()));
+        assert!(cache.map.contains_key([step(0), step(3)].as_slice()));
+        assert!(cache.bytes <= bytes_each * 3);
+    }
+
+    #[test]
+    fn rejected_oversized_entries_leave_the_cache_empty() {
+        let g = fixture();
+        let ctx = CondenseContext::new(&g).with_composed_budget(Some(1));
+        let root = g.schema().target();
+        let paths = ctx.metapaths(root, 2, 100);
+        let two_hop = paths.iter().find(|p| p.hops() == 2).unwrap();
+        let a = ctx.adjacency(two_hop);
+        let b = ctx.adjacency(two_hop);
+        assert_eq!(*a, *b, "uncached recompute is still correct");
+        let st = ctx.stats();
+        assert_eq!(st.composed_bytes, 0, "nothing fits a 1-byte budget");
+        assert!(st.composed_rejected >= 2);
+        assert_eq!(st.composed_peak_bytes, 0);
     }
 }

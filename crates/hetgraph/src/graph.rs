@@ -1,9 +1,11 @@
 //! The heterogeneous graph container and its builder.
 
 use crate::features::FeatureMatrix;
+use crate::registry::GraphFingerprint;
 use crate::schema::{EdgeTypeId, NodeTypeId, Schema};
 use crate::split::Split;
 use freehgc_sparse::{CooMatrix, CsrMatrix};
+use std::sync::OnceLock;
 
 /// A heterogeneous graph dataset `G = {A, X, Y}` (paper §II-A): one CSR
 /// adjacency per edge type, one feature matrix per node type, labels over
@@ -17,6 +19,9 @@ pub struct HeteroGraph {
     labels: Vec<u32>,
     num_classes: usize,
     split: Split,
+    /// Lazily computed content fingerprint (see `registry`); reset by
+    /// the mutating setters so a stale hash can never be served.
+    pub(crate) fingerprint_cache: OnceLock<GraphFingerprint>,
 }
 
 impl HeteroGraph {
@@ -65,6 +70,7 @@ impl HeteroGraph {
         assert_eq!(f.num_rows(), old.num_rows(), "feature row count must match");
         assert_eq!(f.dim(), old.dim(), "feature dimension must match");
         self.features[t.0 as usize] = f;
+        self.fingerprint_cache = OnceLock::new();
     }
 
     /// Class labels of the target type, one per target node.
@@ -86,6 +92,7 @@ impl HeteroGraph {
             "split references more nodes than the target type has"
         );
         self.split = split;
+        self.fingerprint_cache = OnceLock::new();
     }
 
     /// Per-class node counts over the whole target type.
@@ -157,6 +164,7 @@ impl HeteroGraph {
             labels,
             num_classes: self.num_classes,
             split,
+            fingerprint_cache: OnceLock::new(),
         }
     }
 }
@@ -272,6 +280,7 @@ impl HeteroGraphBuilder {
             labels: self.labels,
             num_classes: self.num_classes,
             split: self.split,
+            fingerprint_cache: OnceLock::new(),
         }
     }
 }

@@ -19,6 +19,7 @@ pub mod context;
 pub mod features;
 pub mod graph;
 pub mod metapath;
+pub mod registry;
 pub mod schema;
 pub mod split;
 
@@ -26,9 +27,10 @@ pub use condense::{
     all_ids, induce_selection, proportional_allocation, CondenseSpec, CondensedGraph, Condenser,
     DEFAULT_MAX_PATHS, DEFAULT_MAX_ROW_NNZ,
 };
-pub use context::{CacheCounters, CondenseContext, InfluenceKey};
+pub use context::{CacheCounters, CondenseContext, DiversityKey, InfluenceKey};
 pub use features::FeatureMatrix;
 pub use graph::{HeteroGraph, HeteroGraphBuilder};
 pub use metapath::{enumerate_metapaths, metapaths_to, MetaPath, MetaPathEngine, MetaPathStep};
+pub use registry::{ContextRegistry, GraphFingerprint};
 pub use schema::{EdgeTypeId, NodeTypeId, Role, Schema};
 pub use split::Split;

@@ -75,6 +75,71 @@ impl MetaPath {
     }
 }
 
+/// The one breadth-first walk both enumeration entry points share:
+/// expands proper meta-paths from `root` up to `max_hops`, emitting the
+/// ones whose endpoint matches `filter` (`None` = every path) until
+/// `max_emitted` have been collected. Paths are emitted as they are
+/// generated (no full next-hop frontier built first), and expansion
+/// stops the moment the cap is reached. With a filter, branches whose
+/// current type cannot reach the filtered type within the remaining
+/// hops are pruned via the schema-distance bound — pruned branches can
+/// never emit, so the emitted sequence is exactly the filtered full
+/// enumeration, but an unreachable or distant endpoint costs nothing
+/// instead of an exponential walk.
+fn bfs_metapaths(
+    schema: &Schema,
+    root: NodeTypeId,
+    max_hops: usize,
+    filter: Option<NodeTypeId>,
+    max_emitted: usize,
+) -> Vec<MetaPath> {
+    // Undirected schema distances lower-bound the hops a path needs to
+    // end at the filter type (meta-path traversal follows
+    // `incident_edges` in both directions).
+    let dist = filter.map(|f| schema.distances_from(f));
+    let mut out: Vec<MetaPath> = Vec::new();
+    let mut frontier: Vec<MetaPath> = vec![MetaPath {
+        node_types: vec![root],
+        steps: Vec::new(),
+    }];
+    for hop in 0..max_hops {
+        if out.len() >= max_emitted {
+            break;
+        }
+        // Hops still available after taking one step from this level.
+        let left_after_step = max_hops - hop - 1;
+        let mut next: Vec<MetaPath> = Vec::new();
+        'expand: for path in &frontier {
+            let cur = path.source();
+            for (edge, leaves_as_src) in schema.incident_edges(cur) {
+                if out.len() >= max_emitted {
+                    break 'expand;
+                }
+                let (s, d) = schema.edge_endpoints(edge);
+                let nxt = if leaves_as_src { d } else { s };
+                if let Some(dist) = &dist {
+                    let dd = dist[nxt.0 as usize];
+                    if dd == usize::MAX || dd > left_after_step {
+                        continue; // no descendant can end at the filter type
+                    }
+                }
+                let mut np = path.clone();
+                np.node_types.push(nxt);
+                np.steps.push(MetaPathStep {
+                    edge,
+                    forward: leaves_as_src,
+                });
+                if filter.is_none_or(|f| nxt == f) {
+                    out.push(np.clone());
+                }
+                next.push(np);
+            }
+        }
+        frontier = next;
+    }
+    out
+}
+
 /// Enumerates every proper meta-path rooted at `root` with 1..=`max_hops`
 /// hops, in breadth-first (shortest-first) order, capped at `max_paths`
 /// paths. Immediate back-tracking (returning over the same edge type) is
@@ -85,44 +150,21 @@ pub fn enumerate_metapaths(
     max_hops: usize,
     max_paths: usize,
 ) -> Vec<MetaPath> {
-    let mut out: Vec<MetaPath> = Vec::new();
-    let mut frontier: Vec<MetaPath> = vec![MetaPath {
-        node_types: vec![root],
-        steps: Vec::new(),
-    }];
-    for _hop in 0..max_hops {
-        if out.len() >= max_paths {
-            break;
-        }
-        // Paths are emitted as they are generated (no full next-hop
-        // frontier built first, no second scan copying into `out`), and
-        // expansion stops the moment the cap is reached.
-        let mut next: Vec<MetaPath> = Vec::new();
-        'expand: for path in &frontier {
-            let cur = path.source();
-            for (edge, leaves_as_src) in schema.incident_edges(cur) {
-                if out.len() >= max_paths {
-                    break 'expand;
-                }
-                let (s, d) = schema.edge_endpoints(edge);
-                let nxt = if leaves_as_src { d } else { s };
-                let mut np = path.clone();
-                np.node_types.push(nxt);
-                np.steps.push(MetaPathStep {
-                    edge,
-                    forward: leaves_as_src,
-                });
-                out.push(np.clone());
-                next.push(np);
-            }
-        }
-        frontier = next;
-    }
-    out
+    bfs_metapaths(schema, root, max_hops, None, max_paths)
 }
 
 /// Enumerates the meta-paths from `root` that *end at* source type `os`
 /// within `max_hops` hops — the path family `Φ_L` of Eq. (5) and Eq. (10).
+///
+/// The filter is applied *during* the breadth-first expansion (same
+/// visit order as [`enumerate_metapaths`], stopping once `max_paths`
+/// matching paths exist, with reach-pruning on branches that cannot end
+/// at `source`), so the result equals filtering the complete
+/// enumeration — without materializing it. A truncated over-enumeration
+/// (the historical `max_paths × 8` pre-cap) could exhaust itself on
+/// paths to other types before ever seeing a valid `Φ_L` member on wide
+/// schemas, silently dropping paths the paper's Eq. (10) sum is
+/// entitled to.
 pub fn metapaths_to(
     schema: &Schema,
     root: NodeTypeId,
@@ -130,11 +172,7 @@ pub fn metapaths_to(
     max_hops: usize,
     max_paths: usize,
 ) -> Vec<MetaPath> {
-    enumerate_metapaths(schema, root, max_hops, max_paths * 8)
-        .into_iter()
-        .filter(|p| p.source() == source)
-        .take(max_paths)
-        .collect()
+    bfs_metapaths(schema, root, max_hops, Some(source), max_paths)
 }
 
 /// Computes composed, row-normalized meta-path adjacencies with prefix
@@ -242,6 +280,26 @@ mod tests {
     }
 
     #[test]
+    fn metapaths_to_equals_filtering_the_full_enumeration() {
+        let g = fixture();
+        let root = g.schema().target();
+        for src_name in ["paper", "author", "field"] {
+            let src = g.schema().node_type_by_name(src_name).unwrap();
+            for hops in 1..=3 {
+                let full: Vec<MetaPath> = enumerate_metapaths(g.schema(), root, hops, usize::MAX)
+                    .into_iter()
+                    .filter(|p| p.source() == src)
+                    .collect();
+                for cap in 0..=full.len() + 1 {
+                    let got = metapaths_to(g.schema(), root, src, hops, cap);
+                    let want = &full[..cap.min(full.len())];
+                    assert_eq!(got.as_slice(), want, "{src_name} hops={hops} cap={cap}");
+                }
+            }
+        }
+    }
+
+    #[test]
     fn metapaths_to_filters_by_source() {
         let g = fixture();
         let root = g.schema().target();
@@ -281,8 +339,9 @@ mod tests {
         for p in &paths {
             eng.adjacency(p);
         }
-        // 2 one-hop prefixes + 2 two-hop compositions.
-        assert_eq!(eng.cache_len(), 4);
+        // 2 two-hop compositions; the 2 one-hop prefixes live in the
+        // factor cache, not the composed cache.
+        assert_eq!(eng.cache_len(), 2);
     }
 
     #[test]

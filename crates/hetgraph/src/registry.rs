@@ -1,0 +1,383 @@
+//! Cross-request context sharing: a keyed registry of warm
+//! [`CondenseContext`]s.
+//!
+//! One [`CondenseContext`] already lets a single owner amortize the
+//! per-graph precompute across methods, ratios, seeds and threads — but
+//! it is process-local state that every caller must construct and thread
+//! around. A serving process handling concurrent requests on the same
+//! dataset wants the stronger form: *any* request that names a graph
+//! gets the one warm context for it. [`ContextRegistry`] provides that:
+//! contexts are keyed by a content [`GraphFingerprint`] plus the
+//! cache-shaping knobs (fill-in cap, composed-cache budget), stored as
+//! `Arc<CondenseContext<'static>>` (the context co-owns its graph via
+//! [`CondenseContext::shared`]), and handed out under the context's
+//! existing thread-safety contract — sharing is transparent, so a
+//! registry-resolved condensation is bitwise-identical to a fresh one.
+//!
+//! Fingerprinting hashes the *entire* graph content (schema, adjacency
+//! structure and weights, features, labels, split) into 128 bits, so two
+//! `HeteroGraph` values with equal content share one context even when
+//! they are distinct allocations — e.g. two requests that each loaded
+//! the same dataset. The hash is one linear pass over the graph data,
+//! memoized on the graph (and invalidated by its mutating setters), so
+//! per-call resolution — `Condenser::condense_shared` in a sweep —
+//! hashes each graph value once. Fingerprint hits are cross-checked
+//! against structural invariants of the stored graph, so a hash
+//! collision panics instead of silently serving the wrong precompute.
+//!
+//! # Memory lifecycle
+//!
+//! A registered context lives (with its graph `Arc`) until
+//! [`ContextRegistry::evict`]/[`ContextRegistry::clear`] drop it, and
+//! only its *composed* cache is byte-budgeted — the influence,
+//! diversity and propagated caches are unbounded, and the propagated
+//! blocks are dense (usually the largest per-graph artifact). A
+//! long-running service should budget the composed cache via the spec
+//! knob, evict datasets it no longer serves, and treat per-cache
+//! budgets for the remaining caches as future work (see ROADMAP).
+
+use crate::condense::CondenseSpec;
+use crate::context::CondenseContext;
+use crate::graph::HeteroGraph;
+use freehgc_sparse::fx::FxHasher;
+use freehgc_sparse::FxHashMap;
+use std::hash::Hasher;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// A 128-bit content hash of a [`HeteroGraph`] — the registry key.
+///
+/// Two graphs with identical content always produce identical
+/// fingerprints. Distinct contents are extremely unlikely to collide,
+/// but the two salted Fx passes are fast rather than cryptographic and
+/// share one mixing function, so the registry does **not** rely on
+/// collision-freedom: every fingerprint hit is cross-checked against
+/// cheap structural invariants of the stored graph and a mismatch
+/// panics loudly instead of silently serving the wrong precompute.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct GraphFingerprint(pub u64, pub u64);
+
+impl std::fmt::Display for GraphFingerprint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:016x}{:016x}", self.0, self.1)
+    }
+}
+
+/// One salted pass over every field the graph's identity depends on.
+fn hash_graph(g: &HeteroGraph, salt: u64) -> u64 {
+    let mut h = FxHasher::default();
+    h.write_u64(salt);
+    let schema = g.schema();
+    h.write_usize(schema.num_node_types());
+    for t in schema.node_type_ids() {
+        let name = schema.node_type_name(t);
+        h.write_usize(name.len());
+        h.write(name.as_bytes());
+        // Role as a stable discriminant (None / Target / Father / Leaf).
+        h.write_u32(match schema.role(t) {
+            None => 0,
+            Some(crate::schema::Role::Target) => 1,
+            Some(crate::schema::Role::Father) => 2,
+            Some(crate::schema::Role::Leaf) => 3,
+        });
+        h.write_usize(g.num_nodes(t));
+        let f = g.features(t);
+        h.write_usize(f.num_rows());
+        h.write_usize(f.dim());
+        for &v in f.data() {
+            h.write_u32(v.to_bits());
+        }
+    }
+    h.write_u32(schema.target().0 as u32);
+    h.write_usize(schema.num_edge_types());
+    for e in schema.edge_type_ids() {
+        let name = schema.edge_type_name(e);
+        h.write_usize(name.len());
+        h.write(name.as_bytes());
+        let (src, dst) = schema.edge_endpoints(e);
+        h.write_u32(src.0 as u32);
+        h.write_u32(dst.0 as u32);
+        let a = g.adjacency(e);
+        h.write_usize(a.nrows());
+        h.write_usize(a.ncols());
+        for &p in a.indptr() {
+            h.write_usize(p);
+        }
+        for &c in a.indices() {
+            h.write_u32(c);
+        }
+        for &v in a.values() {
+            h.write_u32(v.to_bits());
+        }
+    }
+    h.write_usize(g.num_classes());
+    for &y in g.labels() {
+        h.write_u32(y);
+    }
+    let split = g.split();
+    for part in [&split.train, &split.val, &split.test] {
+        h.write_usize(part.len());
+        for &v in part.iter() {
+            h.write_u32(v);
+        }
+    }
+    h.finish()
+}
+
+impl HeteroGraph {
+    /// Content fingerprint of this graph — see [`GraphFingerprint`].
+    /// Computed lazily (one linear pass over all stored data) and then
+    /// memoized on the graph, so repeated registry resolutions — the
+    /// per-call path of `Condenser::condense_shared` — hash once per
+    /// graph value. The mutating setters (`set_features`, `set_split`)
+    /// reset the memo, so a stale hash is never served.
+    pub fn fingerprint(&self) -> GraphFingerprint {
+        *self.fingerprint_cache.get_or_init(|| {
+            GraphFingerprint(
+                hash_graph(self, 0x9e37_79b9_7f4a_7c15),
+                hash_graph(self, 0xc2b2_ae3d_27d4_eb4f),
+            )
+        })
+    }
+}
+
+/// Cheap structural comparison backing the registry's collision check:
+/// per-type node counts and per-edge-type nnz. Two *different* graphs
+/// that collide on the 128-bit fingerprint are astronomically unlikely
+/// to also agree on every one of these counts, and the check is O(#node
+/// types + #edge types) per lookup — nothing against the precompute it
+/// guards.
+fn same_shape(a: &HeteroGraph, b: &HeteroGraph) -> bool {
+    let (sa, sb) = (a.schema(), b.schema());
+    sa.num_node_types() == sb.num_node_types()
+        && sa.num_edge_types() == sb.num_edge_types()
+        && sa.node_type_ids().all(|t| a.num_nodes(t) == b.num_nodes(t))
+        && sa
+            .edge_type_ids()
+            .all(|e| a.adjacency(e).nnz() == b.adjacency(e).nnz())
+}
+
+/// The cache-shaping knobs that must match for two callers to share one
+/// context: the fill-in cap changes composed bits ([`CondenseContext`]
+/// asserts it via `check_spec`), and keying the budget keeps one
+/// caller's memory ceiling from silently governing another's.
+type RegistryKey = (GraphFingerprint, Option<usize>, Option<usize>);
+
+/// Keyed registry of shared condensation contexts: graph fingerprint →
+/// `Arc<CondenseContext>`. See the module docs.
+#[derive(Default)]
+pub struct ContextRegistry {
+    entries: Mutex<FxHashMap<RegistryKey, Arc<CondenseContext<'static>>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl ContextRegistry {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The process-wide registry, for callers without a natural owner
+    /// for one (examples, ad-hoc tools). Long-running services should
+    /// prefer owning a registry so they control its lifetime and can
+    /// [`ContextRegistry::clear`] it on dataset reloads.
+    pub fn global() -> &'static ContextRegistry {
+        static GLOBAL: OnceLock<ContextRegistry> = OnceLock::new();
+        GLOBAL.get_or_init(ContextRegistry::new)
+    }
+
+    /// Resolves the shared context for `graph` under `spec`'s
+    /// cache-shaping knobs (fill-in cap, composed budget), creating and
+    /// registering it on first sight. The fingerprint is computed here —
+    /// hold the returned `Arc` rather than re-resolving per call on a
+    /// hot path.
+    pub fn context_for(
+        &self,
+        graph: &Arc<HeteroGraph>,
+        spec: &CondenseSpec,
+    ) -> Arc<CondenseContext<'static>> {
+        self.context_with(graph, spec.max_row_nnz, spec.composed_cache_bytes)
+    }
+
+    /// [`ContextRegistry::context_for`] with explicit knobs.
+    pub fn context_with(
+        &self,
+        graph: &Arc<HeteroGraph>,
+        max_row_nnz: Option<usize>,
+        composed_cache_bytes: Option<usize>,
+    ) -> Arc<CondenseContext<'static>> {
+        let key = (graph.fingerprint(), max_row_nnz, composed_cache_bytes);
+        let mut entries = self.entries.lock().unwrap();
+        if let Some(ctx) = entries.get(&key) {
+            // A fingerprint hit must be the same graph content; serving
+            // another graph's warm precompute would be silently wrong
+            // output, so a (vanishingly unlikely) hash collision is
+            // loudly rejected instead of absorbed.
+            assert!(
+                ctx.shared_graph().is_some_and(|g| Arc::ptr_eq(graph, g))
+                    || same_shape(graph, ctx.graph()),
+                "GraphFingerprint collision: two structurally different graphs hashed to \
+                 {} — refusing to share a context",
+                key.0
+            );
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Arc::clone(ctx);
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        // Construction is cheap (empty caches), so holding the lock
+        // keeps the get-or-insert atomic without serializing any real
+        // work; the precompute itself happens lazily through the
+        // returned context.
+        let ctx = Arc::new(
+            CondenseContext::shared(Arc::clone(graph))
+                .with_max_row_nnz(max_row_nnz)
+                .with_composed_budget(composed_cache_bytes),
+        );
+        entries.insert(key, Arc::clone(&ctx));
+        ctx
+    }
+
+    /// Number of registered contexts.
+    pub fn len(&self) -> usize {
+        self.entries.lock().unwrap().len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// `(hits, misses)` of registry lookups (not of the contexts' inner
+    /// caches — read those off each context's `stats()`).
+    pub fn lookup_stats(&self) -> (u64, u64) {
+        (
+            self.hits.load(Ordering::Relaxed),
+            self.misses.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Drops every context registered for `fingerprint` (any knob
+    /// combination). Outstanding `Arc`s keep their contexts alive;
+    /// subsequent resolutions start cold. Returns how many entries were
+    /// dropped.
+    pub fn evict(&self, fingerprint: GraphFingerprint) -> usize {
+        let mut entries = self.entries.lock().unwrap();
+        let before = entries.len();
+        entries.retain(|(fp, _, _), _| *fp != fingerprint);
+        before - entries.len()
+    }
+
+    /// Drops every registered context.
+    pub fn clear(&self) {
+        self.entries.lock().unwrap().clear();
+    }
+}
+
+impl std::fmt::Debug for ContextRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let (hits, misses) = self.lookup_stats();
+        f.debug_struct("ContextRegistry")
+            .field("len", &self.len())
+            .field("hits", &hits)
+            .field("misses", &misses)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::features::FeatureMatrix;
+    use crate::graph::HeteroGraphBuilder;
+    use crate::schema::Schema;
+
+    fn graph(seed_weight: f32) -> HeteroGraph {
+        let mut s = Schema::new();
+        let p = s.add_node_type("paper");
+        let a = s.add_node_type("author");
+        let pa = s.add_edge_type("pa", p, a);
+        s.set_target(p);
+        let mut b = HeteroGraphBuilder::new(s, vec![3, 2]);
+        for (pp, aa) in [(0, 0), (1, 0), (1, 1), (2, 1)] {
+            b.add_weighted_edge(pa, pp, aa, seed_weight);
+        }
+        b.set_features(p, FeatureMatrix::zeros(3, 1));
+        b.set_features(a, FeatureMatrix::zeros(2, 1));
+        b.set_labels(vec![0, 1, 0], 2);
+        b.build()
+    }
+
+    #[test]
+    fn fingerprint_is_content_based() {
+        let a = graph(1.0);
+        let b = graph(1.0);
+        assert_eq!(a.fingerprint(), b.fingerprint(), "equal content");
+        let c = graph(2.0);
+        assert_ne!(a.fingerprint(), c.fingerprint(), "different edge weight");
+        let mut d = graph(1.0);
+        assert_eq!(a.fingerprint(), d.fingerprint(), "memo populated equal");
+        d.set_features(
+            d.schema().target(),
+            FeatureMatrix::from_rows(1, vec![7.0, 0.0, 0.0]),
+        );
+        assert_ne!(
+            a.fingerprint(),
+            d.fingerprint(),
+            "mutating setters must invalidate the memoized fingerprint"
+        );
+    }
+
+    #[test]
+    fn registry_shares_one_context_per_graph() {
+        let reg = ContextRegistry::new();
+        let g1 = Arc::new(graph(1.0));
+        let g2 = Arc::new(graph(1.0)); // same content, different allocation
+        let spec = CondenseSpec::new(0.5);
+        let a = reg.context_for(&g1, &spec);
+        let b = reg.context_for(&g2, &spec);
+        assert!(Arc::ptr_eq(&a, &b), "equal graphs must share a context");
+        assert_eq!(reg.len(), 1);
+        assert_eq!(reg.lookup_stats(), (1, 1));
+    }
+
+    #[test]
+    fn registry_discriminates_graphs_and_knobs() {
+        let reg = ContextRegistry::new();
+        let g1 = Arc::new(graph(1.0));
+        let g2 = Arc::new(graph(3.0));
+        let spec = CondenseSpec::new(0.5);
+        let a = reg.context_for(&g1, &spec);
+        let b = reg.context_for(&g2, &spec);
+        assert!(!Arc::ptr_eq(&a, &b), "different graphs, different contexts");
+        let c = reg.context_for(&g1, &spec.clone().with_max_row_nnz(None));
+        assert!(!Arc::ptr_eq(&a, &c), "different fill-in cap");
+        let d = reg.context_for(&g1, &spec.with_composed_cache_bytes(Some(1 << 16)));
+        assert!(!Arc::ptr_eq(&a, &d), "different budget");
+        assert_eq!(d.composed_budget(), Some(1 << 16));
+        assert_eq!(reg.len(), 4);
+    }
+
+    #[test]
+    fn evict_and_clear_release_entries() {
+        let reg = ContextRegistry::new();
+        let g1 = Arc::new(graph(1.0));
+        let g2 = Arc::new(graph(2.0));
+        let spec = CondenseSpec::new(0.5);
+        let a = reg.context_for(&g1, &spec);
+        reg.context_for(&g2, &spec);
+        assert_eq!(reg.evict(g1.fingerprint()), 1);
+        assert_eq!(reg.len(), 1);
+        // The outstanding Arc stays alive; a re-resolution starts fresh.
+        let a2 = reg.context_for(&g1, &spec);
+        assert!(!Arc::ptr_eq(&a, &a2));
+        reg.clear();
+        assert!(reg.is_empty());
+    }
+
+    #[test]
+    fn global_registry_is_a_singleton() {
+        assert!(std::ptr::eq(
+            ContextRegistry::global(),
+            ContextRegistry::global()
+        ));
+    }
+}

@@ -199,13 +199,12 @@ impl Schema {
         out
     }
 
-    /// BFS hop distance of every node type from the target type in the
-    /// schema graph (`usize::MAX` if unreachable).
-    pub fn distance_from_target(&self) -> Vec<usize> {
-        let target = self.target();
+    /// BFS hop distance of every node type from `from` in the
+    /// (undirected) schema graph (`usize::MAX` if unreachable).
+    pub fn distances_from(&self, from: NodeTypeId) -> Vec<usize> {
         let mut dist = vec![usize::MAX; self.node_types.len()];
-        dist[target.0 as usize] = 0;
-        let mut frontier = vec![target];
+        dist[from.0 as usize] = 0;
+        let mut frontier = vec![from];
         let mut d = 0usize;
         while !frontier.is_empty() {
             d += 1;
@@ -221,6 +220,12 @@ impl Schema {
             frontier = next;
         }
         dist
+    }
+
+    /// BFS hop distance of every node type from the target type in the
+    /// schema graph (`usize::MAX` if unreachable).
+    pub fn distance_from_target(&self) -> Vec<usize> {
+        self.distances_from(self.target())
     }
 
     /// Infers roles for every unassigned non-target type from the schema
