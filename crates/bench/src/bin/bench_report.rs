@@ -29,16 +29,26 @@
 //! outputs still match the cold reference bitwise. Unlike the kernel
 //! speedups these wins are algorithmic, so they show up even on a
 //! single-core runner.
+//!
+//! The *snapshot* legs (PR 5) exercise the on-disk warm-start path: the
+//! warm context is persisted to a versioned snapshot file, a fresh
+//! registry (standing in for a restarted process) resolves it back via
+//! `resolve_or_load`, and the identical grid reruns from the loaded
+//! precompute — asserting bitwise equality against the cold reference
+//! and a nonzero snapshot-load count. A final corruption probe flips
+//! one byte in the file and asserts the loader rejects it, counts the
+//! rejection, and still produces the cold-reference bits from scratch.
 
 use freehgc_baselines::HerdingHg;
 use freehgc_core::selection::{condense_target, SelectionConfig};
 use freehgc_core::FreeHgc;
 use freehgc_datasets::{generate, DatasetKind};
+use freehgc_hetgraph::snapshot::snapshot_file_name;
 use freehgc_hetgraph::{
     CacheCounters, CondenseContext, CondenseSpec, CondensedGraph, Condenser, ContextRegistry,
     HeteroGraph,
 };
-use freehgc_hgnn::propagation::propagate;
+use freehgc_hgnn::propagation::{propagate, PropagatedFeaturesCodec};
 use freehgc_parallel as par;
 use freehgc_sparse::ppr::{ppr_push, PprConfig};
 use freehgc_sparse::CsrMatrix;
@@ -155,6 +165,15 @@ struct SweepReport {
     evict_equal: bool,
     evict_budget_bytes: usize,
     evict_cache: CacheCounters,
+    snapshot_save_ms: f64,
+    snapshot_load_ms: f64,
+    snapshot_ms: f64,
+    snapshot_equal: bool,
+    snapshot_load_hits: u64,
+    snapshot_file_bytes: u64,
+    corrupt_ms: f64,
+    corrupt_equal: bool,
+    corrupt_rejections: u64,
 }
 
 impl SweepReport {
@@ -217,6 +236,56 @@ fn run_sweep(quick: bool) -> SweepReport {
     let (evicted, evict_ms) = run_grid(&|m, r| m.condense_in(&evicting, &spec_for(r)));
     let evict_equal = matches_cold(&evicted);
 
+    // Snapshot legs: persist the warm context, then a fresh registry —
+    // a stand-in for a restarted process — loads it from disk and
+    // reruns the identical grid from the loaded precompute.
+    let snap_dir = std::env::temp_dir().join(format!("fhgc-bench-snapshot-{}", std::process::id()));
+    std::fs::create_dir_all(&snap_dir).expect("create snapshot dir");
+    let knobs = spec_for(0.05);
+    let snap_path = snap_dir.join(snapshot_file_name(
+        g.fingerprint(),
+        knobs.max_row_nnz,
+        knobs.composed_cache_bytes,
+    ));
+    let t = Instant::now();
+    ctx.save_snapshot_with(&snap_path, Some(&PropagatedFeaturesCodec))
+        .expect("save snapshot");
+    let snapshot_save_ms = t.elapsed().as_secs_f64() * 1e3;
+    let snapshot_file_bytes = std::fs::metadata(&snap_path).map_or(0, |m| m.len());
+
+    let loaded_registry = ContextRegistry::new();
+    let t = Instant::now();
+    let loaded = loaded_registry.resolve_or_load_with(
+        &snap_dir,
+        &ga,
+        &knobs,
+        Some(&PropagatedFeaturesCodec),
+    );
+    let snapshot_load_ms = t.elapsed().as_secs_f64() * 1e3;
+    let (from_disk, snapshot_ms) = run_grid(&|m, r| m.condense_in(&loaded, &spec_for(r)));
+    let snapshot_equal = matches_cold(&from_disk);
+    let (snapshot_load_hits, _) = loaded_registry.snapshot_stats();
+
+    // Corruption probe: one flipped byte must reject as a clean cold
+    // miss — counted, un-panicking, and still bit-correct from scratch.
+    let mut corrupted = std::fs::read(&snap_path).expect("read snapshot back");
+    let mid = corrupted.len() / 2;
+    corrupted[mid] ^= 0x10;
+    std::fs::write(&snap_path, &corrupted).expect("write corrupted snapshot");
+    let corrupt_registry = ContextRegistry::new();
+    let cold_again = corrupt_registry.resolve_or_load_with(
+        &snap_dir,
+        &ga,
+        &knobs,
+        Some(&PropagatedFeaturesCodec),
+    );
+    // Grid time only — same measurement as the snapshot and cold legs,
+    // so the three `ms` fields stay directly comparable.
+    let (after_corruption, corrupt_ms) = run_grid(&|m, r| m.condense_in(&cold_again, &spec_for(r)));
+    let corrupt_equal = matches_cold(&after_corruption);
+    let (_, corrupt_rejections) = corrupt_registry.snapshot_stats();
+    std::fs::remove_dir_all(&snap_dir).ok();
+
     let report = SweepReport {
         dataset: "acm".to_string(),
         ratios,
@@ -233,6 +302,15 @@ fn run_sweep(quick: bool) -> SweepReport {
         evict_equal,
         evict_budget_bytes,
         evict_cache: evicting.stats(),
+        snapshot_save_ms,
+        snapshot_load_ms,
+        snapshot_ms,
+        snapshot_equal,
+        snapshot_load_hits,
+        snapshot_file_bytes,
+        corrupt_ms,
+        corrupt_equal,
+        corrupt_rejections,
     };
     eprintln!(
         "sweep ({} × {} ratios)        cold {:>9.3} ms   warm {:>9.3} ms   speedup {:>5.2}x   \
@@ -261,6 +339,20 @@ fn run_sweep(quick: bool) -> SweepReport {
         report.evict_cache.composed_rejected,
         report.evict_equal
     );
+    eprintln!(
+        "  snapshot leg {:>9.3} ms (save {:.3} ms, load {:.3} ms, {} B file)   loads {}   \
+         bitwise_equal={}",
+        report.snapshot_ms,
+        report.snapshot_save_ms,
+        report.snapshot_load_ms,
+        report.snapshot_file_bytes,
+        report.snapshot_load_hits,
+        report.snapshot_equal
+    );
+    eprintln!(
+        "  corruption probe {:>9.3} ms   rejections {}   bitwise_equal={}",
+        report.corrupt_ms, report.corrupt_rejections, report.corrupt_equal
+    );
     report
 }
 
@@ -275,7 +367,7 @@ fn fmt_ms(v: f64) -> String {
 fn main() {
     let mut quick = false;
     let mut threads = 4usize;
-    let mut out_path = "BENCH_PR4.json".to_string();
+    let mut out_path = "BENCH_PR5.json".to_string();
     for arg in std::env::args().skip(1) {
         if arg == "--quick" {
             quick = true;
@@ -395,7 +487,7 @@ fn main() {
     let avail = std::thread::available_parallelism().map_or(1, |n| n.get());
     let mut out = String::new();
     out.push_str("{\n");
-    out.push_str("  \"pr\": 4,\n");
+    out.push_str("  \"pr\": 5,\n");
     out.push_str("  \"created_by\": \"bench_report\",\n");
     out.push_str(&format!("  \"quick\": {quick},\n"));
     out.push_str("  \"machine\": {\n");
@@ -521,9 +613,40 @@ fn main() {
         ec.composed_evictions, ec.composed_rejected
     ));
     out.push_str(&format!(
-        "      \"bitwise_equal\": {}\n    }}\n",
+        "      \"bitwise_equal\": {}\n    }},\n",
         sweep.evict_equal
     ));
+    out.push_str("    \"snapshot\": {\n");
+    out.push_str(
+        "      \"note\": \"The warm context is persisted to a versioned on-disk snapshot, then a \
+         fresh ContextRegistry (a stand-in for a restarted process) resolves it back via \
+         resolve_or_load and reruns the identical grid; ms is the warm-from-disk grid time, \
+         directly comparable to cold_ms. The corruption probe flips one byte in the file and \
+         must fall back to cold compute: a counted rejection, no panic, identical bits.\",\n",
+    );
+    out.push_str(&format!(
+        "      \"save_ms\": {},\n      \"load_ms\": {},\n      \"ms\": {},\n",
+        fmt_ms(sweep.snapshot_save_ms),
+        fmt_ms(sweep.snapshot_load_ms),
+        fmt_ms(sweep.snapshot_ms)
+    ));
+    out.push_str(&format!(
+        "      \"file_bytes\": {},\n      \"load_hits\": {},\n",
+        sweep.snapshot_file_bytes, sweep.snapshot_load_hits
+    ));
+    out.push_str(&format!(
+        "      \"bitwise_equal\": {},\n",
+        sweep.snapshot_equal
+    ));
+    out.push_str("      \"corruption_probe\": {\n");
+    out.push_str(&format!(
+        "        \"ms\": {},\n        \"rejections\": {},\n        \"bitwise_equal\": {}\n",
+        fmt_ms(sweep.corrupt_ms),
+        sweep.corrupt_rejections,
+        sweep.corrupt_equal
+    ));
+    out.push_str("      }\n");
+    out.push_str("    }\n");
     out.push_str("  }\n");
     out.push_str("}\n");
     std::fs::write(&out_path, &out).expect("write bench report");
@@ -559,6 +682,22 @@ fn main() {
     }
     if ec.composed_evictions + ec.composed_rejected == 0 {
         eprintln!("FATAL: the evicting sweep never exercised the budget — eviction is untested");
+        std::process::exit(1);
+    }
+    if !sweep.snapshot_equal {
+        eprintln!("FATAL: a condensation served from a loaded snapshot diverged from cold compute");
+        std::process::exit(1);
+    }
+    if sweep.snapshot_load_hits == 0 {
+        eprintln!("FATAL: the snapshot leg never loaded from disk — warm-start is broken");
+        std::process::exit(1);
+    }
+    if sweep.corrupt_rejections == 0 {
+        eprintln!("FATAL: the corruption probe was not rejected — snapshot validation is broken");
+        std::process::exit(1);
+    }
+    if !sweep.corrupt_equal {
+        eprintln!("FATAL: output after a rejected snapshot diverged from cold compute");
         std::process::exit(1);
     }
 }

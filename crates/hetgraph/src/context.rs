@@ -129,26 +129,34 @@ pub struct CacheCounters {
 }
 
 impl CacheCounters {
-    /// Total hits across every cache.
-    pub fn total_hits(&self) -> u64 {
-        self.paths.0
-            + self.factors.0
-            + self.composed.0
-            + self.oriented.0
-            + self.influence.0
-            + self.diversity.0
-            + self.propagated.0
+    fn caches(&self) -> [(u64, u64); 7] {
+        [
+            self.paths,
+            self.factors,
+            self.composed,
+            self.oriented,
+            self.influence,
+            self.diversity,
+            self.propagated,
+        ]
     }
 
-    /// Total misses across every cache.
+    /// Total hits across every cache. Saturating: a counter total is a
+    /// diagnostic, and a long-lived serving context must never panic (or
+    /// wrap to a small number in release) just because its hit counters
+    /// grew past `u64::MAX` combined.
+    pub fn total_hits(&self) -> u64 {
+        self.caches()
+            .iter()
+            .fold(0u64, |acc, &(h, _)| acc.saturating_add(h))
+    }
+
+    /// Total misses across every cache (saturating, like
+    /// [`CacheCounters::total_hits`]).
     pub fn total_misses(&self) -> u64 {
-        self.paths.1
-            + self.factors.1
-            + self.composed.1
-            + self.oriented.1
-            + self.influence.1
-            + self.diversity.1
-            + self.propagated.1
+        self.caches()
+            .iter()
+            .fold(0u64, |acc, &(_, m)| acc.saturating_add(m))
     }
 }
 
@@ -159,7 +167,7 @@ impl CacheCounters {
 /// importance backend is encoded as a caller-defined discriminant plus
 /// its bit-exact `f32`/count parameters (e.g. PPR's alpha, epsilon and
 /// iteration cap as raw bits) so distinct configurations never collide.
-#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+#[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct InfluenceKey {
     /// The scored (father) node type.
     pub father: NodeTypeId,
@@ -184,7 +192,10 @@ pub struct InfluenceKey {
 pub type DiversityKey = (NodeTypeId, usize, usize, usize);
 
 type PathKey = (NodeTypeId, usize, usize);
-type AnyArc = Arc<dyn Any + Send + Sync>;
+/// The type-erased value the propagated cache stores (shared with the
+/// snapshot layer, which round-trips these through a caller-supplied
+/// codec).
+pub(crate) type AnyArc = Arc<dyn Any + Send + Sync>;
 /// Oriented-adjacency cache: `None` is the cached *negative* answer for
 /// a type pair the schema has no relation between.
 type OrientedMap = FxHashMap<(NodeTypeId, NodeTypeId), Option<Arc<CsrMatrix>>>;
@@ -280,12 +291,26 @@ impl ComposedCache {
     }
 
     /// Evicts the entry that is cheapest to recompute (ties broken toward
-    /// the least recently touched). Returns false when the cache is empty.
+    /// the least recently touched, then by key order). Returns false when
+    /// the cache is empty.
+    ///
+    /// The victim choice must be a pure function of the cache *contents*,
+    /// never of hash-map iteration order: eviction decides which entries
+    /// get recomputed, and while recomputes are bitwise-transparent, the
+    /// bench legs and equivalence suites pin eviction *counters* too — a
+    /// map-order-dependent victim would make those nondeterministic. The
+    /// `(cost, touch)` pair is unique under normal operation (the logical
+    /// clock ticks per touch), so the key-order tiebreak only matters for
+    /// states reconstructed wholesale (e.g. a snapshot load, where every
+    /// installed entry shares one batch) — exactly where determinism must
+    /// still hold.
     fn evict_one(&mut self) -> bool {
         let victim = self
             .map
             .iter()
-            .min_by_key(|(_, e)| (e.cost, e.touch))
+            .min_by(|(ka, ea), (kb, eb)| {
+                (ea.cost, ea.touch, ka.as_slice()).cmp(&(eb.cost, eb.touch, kb.as_slice()))
+            })
             .map(|(k, _)| k.clone());
         match victim {
             Some(k) => {
@@ -397,15 +422,18 @@ impl<'g> CondenseContext<'g> {
     /// eviction only forces pure recomputes — so it may be set on a warm
     /// context; resident entries are evicted immediately to fit, and the
     /// `composed_peak_bytes` high-water mark restarts at the resident
-    /// size so it keeps the `peak ≤ budget` invariant from this point on
-    /// (pre-budget history would trivially exceed any new budget).
+    /// size — for `Some` and `None` alike — so the pair stays mutually
+    /// consistent (`bytes ≤ peak`, and `peak ≤ budget` when one is set)
+    /// from this point on: pre-budget history would trivially exceed any
+    /// new budget, and a stale mark after *removing* a budget would
+    /// misreport the unbudgeted era.
     pub fn with_composed_budget(mut self, bytes: Option<usize>) -> Self {
         let cache = self.composed.get_mut().unwrap();
         cache.budget = bytes;
         if let Some(b) = bytes {
             while cache.bytes > b && cache.evict_one() {}
-            cache.peak_bytes = cache.bytes;
         }
+        cache.peak_bytes = cache.bytes;
         self
     }
 }
@@ -654,6 +682,99 @@ impl CondenseContext<'_> {
         self.diversity_stats.miss();
         let v = Arc::new(compute());
         Arc::clone(self.diversity.lock().unwrap().entry(key).or_insert(v))
+    }
+
+    // ---- snapshot support -------------------------------------------
+    //
+    // The dump methods hand the snapshot encoder a *sorted* copy of each
+    // cache (deterministic file bytes for identical cache contents); the
+    // install methods pre-warm a cache from a decoded snapshot without
+    // touching the hit/miss counters — a loaded entry was neither
+    // requested nor computed, and installs never overwrite entries a
+    // live caller already produced.
+
+    pub(crate) fn dump_factors(&self) -> Vec<(MetaPathStep, Arc<CsrMatrix>)> {
+        let mut v: Vec<_> = self
+            .factors
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|(k, m)| (*k, Arc::clone(m)))
+            .collect();
+        v.sort_unstable_by_key(|(k, _)| *k);
+        v
+    }
+
+    pub(crate) fn dump_composed(&self) -> Vec<(Vec<MetaPathStep>, Arc<CsrMatrix>, u64)> {
+        let mut v: Vec<_> = self
+            .composed
+            .lock()
+            .unwrap()
+            .map
+            .iter()
+            .map(|(k, e)| (k.clone(), Arc::clone(&e.matrix), e.cost))
+            .collect();
+        v.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+        v
+    }
+
+    pub(crate) fn dump_influence(&self) -> Vec<(InfluenceKey, Arc<Vec<f64>>)> {
+        let mut v: Vec<_> = self
+            .influence
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|(k, x)| (k.clone(), Arc::clone(x)))
+            .collect();
+        v.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+        v
+    }
+
+    pub(crate) fn dump_diversity(&self) -> Vec<(DiversityKey, Arc<Vec<f64>>)> {
+        let mut v: Vec<_> = self
+            .diversity
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|(k, x)| (*k, Arc::clone(x)))
+            .collect();
+        v.sort_unstable_by_key(|(k, _)| *k);
+        v
+    }
+
+    pub(crate) fn dump_propagated(&self) -> Vec<((usize, usize), AnyArc)> {
+        let mut v: Vec<_> = self
+            .propagated
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|(k, x)| (*k, Arc::clone(x)))
+            .collect();
+        v.sort_unstable_by_key(|(k, _)| *k);
+        v
+    }
+
+    pub(crate) fn install_factor(&self, step: MetaPathStep, m: Arc<CsrMatrix>) {
+        self.factors.lock().unwrap().entry(step).or_insert(m);
+    }
+
+    /// Installs a composed adjacency through the cache's normal admission
+    /// path, so a byte budget (and its eviction policy) applies to loaded
+    /// entries exactly as to computed ones.
+    pub(crate) fn install_composed(&self, steps: Vec<MetaPathStep>, m: Arc<CsrMatrix>, cost: u64) {
+        self.composed.lock().unwrap().insert(&steps, m, cost);
+    }
+
+    pub(crate) fn install_influence(&self, key: InfluenceKey, v: Arc<Vec<f64>>) {
+        self.influence.lock().unwrap().entry(key).or_insert(v);
+    }
+
+    pub(crate) fn install_diversity(&self, key: DiversityKey, v: Arc<Vec<f64>>) {
+        self.diversity.lock().unwrap().entry(key).or_insert(v);
+    }
+
+    pub(crate) fn install_propagated(&self, key: (usize, usize), v: AnyArc) {
+        self.propagated.lock().unwrap().entry(key).or_insert(v);
     }
 
     /// Returns the cached propagated-feature value for `key`, computing
@@ -1068,6 +1189,93 @@ mod tests {
         assert!(!cache.map.contains_key([step(0), step(1)].as_slice()));
         assert!(cache.map.contains_key([step(0), step(3)].as_slice()));
         assert!(cache.bytes <= bytes_each * 3);
+    }
+
+    #[test]
+    fn cache_counter_totals_saturate_instead_of_overflowing() {
+        let c = CacheCounters {
+            paths: (u64::MAX, u64::MAX),
+            factors: (5, 7),
+            diversity: (u64::MAX, 0),
+            ..Default::default()
+        };
+        // A wrapping sum would panic in debug builds (and wrap to a
+        // small number in release); totals must clamp instead.
+        assert_eq!(c.total_hits(), u64::MAX);
+        assert_eq!(c.total_misses(), u64::MAX);
+        let small = CacheCounters {
+            paths: (2, 3),
+            factors: (5, 7),
+            ..Default::default()
+        };
+        assert_eq!(small.total_hits(), 7, "un-saturated totals still exact");
+        assert_eq!(small.total_misses(), 10);
+    }
+
+    #[test]
+    fn rebudgeting_a_warm_context_keeps_bytes_and_peak_consistent() {
+        let g = fixture();
+        let ctx = CondenseContext::new(&g);
+        let root = g.schema().target();
+        let paths = ctx.metapaths(root, 3, 100);
+        for p in paths.iter() {
+            ctx.adjacency(p);
+        }
+        let full = ctx.composed_bytes();
+        assert!(full > 0);
+
+        // Budget a warm context: resident shrinks to fit and the mark
+        // restarts at the resident size.
+        let budget = (full / 2).max(1);
+        let ctx = ctx.with_composed_budget(Some(budget));
+        let st = ctx.stats();
+        assert!(st.composed_bytes <= budget as u64);
+        assert_eq!(st.composed_peak_bytes, st.composed_bytes);
+
+        // Remove the budget from the (still warm) context: nothing is
+        // evicted, and the mark restarts at the resident size instead of
+        // carrying the budgeted era's history.
+        let ctx = ctx.with_composed_budget(None);
+        let st = ctx.stats();
+        assert_eq!(st.composed_peak_bytes, st.composed_bytes);
+
+        // New inserts grow both again, keeping bytes ≤ peak.
+        for p in paths.iter() {
+            ctx.adjacency(p);
+        }
+        let st = ctx.stats();
+        assert_eq!(st.composed_bytes, full as u64, "unbudgeted refill");
+        assert!(st.composed_peak_bytes >= st.composed_bytes);
+    }
+
+    #[test]
+    fn eviction_tiebreak_falls_back_to_key_order() {
+        // Force the degenerate state the (cost, touch) pair cannot
+        // order: every entry with identical cost AND identical logical
+        // touch time (as a wholesale-reconstructed cache could hold).
+        // The victim must then be decided by key order — never by hash
+        // map iteration order.
+        let step = |e: u16| MetaPathStep {
+            edge: crate::schema::EdgeTypeId(e),
+            forward: true,
+        };
+        let m = || Arc::new(CsrMatrix::from_edges(2, 2, &[(0, 0), (1, 1)]));
+        for order in [[3u16, 1, 2], [1, 2, 3], [2, 3, 1]] {
+            let mut cache = ComposedCache::default();
+            for e in order {
+                cache.insert(&[step(0), step(e)], m(), 10);
+            }
+            for entry in cache.map.values_mut() {
+                entry.touch = 7; // erase the per-insert clock
+            }
+            assert!(cache.evict_one());
+            assert!(
+                !cache.map.contains_key([step(0), step(1)].as_slice()),
+                "the smallest key must be the victim regardless of \
+                 insertion order {order:?}"
+            );
+            assert_eq!(cache.map.len(), 2);
+        }
     }
 
     #[test]

@@ -25,6 +25,15 @@ pub struct HeteroGraph {
 }
 
 impl HeteroGraph {
+    /// Drops the memoized content fingerprint. Every `&mut self` path
+    /// that can change graph *content* must call this before returning —
+    /// the registry (and the on-disk snapshot loader) key warm precompute
+    /// by the fingerprint, so a stale memo would serve another graph's
+    /// caches as this one's.
+    fn invalidate_fingerprint(&mut self) {
+        self.fingerprint_cache = OnceLock::new();
+    }
+
     pub fn schema(&self) -> &Schema {
         &self.schema
     }
@@ -49,6 +58,17 @@ impl HeteroGraph {
         &self.adjacency[e.0 as usize]
     }
 
+    /// Replaces the adjacency of edge type `e` (same shape required) —
+    /// the mutation hook for edge rewiring / incremental-update
+    /// workloads. Invalidates the memoized fingerprint.
+    pub fn set_adjacency(&mut self, e: EdgeTypeId, a: CsrMatrix) {
+        let old = &self.adjacency[e.0 as usize];
+        assert_eq!(a.nrows(), old.nrows(), "adjacency row count must match");
+        assert_eq!(a.ncols(), old.ncols(), "adjacency column count must match");
+        self.adjacency[e.0 as usize] = a;
+        self.invalidate_fingerprint();
+    }
+
     /// Adjacency between two node types oriented `from → to`, transposing a
     /// stored reverse edge type when needed. Returns the first schema match.
     pub fn adjacency_between(&self, from: NodeTypeId, to: NodeTypeId) -> Option<CsrMatrix> {
@@ -70,12 +90,38 @@ impl HeteroGraph {
         assert_eq!(f.num_rows(), old.num_rows(), "feature row count must match");
         assert_eq!(f.dim(), old.dim(), "feature dimension must match");
         self.features[t.0 as usize] = f;
-        self.fingerprint_cache = OnceLock::new();
+        self.invalidate_fingerprint();
+    }
+
+    /// Mutable access to the features of node type `t`, for in-place
+    /// refinement. Handing out the borrow already counts as a content
+    /// mutation: the fingerprint is invalidated eagerly, so the memo can
+    /// never outlive writes made through the returned reference.
+    pub fn features_mut(&mut self, t: NodeTypeId) -> &mut FeatureMatrix {
+        self.invalidate_fingerprint();
+        &mut self.features[t.0 as usize]
     }
 
     /// Class labels of the target type, one per target node.
     pub fn labels(&self) -> &[u32] {
         &self.labels
+    }
+
+    /// Replaces the target-type labels (one per target node, all within
+    /// `num_classes`). Invalidates the memoized fingerprint.
+    pub fn set_labels(&mut self, labels: Vec<u32>, num_classes: usize) {
+        assert_eq!(
+            labels.len(),
+            self.num_nodes(self.schema.target()),
+            "one label per target node"
+        );
+        assert!(
+            labels.iter().all(|&y| (y as usize) < num_classes),
+            "label out of range for num_classes"
+        );
+        self.labels = labels;
+        self.num_classes = num_classes;
+        self.invalidate_fingerprint();
     }
 
     pub fn num_classes(&self) -> usize {
@@ -92,7 +138,7 @@ impl HeteroGraph {
             "split references more nodes than the target type has"
         );
         self.split = split;
-        self.fingerprint_cache = OnceLock::new();
+        self.invalidate_fingerprint();
     }
 
     /// Per-class node counts over the whole target type.
@@ -367,6 +413,49 @@ mod tests {
         assert_eq!(sub.adjacency(ps).nnz(), 1);
         assert_eq!(sub.split().train.len(), 2);
         assert!(sub.split().test.is_empty());
+    }
+
+    /// Every `&mut` path that can change graph content must invalidate
+    /// the memoized fingerprint — the registry and the snapshot loader
+    /// key warm precompute by it, so one stale memo would serve another
+    /// graph's caches (or on-disk snapshot) as this one's.
+    #[test]
+    fn every_content_mutator_invalidates_the_fingerprint() {
+        let mut g = tiny_acm();
+        let s = g.schema().clone();
+        let paper = s.node_type_by_name("paper").unwrap();
+        let author = s.node_type_by_name("author").unwrap();
+        let pa = s.edge_type_by_name("pa").unwrap();
+
+        let mut last = g.fingerprint();
+        let mut step = |g: &HeteroGraph, what: &str| {
+            let fp = g.fingerprint();
+            assert_ne!(fp, last, "{what} must change the fingerprint");
+            last = fp;
+        };
+
+        g.set_features(paper, FeatureMatrix::from_rows(2, vec![9.0; 8]));
+        step(&g, "set_features");
+
+        g.features_mut(author).row_mut(0)[0] = 123.0;
+        step(&g, "features_mut");
+
+        g.set_labels(vec![1, 1, 0, 0], 2);
+        step(&g, "set_labels");
+
+        g.set_adjacency(pa, CsrMatrix::from_edges(4, 3, &[(0, 0), (2, 1)]));
+        step(&g, "set_adjacency");
+
+        g.set_split(Split {
+            train: vec![0, 1],
+            val: vec![2],
+            test: vec![3],
+        });
+        step(&g, "set_split");
+
+        // And the memo itself still works: a second read with no
+        // intervening mutation returns the same value.
+        assert_eq!(g.fingerprint(), last);
     }
 
     #[test]

@@ -21,6 +21,7 @@ pub mod graph;
 pub mod metapath;
 pub mod registry;
 pub mod schema;
+pub mod snapshot;
 pub mod split;
 
 pub use condense::{
@@ -33,4 +34,7 @@ pub use graph::{HeteroGraph, HeteroGraphBuilder};
 pub use metapath::{enumerate_metapaths, metapaths_to, MetaPath, MetaPathEngine, MetaPathStep};
 pub use registry::{ContextRegistry, GraphFingerprint};
 pub use schema::{EdgeTypeId, NodeTypeId, Role, Schema};
+pub use snapshot::{
+    snapshot_file_name, PropagatedCodec, SnapshotError, SnapshotLoadReport, SNAPSHOT_VERSION,
+};
 pub use split::Split;

@@ -25,8 +25,10 @@ use std::sync::Arc;
 
 /// One hop of a meta-path: an edge type and the direction it is traversed
 /// (`forward == true` means from the stored source type to the stored
-/// destination type).
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+/// destination type). `Ord` gives step sequences a total order, used as
+/// the final eviction tiebreak and to serialize snapshot sections in a
+/// deterministic order.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct MetaPathStep {
     pub edge: EdgeTypeId,
     pub forward: bool,

@@ -39,9 +39,11 @@
 use crate::condense::CondenseSpec;
 use crate::context::CondenseContext;
 use crate::graph::HeteroGraph;
+use crate::snapshot::{snapshot_file_name, PropagatedCodec, SnapshotError};
 use freehgc_sparse::fx::FxHasher;
 use freehgc_sparse::FxHashMap;
 use std::hash::Hasher;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
@@ -170,6 +172,12 @@ pub struct ContextRegistry {
     entries: Mutex<FxHashMap<RegistryKey, Arc<CondenseContext<'static>>>>,
     hits: AtomicU64,
     misses: AtomicU64,
+    /// On-disk snapshots successfully loaded by
+    /// [`ContextRegistry::resolve_or_load`].
+    snapshot_loads: AtomicU64,
+    /// Snapshot files found but rejected (corruption, version or knob
+    /// mismatch, unreadable) — each one fell back to a clean cold miss.
+    snapshot_rejections: AtomicU64,
 }
 
 impl ContextRegistry {
@@ -206,9 +214,59 @@ impl ContextRegistry {
         max_row_nnz: Option<usize>,
         composed_cache_bytes: Option<usize>,
     ) -> Arc<CondenseContext<'static>> {
+        self.resolve(graph, max_row_nnz, composed_cache_bytes, None, None)
+    }
+
+    /// [`ContextRegistry::context_for`], warm-starting from disk: on an
+    /// in-memory miss the loader looks for the canonical snapshot file
+    /// ([`snapshot_file_name`]) for this graph's fingerprint and the
+    /// spec's cache knobs under `dir`, and pre-warms the fresh context
+    /// from it. *Any* problem with the file — absent, truncated,
+    /// corrupted, wrong version, wrong fingerprint, wrong knobs — falls
+    /// back to plain cold compute; a snapshot can save work, never
+    /// change bits and never turn into an error. Loads and rejections
+    /// are counted in [`ContextRegistry::snapshot_stats`].
+    ///
+    /// Propagated-feature blocks need a codec to round-trip — use
+    /// [`ContextRegistry::resolve_or_load_with`] to supply one; this
+    /// entry point skips them.
+    pub fn resolve_or_load(
+        &self,
+        dir: &Path,
+        graph: &Arc<HeteroGraph>,
+        spec: &CondenseSpec,
+    ) -> Arc<CondenseContext<'static>> {
+        self.resolve_or_load_with(dir, graph, spec, None)
+    }
+
+    /// [`ContextRegistry::resolve_or_load`] with a codec for the
+    /// propagated-feature section.
+    pub fn resolve_or_load_with(
+        &self,
+        dir: &Path,
+        graph: &Arc<HeteroGraph>,
+        spec: &CondenseSpec,
+        codec: Option<&dyn PropagatedCodec>,
+    ) -> Arc<CondenseContext<'static>> {
+        self.resolve(
+            graph,
+            spec.max_row_nnz,
+            spec.composed_cache_bytes,
+            Some(dir),
+            codec,
+        )
+    }
+
+    fn resolve(
+        &self,
+        graph: &Arc<HeteroGraph>,
+        max_row_nnz: Option<usize>,
+        composed_cache_bytes: Option<usize>,
+        snapshot_dir: Option<&Path>,
+        codec: Option<&dyn PropagatedCodec>,
+    ) -> Arc<CondenseContext<'static>> {
         let key = (graph.fingerprint(), max_row_nnz, composed_cache_bytes);
-        let mut entries = self.entries.lock().unwrap();
-        if let Some(ctx) = entries.get(&key) {
+        if let Some(ctx) = self.entries.lock().unwrap().get(&key) {
             // A fingerprint hit must be the same graph content; serving
             // another graph's warm precompute would be silently wrong
             // output, so a (vanishingly unlikely) hash collision is
@@ -223,18 +281,91 @@ impl ContextRegistry {
             self.hits.fetch_add(1, Ordering::Relaxed);
             return Arc::clone(ctx);
         }
-        self.misses.fetch_add(1, Ordering::Relaxed);
-        // Construction is cheap (empty caches), so holding the lock
-        // keeps the get-or-insert atomic without serializing any real
-        // work; the precompute itself happens lazily through the
-        // returned context.
+        // Miss: construction is cheap (empty caches) and the optional
+        // disk load is pure pre-warming, so both run outside the lock;
+        // a concurrent resolver of the same key builds identical state
+        // and whichever lands in the map first wins below.
         let ctx = Arc::new(
             CondenseContext::shared(Arc::clone(graph))
                 .with_max_row_nnz(max_row_nnz)
                 .with_composed_budget(composed_cache_bytes),
         );
-        entries.insert(key, Arc::clone(&ctx));
-        ctx
+        // Some(true) = snapshot loaded into `ctx`, Some(false) = a file
+        // was found but rejected, None = no file. Counted only below,
+        // once we know `ctx` is the context the registry actually
+        // serves — a racing resolver's discarded load must not inflate
+        // `snapshot_stats` into reporting a warm start nobody received.
+        let mut load_outcome = None;
+        if let Some(dir) = snapshot_dir {
+            let path = dir.join(snapshot_file_name(key.0, max_row_nnz, composed_cache_bytes));
+            load_outcome = match std::fs::read(&path) {
+                Ok(bytes) => match crate::snapshot::decode_snapshot_into(&ctx, &bytes, codec) {
+                    Ok(_) => Some(true),
+                    // decode_snapshot_into installed nothing, so the
+                    // context is exactly as cold as before the try.
+                    Err(_) => Some(false),
+                },
+                // No file at all is the ordinary cold path, not a
+                // rejection; any other read failure is one.
+                Err(e) if e.kind() == std::io::ErrorKind::NotFound => None,
+                Err(_) => Some(false),
+            };
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        match self.entries.lock().unwrap().entry(key) {
+            // Lost the insert race: serve the winner's (bitwise
+            // identical) context and drop ours, load and all.
+            std::collections::hash_map::Entry::Occupied(o) => Arc::clone(o.get()),
+            std::collections::hash_map::Entry::Vacant(v) => {
+                match load_outcome {
+                    Some(true) => {
+                        self.snapshot_loads.fetch_add(1, Ordering::Relaxed);
+                    }
+                    Some(false) => {
+                        self.snapshot_rejections.fetch_add(1, Ordering::Relaxed);
+                    }
+                    None => {}
+                }
+                Arc::clone(v.insert(ctx))
+            }
+        }
+    }
+
+    /// Writes the registered context for `(graph, spec)` to its
+    /// canonical snapshot file under `dir` (creating the directory),
+    /// registering the context first if needed. Returns the path a
+    /// later [`ContextRegistry::resolve_or_load`] will find it at.
+    ///
+    /// The write *merges*: valid entries already in the file that this
+    /// context lacks are kept, so persisting from a process that did
+    /// less work than a previous one never shrinks the artifact.
+    pub fn persist(
+        &self,
+        dir: &Path,
+        graph: &Arc<HeteroGraph>,
+        spec: &CondenseSpec,
+    ) -> Result<PathBuf, SnapshotError> {
+        self.persist_with(dir, graph, spec, None)
+    }
+
+    /// [`ContextRegistry::persist`] with a codec for the
+    /// propagated-feature section.
+    pub fn persist_with(
+        &self,
+        dir: &Path,
+        graph: &Arc<HeteroGraph>,
+        spec: &CondenseSpec,
+        codec: Option<&dyn PropagatedCodec>,
+    ) -> Result<PathBuf, SnapshotError> {
+        let ctx = self.context_for(graph, spec);
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(snapshot_file_name(
+            graph.fingerprint(),
+            spec.max_row_nnz,
+            spec.composed_cache_bytes,
+        ));
+        ctx.save_snapshot_merged(&path, codec)?;
+        Ok(path)
     }
 
     /// Number of registered contexts.
@@ -252,6 +383,17 @@ impl ContextRegistry {
         (
             self.hits.load(Ordering::Relaxed),
             self.misses.load(Ordering::Relaxed),
+        )
+    }
+
+    /// `(loads, rejections)` of on-disk snapshot attempts made by
+    /// [`ContextRegistry::resolve_or_load`]: how many cold resolutions
+    /// started warm from a file, and how many found a file but rejected
+    /// it (and fell back to cold compute).
+    pub fn snapshot_stats(&self) -> (u64, u64) {
+        (
+            self.snapshot_loads.load(Ordering::Relaxed),
+            self.snapshot_rejections.load(Ordering::Relaxed),
         )
     }
 
@@ -371,6 +513,122 @@ mod tests {
         assert!(!Arc::ptr_eq(&a, &a2));
         reg.clear();
         assert!(reg.is_empty());
+    }
+
+    fn temp_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("fhgc-registry-{tag}-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn resolve_or_load_round_trips_through_disk() {
+        let dir = temp_dir("roundtrip");
+        let g = Arc::new(graph(1.0));
+        let spec = CondenseSpec::new(0.5);
+        let root = g.schema().target();
+
+        // Warm a context in "process one" and persist it.
+        let reg = ContextRegistry::new();
+        let ctx = reg.context_for(&g, &spec);
+        for p in ctx.metapaths(root, 2, 100).iter() {
+            ctx.adjacency(p);
+        }
+        let path = reg.persist(&dir, &g, &spec).unwrap();
+        assert!(path.exists());
+
+        // "Process two": a fresh registry resolves warm from the file.
+        let reg2 = ContextRegistry::new();
+        let ctx2 = reg2.resolve_or_load(&dir, &g, &spec);
+        assert_eq!(reg2.snapshot_stats(), (1, 0));
+        let before = ctx2.stats();
+        for p in ctx2.metapaths(root, 2, 100).iter() {
+            assert_eq!(*ctx2.adjacency(p), *ctx.adjacency(p), "loaded bits");
+        }
+        assert_eq!(
+            ctx2.stats().composed.1,
+            before.composed.1,
+            "warm-from-disk context must not re-miss on compositions"
+        );
+
+        // Re-resolving is an in-memory hit: no second disk load.
+        let ctx3 = reg2.resolve_or_load(&dir, &g, &spec);
+        assert!(Arc::ptr_eq(&ctx2, &ctx3));
+        assert_eq!(reg2.snapshot_stats(), (1, 0));
+        assert_eq!(reg2.lookup_stats(), (1, 1));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn missing_snapshot_is_a_plain_cold_miss() {
+        let dir = temp_dir("missing");
+        let g = Arc::new(graph(1.0));
+        let reg = ContextRegistry::new();
+        let ctx = reg.resolve_or_load(&dir, &g, &CondenseSpec::new(0.5));
+        assert_eq!(
+            reg.snapshot_stats(),
+            (0, 0),
+            "no file is neither a load nor a rejection"
+        );
+        assert_eq!(ctx.composed_len(), 0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn bad_snapshots_fall_back_to_cold_compute() {
+        let dir = temp_dir("reject");
+        let g = Arc::new(graph(1.0));
+        let spec = CondenseSpec::new(0.5);
+        let root = g.schema().target();
+        let reg = ContextRegistry::new();
+        let ctx = reg.context_for(&g, &spec);
+        for p in ctx.metapaths(root, 2, 100).iter() {
+            ctx.adjacency(p);
+        }
+        let path = reg.persist(&dir, &g, &spec).unwrap();
+
+        // Corrupt the file in place: the loader must reject it, count
+        // the rejection, and serve correct bits from cold compute.
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x01;
+        std::fs::write(&path, &bytes).unwrap();
+        let reg2 = ContextRegistry::new();
+        let cold = reg2.resolve_or_load(&dir, &g, &spec);
+        assert_eq!(reg2.snapshot_stats(), (0, 1));
+        assert_eq!(cold.composed_len(), 0, "nothing installed from corruption");
+        for p in cold.metapaths(root, 2, 100).iter() {
+            assert_eq!(*cold.adjacency(p), *ctx.adjacency(p), "cold recompute");
+        }
+
+        // A *valid* snapshot of a different graph placed under this
+        // graph's canonical name: fingerprint check rejects it.
+        let g2 = Arc::new(graph(2.0));
+        let reg3 = ContextRegistry::new();
+        let ctx_b = reg3.context_for(&g2, &spec);
+        for p in ctx_b.metapaths(root, 2, 100).iter() {
+            ctx_b.adjacency(p);
+        }
+        let other_path = reg3.persist(&dir, &g2, &spec).unwrap();
+        std::fs::copy(&other_path, &path).unwrap();
+        let reg4 = ContextRegistry::new();
+        let ctx4 = reg4.resolve_or_load(&dir, &g, &spec);
+        assert_eq!(reg4.snapshot_stats(), (0, 1), "wrong fingerprint rejected");
+        assert_eq!(ctx4.composed_len(), 0);
+
+        // Wrong knobs under the right name: same rejection path.
+        let capless = spec.clone().with_max_row_nnz(None);
+        let reg5 = ContextRegistry::new();
+        let ctx5 = reg5.context_for(&g, &capless);
+        for p in ctx5.metapaths(root, 2, 100).iter() {
+            ctx5.adjacency(p);
+        }
+        let capless_path = reg5.persist(&dir, &g, &capless).unwrap();
+        std::fs::copy(&capless_path, &path).unwrap();
+        let reg6 = ContextRegistry::new();
+        reg6.resolve_or_load(&dir, &g, &spec);
+        assert_eq!(reg6.snapshot_stats(), (0, 1), "wrong knobs rejected");
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

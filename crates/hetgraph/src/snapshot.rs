@@ -1,0 +1,1385 @@
+//! On-disk context snapshots: warm-start condensation across process
+//! restarts.
+//!
+//! Everything a [`CondenseContext`] caches is a pure function of the
+//! graph and the cache key, so the whole precompute — composed meta-path
+//! adjacencies (Eq. 1), influence vectors (Eq. 10–13), diversity bonuses
+//! (Eq. 5–7), propagated-feature blocks — is a *durable artifact*, not
+//! process state. This module serializes it to a single versioned binary
+//! file so a restarted service (or a second process on the same dataset)
+//! starts warm instead of recomputing; the same transparency contract
+//! holds as for every other cache layer: a condensation served from a
+//! loaded snapshot is bitwise-identical to a fresh one.
+//!
+//! # File format (version 1, little-endian, hand-rolled)
+//!
+//! ```text
+//! magic    [u8; 8]   b"FHGCSNAP"
+//! version  u32       SNAPSHOT_VERSION
+//! fp       u64 × 2   GraphFingerprint of the source graph
+//! cap      opt       max_row_nnz knob   (u8 tag, then u64 when Some)
+//! budget   opt       composed-cache byte budget knob
+//! nsect    u32       number of sections
+//! section* id u8 | payload_len u64 | checksum u64 | payload bytes
+//! ```
+//!
+//! Sections hold the factor cache, the composed cache (with each entry's
+//! recompute-cost estimate, so a budgeted loader evicts identically to
+//! the process that saved), the influence and diversity caches, and —
+//! when a [`PropagatedCodec`] is supplied — the type-erased propagated
+//! blocks. Map contents are written in key order, so identical cache
+//! contents produce identical bytes.
+//!
+//! # Trust model
+//!
+//! A snapshot is only ever *advisory*: the loader verifies the magic,
+//! version, fingerprint and cache-shaping knobs, checksums every section,
+//! bounds-checks every length and re-validates every CSR invariant, and
+//! decodes the entire file into staging before touching a context — any
+//! failure leaves the context exactly as cold as it was and surfaces as a
+//! [`SnapshotError`] the caller (see
+//! [`ContextRegistry::resolve_or_load`](crate::registry::ContextRegistry::resolve_or_load))
+//! converts into a clean cold miss. Corruption can cost a recompute,
+//! never a panic and never wrong bits.
+
+use crate::context::{AnyArc, CondenseContext, DiversityKey, InfluenceKey};
+use crate::graph::HeteroGraph;
+use crate::metapath::MetaPathStep;
+use crate::registry::GraphFingerprint;
+use crate::schema::{EdgeTypeId, NodeTypeId};
+use freehgc_sparse::fx::FxHasher;
+use freehgc_sparse::CsrMatrix;
+use std::any::Any;
+use std::hash::Hasher;
+use std::path::Path;
+use std::sync::Arc;
+
+/// First eight bytes of every snapshot file.
+pub const SNAPSHOT_MAGIC: [u8; 8] = *b"FHGCSNAP";
+/// Current format version; bump on any layout change.
+pub const SNAPSHOT_VERSION: u32 = 1;
+
+const SECTION_FACTORS: u8 = 1;
+const SECTION_COMPOSED: u8 = 2;
+const SECTION_INFLUENCE: u8 = 3;
+const SECTION_DIVERSITY: u8 = 4;
+const SECTION_PROPAGATED: u8 = 5;
+
+/// Why a snapshot could not be written or loaded. Loaders treat every
+/// variant the same way — fall back to cold compute — but the variant
+/// names the first contract the file broke, for logs and tests.
+#[derive(Debug)]
+pub enum SnapshotError {
+    Io(std::io::Error),
+    /// Not a snapshot file at all.
+    BadMagic,
+    /// A snapshot, but of an incompatible format version.
+    BadVersion {
+        found: u32,
+        expected: u32,
+    },
+    /// A well-formed snapshot of a *different* graph.
+    WrongFingerprint {
+        found: GraphFingerprint,
+        expected: GraphFingerprint,
+    },
+    /// Right graph, wrong cache-shaping knobs (fill-in cap / budget) —
+    /// the knobs change cached bits or admission, so they must match
+    /// exactly.
+    WrongKnobs,
+    /// A section's payload does not match its recorded checksum.
+    ChecksumMismatch {
+        section: u8,
+    },
+    /// The file ends before a declared length.
+    Truncated,
+    /// Structurally invalid contents (bad lengths, broken CSR
+    /// invariants, unknown section ids, trailing bytes, …).
+    Malformed(&'static str),
+}
+
+impl std::fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SnapshotError::Io(e) => write!(f, "snapshot io error: {e}"),
+            SnapshotError::BadMagic => write!(f, "not a context snapshot (bad magic)"),
+            SnapshotError::BadVersion { found, expected } => {
+                write!(f, "snapshot format version {found}, expected {expected}")
+            }
+            SnapshotError::WrongFingerprint { found, expected } => {
+                write!(f, "snapshot is for graph {found}, expected {expected}")
+            }
+            SnapshotError::WrongKnobs => {
+                write!(f, "snapshot cache knobs disagree with the context's")
+            }
+            SnapshotError::ChecksumMismatch { section } => {
+                write!(f, "checksum mismatch in snapshot section {section}")
+            }
+            SnapshotError::Truncated => write!(f, "snapshot file is truncated"),
+            SnapshotError::Malformed(what) => write!(f, "malformed snapshot: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+impl From<std::io::Error> for SnapshotError {
+    fn from(e: std::io::Error) -> Self {
+        SnapshotError::Io(e)
+    }
+}
+
+/// What a successful load installed (and skipped), per cache.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SnapshotLoadReport {
+    pub factors: usize,
+    pub composed: usize,
+    pub influence: usize,
+    pub diversity: usize,
+    pub propagated: usize,
+    /// Propagated entries present in the file but skipped because the
+    /// loader supplied no [`PropagatedCodec`].
+    pub propagated_skipped: usize,
+}
+
+impl SnapshotLoadReport {
+    /// Total entries installed into the context.
+    pub fn installed(&self) -> usize {
+        self.factors + self.composed + self.influence + self.diversity + self.propagated
+    }
+}
+
+/// Round-trips the type-erased propagated-feature blocks a context
+/// caches. The `hetgraph` crate cannot name the concrete block type (it
+/// lives in a higher layer), so the layer that owns the cache supplies
+/// the codec — `freehgc_hgnn::propagation::PropagatedFeaturesCodec` for
+/// the workspace's `PropagatedFeatures`. Saving or loading without a
+/// codec simply skips the propagated section; everything else in the
+/// snapshot still round-trips.
+pub trait PropagatedCodec {
+    /// Encodes one cached value, or `None` when its concrete type is not
+    /// this codec's (the entry is skipped at save time).
+    fn encode(&self, value: &dyn Any) -> Option<Vec<u8>>;
+
+    /// Decodes bytes produced by [`PropagatedCodec::encode`]. `None`
+    /// marks the payload malformed, which rejects the whole load.
+    fn decode(&self, bytes: &[u8]) -> Option<Arc<dyn Any + Send + Sync>>;
+
+    /// Shape-checks a decoded value against the graph it is about to
+    /// serve — the one validation the type-erased layer cannot do
+    /// itself (e.g. propagated block rows must match the target node
+    /// count, or a later gather panics). Returning `false` rejects the
+    /// whole load. The default accepts everything.
+    fn validate(&self, _value: &dyn Any, _graph: &HeteroGraph) -> bool {
+        true
+    }
+}
+
+/// Canonical file name for a snapshot: the registry key — fingerprint
+/// plus both cache-shaping knobs — spelled into the name, so one
+/// directory holds distinct snapshots for distinct keys and a loader
+/// can address the right file without reading any of them.
+pub fn snapshot_file_name(
+    fp: GraphFingerprint,
+    max_row_nnz: Option<usize>,
+    composed_budget: Option<usize>,
+) -> String {
+    fn knob(o: Option<usize>) -> String {
+        o.map_or_else(|| "none".to_string(), |v| v.to_string())
+    }
+    format!(
+        "ctx-{fp}-k{}-b{}.fhgc",
+        knob(max_row_nnz),
+        knob(composed_budget)
+    )
+}
+
+// ---------------------------------------------------------------------
+// Byte-level encoding primitives (shared with the propagated codecs).
+// ---------------------------------------------------------------------
+
+/// Little-endian append-only byte sink.
+#[derive(Default)]
+pub struct ByteWriter {
+    buf: Vec<u8>,
+}
+
+impl ByteWriter {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    pub fn put_u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub fn put_usize(&mut self, v: usize) {
+        self.put_u64(v as u64);
+    }
+
+    /// Bit-exact float encoding — snapshots must round-trip every value
+    /// bitwise, so floats travel as their raw IEEE-754 bits.
+    pub fn put_f32(&mut self, v: f32) {
+        self.put_u32(v.to_bits());
+    }
+
+    pub fn put_f64(&mut self, v: f64) {
+        self.put_u64(v.to_bits());
+    }
+
+    pub fn put_bytes(&mut self, b: &[u8]) {
+        self.buf.extend_from_slice(b);
+    }
+
+    // Bulk array writers: snapshot payloads are dominated by large
+    // index/value arrays, so reserve once per array rather than letting
+    // every element re-check capacity.
+
+    pub fn put_u32_slice(&mut self, v: &[u32]) {
+        self.buf.reserve(v.len() * 4);
+        for &x in v {
+            self.buf.extend_from_slice(&x.to_le_bytes());
+        }
+    }
+
+    pub fn put_f32_slice(&mut self, v: &[f32]) {
+        self.buf.reserve(v.len() * 4);
+        for &x in v {
+            self.buf.extend_from_slice(&x.to_bits().to_le_bytes());
+        }
+    }
+
+    pub fn put_f64_slice(&mut self, v: &[f64]) {
+        self.buf.reserve(v.len() * 8);
+        for &x in v {
+            self.buf.extend_from_slice(&x.to_bits().to_le_bytes());
+        }
+    }
+
+    pub fn put_usize_slice(&mut self, v: &[usize]) {
+        self.buf.reserve(v.len() * 8);
+        for &x in v {
+            self.buf.extend_from_slice(&(x as u64).to_le_bytes());
+        }
+    }
+
+    pub fn put_opt_usize(&mut self, v: Option<usize>) {
+        match v {
+            None => self.put_u8(0),
+            Some(x) => {
+                self.put_u8(1);
+                self.put_usize(x);
+            }
+        }
+    }
+
+    pub fn put_str(&mut self, s: &str) {
+        self.put_usize(s.len());
+        self.put_bytes(s.as_bytes());
+    }
+}
+
+/// Bounds-checked little-endian reader over a byte slice. Every read
+/// that would run past the end returns [`SnapshotError::Truncated`]
+/// instead of panicking — the input is an untrusted file.
+pub struct ByteReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> ByteReader<'a> {
+    pub fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    pub fn take(&mut self, n: usize) -> Result<&'a [u8], SnapshotError> {
+        if n > self.remaining() {
+            return Err(SnapshotError::Truncated);
+        }
+        let out = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    pub fn u8(&mut self) -> Result<u8, SnapshotError> {
+        Ok(self.take(1)?[0])
+    }
+
+    pub fn u16(&mut self) -> Result<u16, SnapshotError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    pub fn u32(&mut self) -> Result<u32, SnapshotError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    pub fn u64(&mut self) -> Result<u64, SnapshotError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    pub fn usize(&mut self) -> Result<usize, SnapshotError> {
+        usize::try_from(self.u64()?).map_err(|_| SnapshotError::Malformed("usize overflow"))
+    }
+
+    pub fn f32(&mut self) -> Result<f32, SnapshotError> {
+        Ok(f32::from_bits(self.u32()?))
+    }
+
+    pub fn f64(&mut self) -> Result<f64, SnapshotError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    pub fn opt_usize(&mut self) -> Result<Option<usize>, SnapshotError> {
+        match self.u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(self.usize()?)),
+            _ => Err(SnapshotError::Malformed("option tag")),
+        }
+    }
+
+    pub fn str(&mut self) -> Result<String, SnapshotError> {
+        let len = self.seq_len(1)?;
+        std::str::from_utf8(self.take(len)?)
+            .map(str::to_owned)
+            .map_err(|_| SnapshotError::Malformed("non-utf8 string"))
+    }
+
+    /// Reads a sequence length and sanity-bounds it: `len` elements of
+    /// at least `min_elem_bytes` each must still fit in the remaining
+    /// input. A corrupted length field therefore fails fast as
+    /// `Truncated` instead of driving a multi-gigabyte allocation.
+    pub fn seq_len(&mut self, min_elem_bytes: usize) -> Result<usize, SnapshotError> {
+        let len = self.usize()?;
+        if len > self.remaining() / min_elem_bytes.max(1) {
+            return Err(SnapshotError::Truncated);
+        }
+        Ok(len)
+    }
+
+    // Bulk array readers: one bounds-checked `take` per array (which
+    // also caps the allocation at the actual input size), then a
+    // chunked decode, instead of a `Result` round trip per element.
+
+    pub fn u32_vec(&mut self, len: usize) -> Result<Vec<u32>, SnapshotError> {
+        let n = len
+            .checked_mul(4)
+            .ok_or(SnapshotError::Malformed("length overflow"))?;
+        Ok(self
+            .take(n)?
+            .chunks_exact(4)
+            .map(|c| u32::from_le_bytes(c.try_into().unwrap()))
+            .collect())
+    }
+
+    pub fn f32_vec(&mut self, len: usize) -> Result<Vec<f32>, SnapshotError> {
+        let n = len
+            .checked_mul(4)
+            .ok_or(SnapshotError::Malformed("length overflow"))?;
+        Ok(self
+            .take(n)?
+            .chunks_exact(4)
+            .map(|c| f32::from_bits(u32::from_le_bytes(c.try_into().unwrap())))
+            .collect())
+    }
+
+    pub fn f64_vec(&mut self, len: usize) -> Result<Vec<f64>, SnapshotError> {
+        let n = len
+            .checked_mul(8)
+            .ok_or(SnapshotError::Malformed("length overflow"))?;
+        Ok(self
+            .take(n)?
+            .chunks_exact(8)
+            .map(|c| f64::from_bits(u64::from_le_bytes(c.try_into().unwrap())))
+            .collect())
+    }
+
+    pub fn usize_vec(&mut self, len: usize) -> Result<Vec<usize>, SnapshotError> {
+        let n = len
+            .checked_mul(8)
+            .ok_or(SnapshotError::Malformed("length overflow"))?;
+        self.take(n)?
+            .chunks_exact(8)
+            .map(|c| {
+                usize::try_from(u64::from_le_bytes(c.try_into().unwrap()))
+                    .map_err(|_| SnapshotError::Malformed("usize overflow"))
+            })
+            .collect()
+    }
+}
+
+/// Section checksum: the workspace Fx hash over the section id, payload
+/// length and payload bytes. Fast and non-cryptographic — it guards
+/// against torn writes and bit rot, not adversaries; the full structural
+/// validation on decode is what keeps a colliding corruption harmless.
+fn section_checksum(id: u8, payload: &[u8]) -> u64 {
+    let mut h = FxHasher::default();
+    h.write(&[id]);
+    h.write_usize(payload.len());
+    h.write(payload);
+    h.finish()
+}
+
+// ---------------------------------------------------------------------
+// Payload encoders.
+// ---------------------------------------------------------------------
+
+fn put_step(w: &mut ByteWriter, s: MetaPathStep) {
+    w.put_u16(s.edge.0);
+    w.put_u8(s.forward as u8);
+}
+
+fn read_step(r: &mut ByteReader<'_>) -> Result<MetaPathStep, SnapshotError> {
+    let edge = EdgeTypeId(r.u16()?);
+    let forward = match r.u8()? {
+        0 => false,
+        1 => true,
+        _ => return Err(SnapshotError::Malformed("step direction tag")),
+    };
+    Ok(MetaPathStep { edge, forward })
+}
+
+fn put_csr(w: &mut ByteWriter, m: &CsrMatrix) {
+    w.put_usize(m.nrows());
+    w.put_usize(m.ncols());
+    w.put_usize(m.nnz());
+    w.put_usize_slice(m.indptr());
+    w.put_u32_slice(m.indices());
+    w.put_f32_slice(m.values());
+}
+
+/// Decodes a CSR matrix, re-validating every invariant `CsrMatrix`
+/// promises (monotone indptr, sorted strictly-increasing in-range column
+/// indices) so a checksum-colliding corruption can never reach the
+/// panicking `from_parts` asserts — here it is a clean `Malformed`.
+fn read_csr(r: &mut ByteReader<'_>) -> Result<CsrMatrix, SnapshotError> {
+    let nrows = r.usize()?;
+    let ncols = r.usize()?;
+    let nnz = r.usize()?;
+    let ptr_len = nrows
+        .checked_add(1)
+        .ok_or(SnapshotError::Malformed("nrows overflow"))?;
+    let indptr = r.usize_vec(ptr_len)?;
+    if indptr[0] != 0 || indptr[nrows] != nnz {
+        return Err(SnapshotError::Malformed("indptr endpoints"));
+    }
+    if indptr.windows(2).any(|w| w[0] > w[1]) {
+        return Err(SnapshotError::Malformed("indptr not monotone"));
+    }
+    let indices = r.u32_vec(nnz)?;
+    let values = r.f32_vec(nnz)?;
+    for row in 0..nrows {
+        let cols = &indices[indptr[row]..indptr[row + 1]];
+        if cols.windows(2).any(|w| w[0] >= w[1]) {
+            return Err(SnapshotError::Malformed("row indices not sorted-unique"));
+        }
+        if cols.last().is_some_and(|&c| c as usize >= ncols) {
+            return Err(SnapshotError::Malformed("column index out of range"));
+        }
+    }
+    Ok(CsrMatrix::from_parts(nrows, ncols, indptr, indices, values))
+}
+
+fn encode_factors(ctx: &CondenseContext<'_>) -> Vec<u8> {
+    let entries = ctx.dump_factors();
+    let mut w = ByteWriter::new();
+    w.put_usize(entries.len());
+    for (step, m) in entries {
+        put_step(&mut w, step);
+        put_csr(&mut w, &m);
+    }
+    w.into_bytes()
+}
+
+fn encode_composed(ctx: &CondenseContext<'_>) -> Vec<u8> {
+    let entries = ctx.dump_composed();
+    let mut w = ByteWriter::new();
+    w.put_usize(entries.len());
+    for (steps, m, cost) in entries {
+        w.put_usize(steps.len());
+        for s in steps {
+            put_step(&mut w, s);
+        }
+        w.put_u64(cost);
+        put_csr(&mut w, &m);
+    }
+    w.into_bytes()
+}
+
+fn encode_influence(ctx: &CondenseContext<'_>) -> Vec<u8> {
+    let entries = ctx.dump_influence();
+    let mut w = ByteWriter::new();
+    w.put_usize(entries.len());
+    for (k, v) in entries {
+        w.put_u16(k.father.0);
+        w.put_usize(k.max_hops);
+        w.put_usize(k.max_paths);
+        w.put_u8(k.method.0);
+        for p in k.method.1 {
+            w.put_u32(p);
+        }
+        match &k.seed_targets {
+            None => w.put_u8(0),
+            Some(t) => {
+                w.put_u8(1);
+                w.put_usize(t.len());
+                w.put_u32_slice(t);
+            }
+        }
+        w.put_u64(k.seed);
+        w.put_usize(v.len());
+        w.put_f64_slice(&v);
+    }
+    w.into_bytes()
+}
+
+fn encode_diversity(ctx: &CondenseContext<'_>) -> Vec<u8> {
+    let entries = ctx.dump_diversity();
+    let mut w = ByteWriter::new();
+    w.put_usize(entries.len());
+    for ((root, max_hops, max_paths, path_idx), v) in entries {
+        w.put_u16(root.0);
+        w.put_usize(max_hops);
+        w.put_usize(max_paths);
+        w.put_usize(path_idx);
+        w.put_usize(v.len());
+        w.put_f64_slice(&v);
+    }
+    w.into_bytes()
+}
+
+fn encode_propagated(ctx: &CondenseContext<'_>, codec: &dyn PropagatedCodec) -> Vec<u8> {
+    let mut encoded: Vec<((usize, usize), Vec<u8>)> = Vec::new();
+    for (key, value) in ctx.dump_propagated() {
+        if let Some(bytes) = codec.encode(value.as_ref()) {
+            encoded.push((key, bytes));
+        }
+    }
+    let mut w = ByteWriter::new();
+    w.put_usize(encoded.len());
+    for ((a, b), bytes) in encoded {
+        w.put_usize(a);
+        w.put_usize(b);
+        w.put_usize(bytes.len());
+        w.put_bytes(&bytes);
+    }
+    w.into_bytes()
+}
+
+/// Serializes `ctx`'s caches to snapshot bytes. Pure in-memory encoding;
+/// see [`CondenseContext::save_snapshot`] for the file wrapper.
+pub fn encode_snapshot(ctx: &CondenseContext<'_>, codec: Option<&dyn PropagatedCodec>) -> Vec<u8> {
+    let fp = ctx.graph().fingerprint();
+    let mut sections: Vec<(u8, Vec<u8>)> = vec![
+        (SECTION_FACTORS, encode_factors(ctx)),
+        (SECTION_COMPOSED, encode_composed(ctx)),
+        (SECTION_INFLUENCE, encode_influence(ctx)),
+        (SECTION_DIVERSITY, encode_diversity(ctx)),
+    ];
+    if let Some(codec) = codec {
+        sections.push((SECTION_PROPAGATED, encode_propagated(ctx, codec)));
+    }
+
+    let mut w = ByteWriter::new();
+    w.put_bytes(&SNAPSHOT_MAGIC);
+    w.put_u32(SNAPSHOT_VERSION);
+    w.put_u64(fp.0);
+    w.put_u64(fp.1);
+    w.put_opt_usize(ctx.max_row_nnz());
+    w.put_opt_usize(ctx.composed_budget());
+    w.put_u32(sections.len() as u32);
+    for (id, payload) in sections {
+        w.put_u8(id);
+        w.put_usize(payload.len());
+        w.put_u64(section_checksum(id, &payload));
+        w.put_bytes(&payload);
+    }
+    w.into_bytes()
+}
+
+/// Fully decoded snapshot contents, staged before installation so a
+/// failure anywhere leaves the target context untouched.
+#[derive(Default)]
+struct Staging {
+    factors: Vec<(MetaPathStep, CsrMatrix)>,
+    composed: Vec<(Vec<MetaPathStep>, CsrMatrix, u64)>,
+    influence: Vec<(InfluenceKey, Vec<f64>)>,
+    diversity: Vec<(DiversityKey, Vec<f64>)>,
+    propagated: Vec<((usize, usize), AnyArc)>,
+    propagated_skipped: usize,
+}
+
+fn decode_factors(payload: &[u8], out: &mut Staging) -> Result<(), SnapshotError> {
+    let mut r = ByteReader::new(payload);
+    let count = r.seq_len(3)?;
+    for _ in 0..count {
+        let step = read_step(&mut r)?;
+        let m = read_csr(&mut r)?;
+        out.factors.push((step, m));
+    }
+    if !r.is_empty() {
+        return Err(SnapshotError::Malformed("trailing bytes in factors"));
+    }
+    Ok(())
+}
+
+fn decode_composed(payload: &[u8], out: &mut Staging) -> Result<(), SnapshotError> {
+    let mut r = ByteReader::new(payload);
+    let count = r.seq_len(8)?;
+    for _ in 0..count {
+        let nsteps = r.seq_len(3)?;
+        if nsteps < 2 {
+            // Single-step paths live in the factor cache by design; a
+            // snapshot that claims otherwise is not one we wrote.
+            return Err(SnapshotError::Malformed("composed entry under 2 steps"));
+        }
+        let mut steps = Vec::with_capacity(nsteps);
+        for _ in 0..nsteps {
+            steps.push(read_step(&mut r)?);
+        }
+        let cost = r.u64()?;
+        let m = read_csr(&mut r)?;
+        out.composed.push((steps, m, cost));
+    }
+    if !r.is_empty() {
+        return Err(SnapshotError::Malformed("trailing bytes in composed"));
+    }
+    Ok(())
+}
+
+fn decode_influence(payload: &[u8], out: &mut Staging) -> Result<(), SnapshotError> {
+    let mut r = ByteReader::new(payload);
+    let count = r.seq_len(8)?;
+    for _ in 0..count {
+        let father = NodeTypeId(r.u16()?);
+        let max_hops = r.usize()?;
+        let max_paths = r.usize()?;
+        let disc = r.u8()?;
+        let mut params = [0u32; 4];
+        for p in &mut params {
+            *p = r.u32()?;
+        }
+        let seed_targets = match r.u8()? {
+            0 => None,
+            1 => {
+                let n = r.usize()?;
+                Some(r.u32_vec(n)?)
+            }
+            _ => return Err(SnapshotError::Malformed("seed-target tag")),
+        };
+        let seed = r.u64()?;
+        let n = r.usize()?;
+        let v = r.f64_vec(n)?;
+        out.influence.push((
+            InfluenceKey {
+                father,
+                max_hops,
+                max_paths,
+                method: (disc, params),
+                seed_targets,
+                seed,
+            },
+            v,
+        ));
+    }
+    if !r.is_empty() {
+        return Err(SnapshotError::Malformed("trailing bytes in influence"));
+    }
+    Ok(())
+}
+
+fn decode_diversity(payload: &[u8], out: &mut Staging) -> Result<(), SnapshotError> {
+    let mut r = ByteReader::new(payload);
+    let count = r.seq_len(8)?;
+    for _ in 0..count {
+        let root = NodeTypeId(r.u16()?);
+        let max_hops = r.usize()?;
+        let max_paths = r.usize()?;
+        let path_idx = r.usize()?;
+        let n = r.usize()?;
+        let v = r.f64_vec(n)?;
+        out.diversity
+            .push(((root, max_hops, max_paths, path_idx), v));
+    }
+    if !r.is_empty() {
+        return Err(SnapshotError::Malformed("trailing bytes in diversity"));
+    }
+    Ok(())
+}
+
+fn decode_propagated(
+    payload: &[u8],
+    codec: Option<&dyn PropagatedCodec>,
+    out: &mut Staging,
+) -> Result<(), SnapshotError> {
+    let mut r = ByteReader::new(payload);
+    let count = r.seq_len(24)?;
+    for _ in 0..count {
+        let key = (r.usize()?, r.usize()?);
+        let len = r.seq_len(1)?;
+        let bytes = r.take(len)?;
+        match codec {
+            None => out.propagated_skipped += 1,
+            Some(codec) => {
+                let value = codec
+                    .decode(bytes)
+                    .ok_or(SnapshotError::Malformed("propagated payload"))?;
+                out.propagated.push((key, value));
+            }
+        }
+    }
+    if !r.is_empty() {
+        return Err(SnapshotError::Malformed("trailing bytes in propagated"));
+    }
+    Ok(())
+}
+
+/// Shape-checks every staged entry against the graph it is about to
+/// serve. Checksums only catch *accidental* corruption — they are
+/// unkeyed Fx hashes anyone can recompute — so the no-panic contract
+/// for untrusted files rests on this: an entry whose type ids are out
+/// of range, whose matrix dimensions disagree with the edge type's node
+/// counts, or whose vector length disagrees with the scored type's node
+/// count would otherwise pass decode and then panic deep inside a later
+/// SpGEMM, propagation multiply or selection index.
+fn validate_against_graph(staging: &Staging, g: &HeteroGraph) -> Result<(), SnapshotError> {
+    let schema = g.schema();
+    let n_types = schema.num_node_types();
+    // Oriented factor dimensions implied by a step: the stored edge is
+    // |src| × |dst|; a reverse traversal transposes it.
+    let step_dims = |s: &MetaPathStep| -> Result<(usize, usize), SnapshotError> {
+        if (s.edge.0 as usize) >= schema.num_edge_types() {
+            return Err(SnapshotError::Malformed("edge type out of range"));
+        }
+        let (src, dst) = schema.edge_endpoints(s.edge);
+        let (a, b) = (g.num_nodes(src), g.num_nodes(dst));
+        Ok(if s.forward { (a, b) } else { (b, a) })
+    };
+    for (step, m) in &staging.factors {
+        let (rows, cols) = step_dims(step)?;
+        if m.nrows() != rows || m.ncols() != cols {
+            return Err(SnapshotError::Malformed("factor shape mismatch"));
+        }
+    }
+    for (steps, m, _) in &staging.composed {
+        let (rows, mut cols) = step_dims(&steps[0])?;
+        for s in &steps[1..] {
+            let (r, c) = step_dims(s)?;
+            if r != cols {
+                return Err(SnapshotError::Malformed("composed steps do not chain"));
+            }
+            cols = c;
+        }
+        if m.nrows() != rows || m.ncols() != cols {
+            return Err(SnapshotError::Malformed("composed shape mismatch"));
+        }
+    }
+    for (k, v) in &staging.influence {
+        if (k.father.0 as usize) >= n_types {
+            return Err(SnapshotError::Malformed("influence node type out of range"));
+        }
+        if v.len() != g.num_nodes(k.father) {
+            return Err(SnapshotError::Malformed("influence length mismatch"));
+        }
+    }
+    for ((root, _, _, _), v) in &staging.diversity {
+        if (root.0 as usize) >= n_types {
+            return Err(SnapshotError::Malformed("diversity node type out of range"));
+        }
+        if v.len() != g.num_nodes(*root) {
+            return Err(SnapshotError::Malformed("diversity length mismatch"));
+        }
+    }
+    Ok(())
+}
+
+/// Decodes `bytes` and installs every entry into `ctx`'s caches.
+///
+/// The snapshot must be for exactly this context: same graph fingerprint
+/// and identical cache-shaping knobs (fill-in cap, composed budget) —
+/// anything else is rejected before a single entry lands. The entire
+/// file is decoded into staging first, so on *any* error the context is
+/// left untouched (still cold, still correct). Installed entries never
+/// overwrite ones the context already holds, and installing composed
+/// entries goes through the normal budget admission, so a loaded context
+/// keeps every invariant a warm one has.
+pub fn decode_snapshot_into(
+    ctx: &CondenseContext<'_>,
+    bytes: &[u8],
+    codec: Option<&dyn PropagatedCodec>,
+) -> Result<SnapshotLoadReport, SnapshotError> {
+    let mut r = ByteReader::new(bytes);
+    if r.take(8)? != SNAPSHOT_MAGIC {
+        return Err(SnapshotError::BadMagic);
+    }
+    let version = r.u32()?;
+    if version != SNAPSHOT_VERSION {
+        return Err(SnapshotError::BadVersion {
+            found: version,
+            expected: SNAPSHOT_VERSION,
+        });
+    }
+    let found = GraphFingerprint(r.u64()?, r.u64()?);
+    let expected = ctx.graph().fingerprint();
+    if found != expected {
+        return Err(SnapshotError::WrongFingerprint { found, expected });
+    }
+    let cap = r.opt_usize()?;
+    let budget = r.opt_usize()?;
+    if cap != ctx.max_row_nnz() || budget != ctx.composed_budget() {
+        return Err(SnapshotError::WrongKnobs);
+    }
+
+    let nsect = r.u32()?;
+    let mut staging = Staging::default();
+    let mut seen = [false; 6];
+    for _ in 0..nsect {
+        let id = r.u8()?;
+        let len = r.seq_len(1)?;
+        let checksum = r.u64()?;
+        let payload = r.take(len)?;
+        if section_checksum(id, payload) != checksum {
+            return Err(SnapshotError::ChecksumMismatch { section: id });
+        }
+        if !(1..=5).contains(&id) {
+            return Err(SnapshotError::Malformed("unknown section id"));
+        }
+        if std::mem::replace(&mut seen[id as usize], true) {
+            return Err(SnapshotError::Malformed("duplicate section"));
+        }
+        match id {
+            SECTION_FACTORS => decode_factors(payload, &mut staging)?,
+            SECTION_COMPOSED => decode_composed(payload, &mut staging)?,
+            SECTION_INFLUENCE => decode_influence(payload, &mut staging)?,
+            SECTION_DIVERSITY => decode_diversity(payload, &mut staging)?,
+            SECTION_PROPAGATED => decode_propagated(payload, codec, &mut staging)?,
+            _ => unreachable!("id range checked above"),
+        }
+    }
+    if !r.is_empty() {
+        return Err(SnapshotError::Malformed("trailing bytes after sections"));
+    }
+    validate_against_graph(&staging, ctx.graph())?;
+    if let Some(codec) = codec {
+        for (_, v) in &staging.propagated {
+            if !codec.validate(v.as_ref(), ctx.graph()) {
+                return Err(SnapshotError::Malformed("propagated shape mismatch"));
+            }
+        }
+    }
+
+    // Everything validated — install. Order matches the save order, so
+    // a budgeted composed cache replays admissions deterministically.
+    let report = SnapshotLoadReport {
+        factors: staging.factors.len(),
+        composed: staging.composed.len(),
+        influence: staging.influence.len(),
+        diversity: staging.diversity.len(),
+        propagated: staging.propagated.len(),
+        propagated_skipped: staging.propagated_skipped,
+    };
+    for (step, m) in staging.factors {
+        ctx.install_factor(step, Arc::new(m));
+    }
+    for (steps, m, cost) in staging.composed {
+        ctx.install_composed(steps, Arc::new(m), cost);
+    }
+    for (k, v) in staging.influence {
+        ctx.install_influence(k, Arc::new(v));
+    }
+    for (k, v) in staging.diversity {
+        ctx.install_diversity(k, Arc::new(v));
+    }
+    for (k, v) in staging.propagated {
+        ctx.install_propagated(k, v);
+    }
+    Ok(report)
+}
+
+impl CondenseContext<'_> {
+    /// Writes this context's caches to `path` as a versioned snapshot,
+    /// skipping the propagated blocks (supply a codec via
+    /// [`CondenseContext::save_snapshot_with`] to include them). The
+    /// write goes through a sibling temp file and an atomic rename, so a
+    /// crashed writer can never leave a half-written file under the
+    /// canonical name.
+    pub fn save_snapshot(&self, path: &Path) -> Result<(), SnapshotError> {
+        self.save_snapshot_with(path, None)
+    }
+
+    /// [`CondenseContext::save_snapshot`] including the propagated
+    /// blocks, round-tripped through `codec`.
+    pub fn save_snapshot_with(
+        &self,
+        path: &Path,
+        codec: Option<&dyn PropagatedCodec>,
+    ) -> Result<(), SnapshotError> {
+        // The temp name must be unique per *call*, not just per process:
+        // two threads saving the same path concurrently (two benches on
+        // one graph) would otherwise interleave writes into one temp
+        // file and could rename torn bytes under the canonical name.
+        static SAVE_SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+        let seq = SAVE_SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let bytes = encode_snapshot(self, codec);
+        let mut tmp = path.as_os_str().to_owned();
+        tmp.push(format!(".tmp-{}-{seq}", std::process::id()));
+        let tmp = std::path::PathBuf::from(tmp);
+        // Clean the temp file up on *either* failure — a half-written
+        // temp left by ENOSPC would otherwise keep occupying exactly
+        // the space whose shortage caused the failure.
+        std::fs::write(&tmp, &bytes)
+            .and_then(|()| std::fs::rename(&tmp, path))
+            .inspect_err(|_| {
+                let _ = std::fs::remove_file(&tmp);
+            })?;
+        Ok(())
+    }
+
+    /// [`CondenseContext::save_snapshot_with`], made *monotone*: any
+    /// entries a valid existing snapshot at `path` holds that this
+    /// context lacks are absorbed first (installs never overwrite live
+    /// entries), then the union is written. Persisting from a colder
+    /// process can therefore only ever add to the on-disk artifact —
+    /// it can never replace a warmer process's snapshot with a
+    /// less-warm one. An absent, corrupt or mismatched existing file is
+    /// simply replaced. This is what
+    /// [`ContextRegistry::persist`](crate::registry::ContextRegistry::persist)
+    /// and `Bench::persist_snapshot` use.
+    pub fn save_snapshot_merged(
+        &self,
+        path: &Path,
+        codec: Option<&dyn PropagatedCodec>,
+    ) -> Result<(), SnapshotError> {
+        let _ = self.load_snapshot_with(path, codec);
+        self.save_snapshot_with(path, codec)
+    }
+
+    /// Loads the snapshot at `path` into this context (see
+    /// [`decode_snapshot_into`] for the verification and the
+    /// nothing-installed-on-error guarantee).
+    pub fn load_snapshot_with(
+        &self,
+        path: &Path,
+        codec: Option<&dyn PropagatedCodec>,
+    ) -> Result<SnapshotLoadReport, SnapshotError> {
+        let bytes = std::fs::read(path)?;
+        decode_snapshot_into(self, &bytes, codec)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::features::FeatureMatrix;
+    use crate::graph::{HeteroGraph, HeteroGraphBuilder};
+    use crate::schema::Schema;
+
+    fn fixture() -> HeteroGraph {
+        let mut s = Schema::new();
+        let p = s.add_node_type("paper");
+        let a = s.add_node_type("author");
+        let f = s.add_node_type("field");
+        let pa = s.add_edge_type("pa", p, a);
+        let pf = s.add_edge_type("pf", p, f);
+        s.set_target(p);
+        let mut b = HeteroGraphBuilder::new(s, vec![4, 3, 2]);
+        for (pp, aa) in [(0, 0), (1, 0), (1, 1), (2, 1), (3, 2)] {
+            b.add_edge(pa, pp, aa);
+        }
+        for (pp, ff) in [(0, 0), (1, 1), (2, 1), (3, 0)] {
+            b.add_edge(pf, pp, ff);
+        }
+        b.set_features(
+            p,
+            FeatureMatrix::from_rows(2, (0..8).map(|i| i as f32).collect()),
+        );
+        b.set_features(a, FeatureMatrix::zeros(3, 1));
+        b.set_features(f, FeatureMatrix::zeros(2, 1));
+        b.set_labels(vec![0, 1, 0, 1], 2);
+        b.build()
+    }
+
+    fn warm(ctx: &CondenseContext<'_>) {
+        let root = ctx.graph().schema().target();
+        for p in ctx.metapaths(root, 3, 100).iter() {
+            ctx.adjacency(p);
+        }
+        ctx.influence(
+            InfluenceKey {
+                father: root,
+                max_hops: 2,
+                max_paths: 8,
+                method: (1, [0.15f32.to_bits(), 0, 0, 0]),
+                seed_targets: Some(vec![0, 2]),
+                seed: 9,
+            },
+            || vec![0.25, -1.5, 3.0, 0.0],
+        );
+        ctx.diversity((root, 2, 24, 1), || vec![0.5, 0.125, 1.0, 0.75]);
+    }
+
+    #[test]
+    fn snapshot_round_trips_every_cache_bitwise() {
+        let g = fixture();
+        let ctx = CondenseContext::new(&g);
+        warm(&ctx);
+        let bytes = encode_snapshot(&ctx, None);
+
+        let fresh = CondenseContext::new(&g);
+        let report = decode_snapshot_into(&fresh, &bytes, None).expect("load");
+        assert!(report.factors > 0 && report.composed > 0);
+        assert_eq!(report.influence, 1);
+        assert_eq!(report.diversity, 1);
+
+        // Every composed adjacency must now be a hit with identical bits.
+        let before = fresh.stats();
+        let root = g.schema().target();
+        for p in fresh.metapaths(root, 3, 100).iter() {
+            assert_eq!(*fresh.adjacency(p), *ctx.adjacency(p), "{:?}", p.steps);
+        }
+        let after = fresh.stats();
+        assert_eq!(
+            after.composed.1, before.composed.1,
+            "a loaded context must not re-miss on composed entries"
+        );
+        assert_eq!(
+            after.factors.1, before.factors.1,
+            "a loaded context must not re-miss on factors"
+        );
+        let v = fresh.influence(
+            InfluenceKey {
+                father: root,
+                max_hops: 2,
+                max_paths: 8,
+                method: (1, [0.15f32.to_bits(), 0, 0, 0]),
+                seed_targets: Some(vec![0, 2]),
+                seed: 9,
+            },
+            || unreachable!("influence must be served from the snapshot"),
+        );
+        assert_eq!(*v, vec![0.25, -1.5, 3.0, 0.0]);
+        let d = fresh.diversity((root, 2, 24, 1), || {
+            unreachable!("diversity must be served from the snapshot")
+        });
+        assert_eq!(*d, vec![0.5, 0.125, 1.0, 0.75]);
+    }
+
+    #[test]
+    fn encoding_is_deterministic_for_identical_contents() {
+        let g = fixture();
+        let a = CondenseContext::new(&g);
+        let b = CondenseContext::new(&g);
+        warm(&a);
+        warm(&b);
+        assert_eq!(
+            encode_snapshot(&a, None),
+            encode_snapshot(&b, None),
+            "identical cache contents must produce identical bytes"
+        );
+    }
+
+    #[test]
+    fn every_corruption_is_rejected_without_installing() {
+        let g = fixture();
+        let ctx = CondenseContext::new(&g);
+        warm(&ctx);
+        let bytes = encode_snapshot(&ctx, None);
+
+        let assert_cold_after = |mutated: Vec<u8>, what: &str| {
+            let fresh = CondenseContext::new(&g);
+            let err = decode_snapshot_into(&fresh, &mutated, None);
+            assert!(err.is_err(), "{what} must be rejected");
+            assert_eq!(
+                fresh.stats(),
+                CondenseContext::new(&g).stats(),
+                "{what} must leave the context untouched"
+            );
+            assert_eq!(fresh.composed_len(), 0, "{what}: nothing installed");
+        };
+
+        // Truncations at every interesting boundary.
+        for cut in [0, 4, 11, 40, bytes.len() / 2, bytes.len() - 1] {
+            assert_cold_after(bytes[..cut].to_vec(), "truncation");
+        }
+        // A flipped byte anywhere in a section payload fails its
+        // checksum; in the header it fails the header checks.
+        for pos in [9, 30, 60, bytes.len() / 2, bytes.len() - 3] {
+            let mut m = bytes.clone();
+            m[pos] ^= 0x40;
+            assert_cold_after(m, "bit flip");
+        }
+        // Wrong magic.
+        let mut m = bytes.clone();
+        m[0] = b'X';
+        assert_cold_after(m, "bad magic");
+        // Wrong version.
+        let mut m = bytes.clone();
+        m[8] = 0xEE;
+        assert_cold_after(m, "bad version");
+        // Trailing garbage.
+        let mut m = bytes.clone();
+        m.push(0);
+        assert_cold_after(m, "trailing bytes");
+    }
+
+    #[test]
+    fn wrong_fingerprint_and_wrong_knobs_are_rejected() {
+        let g = fixture();
+        let ctx = CondenseContext::new(&g);
+        warm(&ctx);
+        let bytes = encode_snapshot(&ctx, None);
+
+        let mut other = fixture();
+        other.set_labels(vec![1, 0, 1, 0], 2);
+        let foreign = CondenseContext::new(&other);
+        assert!(matches!(
+            decode_snapshot_into(&foreign, &bytes, None),
+            Err(SnapshotError::WrongFingerprint { .. })
+        ));
+
+        let uncapped = CondenseContext::new(&g).with_max_row_nnz(None);
+        assert!(matches!(
+            decode_snapshot_into(&uncapped, &bytes, None),
+            Err(SnapshotError::WrongKnobs)
+        ));
+        let budgeted = CondenseContext::new(&g).with_composed_budget(Some(1 << 20));
+        assert!(matches!(
+            decode_snapshot_into(&budgeted, &bytes, None),
+            Err(SnapshotError::WrongKnobs)
+        ));
+    }
+
+    #[test]
+    fn save_and_load_round_trip_through_a_file() {
+        let g = fixture();
+        let ctx = CondenseContext::new(&g);
+        warm(&ctx);
+        let dir = std::env::temp_dir().join(format!("fhgc-snap-unit-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(snapshot_file_name(
+            g.fingerprint(),
+            ctx.max_row_nnz(),
+            ctx.composed_budget(),
+        ));
+        ctx.save_snapshot(&path).expect("save");
+
+        let fresh = CondenseContext::new(&g);
+        let report = fresh.load_snapshot_with(&path, None).expect("load");
+        assert!(report.installed() > 0);
+        let root = g.schema().target();
+        for p in fresh.metapaths(root, 3, 100).iter() {
+            assert_eq!(*fresh.adjacency(p), *ctx.adjacency(p));
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn loading_into_a_budgeted_context_respects_the_budget() {
+        let g = fixture();
+        let unbounded = CondenseContext::new(&g);
+        warm(&unbounded);
+        let full = unbounded.composed_bytes();
+        assert!(full > 0);
+
+        // Save from an unbudgeted context whose knobs match the loader's
+        // (the budget is part of the knob key, so build the source with
+        // the same budget).
+        let budget = (full / 2).max(1);
+        let source = CondenseContext::new(&g).with_composed_budget(Some(budget));
+        warm(&source);
+        let bytes = encode_snapshot(&source, None);
+        let loaded = CondenseContext::new(&g).with_composed_budget(Some(budget));
+        decode_snapshot_into(&loaded, &bytes, None).expect("load");
+        let st = loaded.stats();
+        assert!(
+            st.composed_bytes <= budget as u64,
+            "loaded entries must pass through budget admission"
+        );
+        assert!(st.composed_peak_bytes <= budget as u64);
+        // And the loaded context still serves identical bits.
+        let root = g.schema().target();
+        for p in loaded.metapaths(root, 3, 100).iter() {
+            assert_eq!(*loaded.adjacency(p), *unbounded.adjacency(p));
+        }
+    }
+
+    #[test]
+    fn validate_against_graph_rejects_every_bad_shape() {
+        let g = fixture(); // 4 papers, 3 authors, 2 fields; pa = 4×3
+        let pa = |forward| MetaPathStep {
+            edge: crate::schema::EdgeTypeId(0),
+            forward,
+        };
+
+        let mut s = Staging::default();
+        s.factors.push((pa(true), CsrMatrix::zeros(4, 3)));
+        assert!(validate_against_graph(&s, &g).is_ok(), "true shape passes");
+
+        let mut s = Staging::default();
+        s.factors.push((pa(true), CsrMatrix::zeros(1, 1)));
+        assert!(validate_against_graph(&s, &g).is_err(), "factor shape");
+
+        let mut s = Staging::default();
+        s.factors.push((
+            MetaPathStep {
+                edge: crate::schema::EdgeTypeId(99),
+                forward: true,
+            },
+            CsrMatrix::zeros(1, 1),
+        ));
+        assert!(validate_against_graph(&s, &g).is_err(), "edge id range");
+
+        // pa forward (4×3) followed by pa forward again cannot chain
+        // (cols 3 ≠ rows 4); pa forward then pa reverse chains to 4×4.
+        let mut s = Staging::default();
+        s.composed
+            .push((vec![pa(true), pa(true)], CsrMatrix::zeros(4, 3), 1));
+        assert!(validate_against_graph(&s, &g).is_err(), "broken chain");
+        let mut s = Staging::default();
+        s.composed
+            .push((vec![pa(true), pa(false)], CsrMatrix::zeros(4, 4), 1));
+        assert!(validate_against_graph(&s, &g).is_ok(), "P-A-P chains");
+        let mut s = Staging::default();
+        s.composed
+            .push((vec![pa(true), pa(false)], CsrMatrix::zeros(4, 2), 1));
+        assert!(validate_against_graph(&s, &g).is_err(), "composed shape");
+
+        let author = g.schema().node_type_by_name("author").unwrap();
+        let key = |father| InfluenceKey {
+            father,
+            max_hops: 2,
+            max_paths: 8,
+            method: (0, [0; 4]),
+            seed_targets: None,
+            seed: 0,
+        };
+        let mut s = Staging::default();
+        s.influence.push((key(author), vec![0.0; 3]));
+        assert!(validate_against_graph(&s, &g).is_ok(), "3 authors");
+        let mut s = Staging::default();
+        s.influence.push((key(author), vec![0.0; 2]));
+        assert!(validate_against_graph(&s, &g).is_err(), "influence length");
+        let mut s = Staging::default();
+        s.influence.push((key(NodeTypeId(42)), vec![0.0; 3]));
+        assert!(validate_against_graph(&s, &g).is_err(), "node id range");
+
+        let root = g.schema().target();
+        let mut s = Staging::default();
+        s.diversity.push(((root, 2, 8, 0), vec![0.0; 4]));
+        assert!(validate_against_graph(&s, &g).is_ok(), "4 papers");
+        let mut s = Staging::default();
+        s.diversity.push(((root, 2, 8, 0), vec![0.0; 5]));
+        assert!(validate_against_graph(&s, &g).is_err(), "diversity length");
+    }
+
+    /// The checksum is an unkeyed Fx hash anyone can recompute, so a
+    /// crafted file with a correct header and self-consistent checksums
+    /// must still be rejected — by the shape validation — before it can
+    /// plant a panic in a later SpGEMM.
+    #[test]
+    fn crafted_file_with_valid_checksums_is_rejected_on_shape() {
+        let g = fixture();
+        let ctx = CondenseContext::new(&g);
+        let mut payload = ByteWriter::new();
+        payload.put_usize(1);
+        put_step(
+            &mut payload,
+            MetaPathStep {
+                edge: crate::schema::EdgeTypeId(0),
+                forward: true,
+            },
+        );
+        put_csr(&mut payload, &CsrMatrix::zeros(1, 1)); // truth is 4×3
+        let payload = payload.into_bytes();
+
+        let mut w = ByteWriter::new();
+        w.put_bytes(&SNAPSHOT_MAGIC);
+        w.put_u32(SNAPSHOT_VERSION);
+        let fp = g.fingerprint();
+        w.put_u64(fp.0);
+        w.put_u64(fp.1);
+        w.put_opt_usize(ctx.max_row_nnz());
+        w.put_opt_usize(ctx.composed_budget());
+        w.put_u32(1);
+        w.put_u8(SECTION_FACTORS);
+        w.put_usize(payload.len());
+        w.put_u64(section_checksum(SECTION_FACTORS, &payload));
+        w.put_bytes(&payload);
+
+        let err = decode_snapshot_into(&ctx, &w.into_bytes(), None);
+        assert!(
+            matches!(err, Err(SnapshotError::Malformed("factor shape mismatch"))),
+            "got {err:?}"
+        );
+        assert_eq!(ctx.stats(), CondenseContext::new(&g).stats(), "untouched");
+    }
+
+    #[test]
+    fn merged_save_never_shrinks_the_artifact() {
+        let g = fixture();
+        let dir = std::env::temp_dir().join(format!("fhgc-snap-merge-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("merge.fhgc");
+
+        // A warm context persists first.
+        let warm_ctx = CondenseContext::new(&g);
+        warm(&warm_ctx);
+        warm_ctx.save_snapshot_merged(&path, None).unwrap();
+        let warm_len = std::fs::metadata(&path).unwrap().len();
+
+        // A completely cold context persisting the same path must keep
+        // (and absorb) the warm entries rather than truncating the file
+        // to its own empty state.
+        let cold = CondenseContext::new(&g);
+        cold.save_snapshot_merged(&path, None).unwrap();
+        assert_eq!(std::fs::metadata(&path).unwrap().len(), warm_len);
+        let check = CondenseContext::new(&g);
+        let report = check.load_snapshot_with(&path, None).unwrap();
+        assert!(report.composed > 0, "warm entries must survive a cold save");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn file_name_spells_the_registry_key() {
+        let fp = GraphFingerprint(0xABCD, 0x1234);
+        let name = snapshot_file_name(fp, Some(256), None);
+        assert_eq!(
+            name,
+            format!("ctx-{fp}-k256-bnone.fhgc"),
+            "fingerprint and both knobs must be addressable from the name"
+        );
+        assert_ne!(name, snapshot_file_name(fp, None, None));
+        assert_ne!(name, snapshot_file_name(fp, Some(256), Some(64)));
+    }
+}

@@ -11,7 +11,9 @@
 //! on the condensed graph be evaluated on the full graph.
 
 use freehgc_autograd::Matrix;
+use freehgc_hetgraph::snapshot::{ByteReader, ByteWriter, PropagatedCodec};
 use freehgc_hetgraph::{CondenseContext, HeteroGraph};
+use std::any::Any;
 use std::sync::Arc;
 
 /// Per-meta-path propagated feature blocks for the target type.
@@ -39,6 +41,69 @@ impl PropagatedFeatures {
     /// subsets).
     pub fn gather(&self, rows: &[u32]) -> Vec<Matrix> {
         self.blocks.iter().map(|b| b.gather_rows(rows)).collect()
+    }
+}
+
+/// The [`PropagatedCodec`] for this crate's [`PropagatedFeatures`]: the
+/// `hetgraph` snapshot layer stores propagated blocks type-erased, so
+/// the layer that owns the concrete type supplies the byte codec. Pass
+/// `Some(&PropagatedFeaturesCodec)` to `save_snapshot_with` /
+/// `resolve_or_load_with` to round-trip the blocks; without it the
+/// snapshot still carries everything else and propagation recomputes.
+///
+/// Encoding is bit-exact (`f32` bits), so a propagation served from a
+/// loaded snapshot equals a fresh one bitwise — the same contract every
+/// other cache layer keeps.
+pub struct PropagatedFeaturesCodec;
+
+impl PropagatedCodec for PropagatedFeaturesCodec {
+    fn encode(&self, value: &dyn Any) -> Option<Vec<u8>> {
+        let pf = value.downcast_ref::<PropagatedFeatures>()?;
+        debug_assert_eq!(pf.blocks.len(), pf.path_names.len());
+        let mut w = ByteWriter::new();
+        w.put_usize(pf.blocks.len());
+        for (b, name) in pf.blocks.iter().zip(&pf.path_names) {
+            w.put_str(name);
+            w.put_usize(b.rows);
+            w.put_usize(b.cols);
+            w.put_f32_slice(&b.data);
+        }
+        Some(w.into_bytes())
+    }
+
+    fn decode(&self, bytes: &[u8]) -> Option<Arc<dyn Any + Send + Sync>> {
+        let mut r = ByteReader::new(bytes);
+        let n = r.seq_len(1).ok()?;
+        let mut blocks = Vec::with_capacity(n);
+        let mut path_names = Vec::with_capacity(n);
+        for _ in 0..n {
+            path_names.push(r.str().ok()?);
+            let rows = r.usize().ok()?;
+            let cols = r.usize().ok()?;
+            let len = rows.checked_mul(cols)?;
+            // f32_vec bounds-checks len * 4 against the remaining input,
+            // so a corrupted dimension pair fails here instead of
+            // driving a huge allocation.
+            let data = r.f32_vec(len).ok()?;
+            blocks.push(Matrix::from_vec(rows, cols, data));
+        }
+        if !r.is_empty() {
+            return None;
+        }
+        Some(Arc::new(PropagatedFeatures { blocks, path_names }))
+    }
+
+    /// Every block carries one row per target node — a crafted or
+    /// checksum-colliding file with short blocks would otherwise pass
+    /// decode and panic in a later `gather`.
+    fn validate(&self, value: &dyn Any, graph: &HeteroGraph) -> bool {
+        let Some(pf) = value.downcast_ref::<PropagatedFeatures>() else {
+            return false;
+        };
+        let n = graph.num_nodes(graph.schema().target());
+        !pf.blocks.is_empty()
+            && pf.blocks.len() == pf.path_names.len()
+            && pf.blocks.iter().all(|b| b.rows == n)
     }
 }
 
@@ -175,6 +240,43 @@ mod tests {
         // A different key is a different computation.
         let c = propagate_ctx(&ctx, 1, 16);
         assert!(c.blocks.len() < a.blocks.len());
+    }
+
+    #[test]
+    fn codec_round_trips_propagated_blocks_bitwise() {
+        let g = tiny(6);
+        let pf = propagate(&g, 2, 16);
+        let codec = PropagatedFeaturesCodec;
+        let bytes = codec.encode(&pf as &dyn Any).expect("own type encodes");
+        let decoded = codec.decode(&bytes).expect("round trip");
+        let back = decoded
+            .downcast::<PropagatedFeatures>()
+            .expect("decodes to the concrete type");
+        assert_eq!(back.path_names, pf.path_names);
+        assert_eq!(back.blocks.len(), pf.blocks.len());
+        for (a, b) in back.blocks.iter().zip(&pf.blocks) {
+            assert_eq!((a.rows, a.cols), (b.rows, b.cols));
+            assert_eq!(a.data, b.data, "block bits must survive the codec");
+        }
+        // A foreign type is politely declined, and garbage bytes decode
+        // to None instead of panicking.
+        assert!(codec.encode(&42u32 as &dyn Any).is_none());
+        assert!(codec.decode(&bytes[..bytes.len() / 2]).is_none());
+        assert!(codec.decode(&[0xFF; 9]).is_none());
+        // Shape validation: the blocks fit their own graph, not one
+        // with a different target count.
+        assert!(codec.validate(&pf as &dyn Any, &g));
+        let keep: Vec<Vec<u32>> = g
+            .schema()
+            .node_type_ids()
+            .map(|t| (0..g.num_nodes(t) as u32 / 2).collect())
+            .collect();
+        let smaller = g.induced(&keep);
+        assert!(
+            !codec.validate(&pf as &dyn Any, &smaller),
+            "row-count mismatch must be rejected"
+        );
+        assert!(!codec.validate(&42u32 as &dyn Any, &g));
     }
 
     #[test]
