@@ -149,6 +149,48 @@ impl<'g> Bench<'g> {
         }
     }
 
+    /// [`Bench::with_registry`] for a graph that was just mutated by
+    /// [`freehgc_hetgraph::HeteroGraph::apply_delta`]: the context for
+    /// the mutated graph inherits every cache entry of the old
+    /// fingerprint's registered context that the delta provably does
+    /// not touch ([`ContextRegistry::resolve_delta`]), and with
+    /// `snapshot_dir` set it additionally falls back to the old
+    /// fingerprint's on-disk snapshot, filtered through the same rules.
+    /// Outputs are bitwise-identical to a cold [`Bench::new`] on the
+    /// mutated graph. Returns the bench plus the per-family reuse
+    /// report.
+    pub fn with_delta(
+        registry: &ContextRegistry,
+        snapshot_dir: Option<&Path>,
+        old_fp: freehgc_hetgraph::GraphFingerprint,
+        graph: &'g Arc<HeteroGraph>,
+        delta: &freehgc_hetgraph::GraphDelta,
+        cfg: EvalConfig,
+    ) -> (Self, freehgc_hetgraph::DeltaSeedReport) {
+        let spec = CondenseSpec::new(0.5); // knob carrier: only cap/budget are read
+        let (ctx, report): (Arc<CondenseContext<'g>>, _) = match snapshot_dir {
+            Some(dir) => registry.resolve_delta_or_load(
+                dir,
+                old_fp,
+                graph,
+                &spec,
+                delta,
+                Some(&PropagatedFeaturesCodec),
+            ),
+            None => registry.resolve_delta(old_fp, graph, &spec, delta),
+        };
+        let pf = propagate_ctx(&ctx, cfg.max_hops, cfg.max_paths);
+        (
+            Self {
+                graph,
+                ctx,
+                pf,
+                cfg,
+            },
+            report,
+        )
+    }
+
     /// Writes this bench's context — composed adjacencies, influence
     /// vectors, diversity bonuses and the propagated blocks — to its
     /// canonical snapshot file under `dir`, so a later

@@ -64,9 +64,9 @@
 //! [`ContextRegistry`](crate::registry::ContextRegistry).
 
 use crate::condense::{CondenseSpec, DEFAULT_MAX_ROW_NNZ};
-use crate::graph::HeteroGraph;
-use crate::metapath::{enumerate_metapaths, MetaPath, MetaPathStep};
-use crate::schema::NodeTypeId;
+use crate::graph::{GraphDelta, HeteroGraph};
+use crate::metapath::{enumerate_metapaths, metapaths_to, MetaPath, MetaPathStep};
+use crate::schema::{NodeTypeId, Schema};
 use freehgc_sparse::{CsrMatrix, FxHashMap};
 use std::any::Any;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -126,6 +126,17 @@ pub struct CacheCounters {
     /// `bench_report` and CI assert; budgeting a warm context restarts
     /// the mark at its post-eviction resident size).
     pub composed_peak_bytes: u64,
+    /// Resident payload bytes of the influence cache (the `f64` score
+    /// vectors).
+    pub influence_bytes: u64,
+    /// Resident payload bytes of the diversity cache (the `f64` bonus
+    /// vectors).
+    pub diversity_bytes: u64,
+    /// Resident bytes of the propagated cache, as reported by the layer
+    /// that owns the concrete block type (via
+    /// [`CondenseContext::propagated_sized`] or a snapshot codec's
+    /// `resident_bytes`); 0 for entries whose owner reports none.
+    pub propagated_bytes: u64,
 }
 
 impl CacheCounters {
@@ -157,6 +168,154 @@ impl CacheCounters {
         self.caches()
             .iter()
             .fold(0u64, |acc, &(_, m)| acc.saturating_add(m))
+    }
+}
+
+/// Per-family counts of cache entries a delta-seeded context inherited
+/// from its predecessor ([`CondenseContext::seed_from`]), plus how many
+/// the delta invalidated. The bench delta leg and the delta-equivalence
+/// suite assert on these — nonzero reuse is what makes a delta update
+/// cheaper than a cold rebuild.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DeltaSeedReport {
+    /// Enumerated meta-path sets (schema-only; survive every delta).
+    pub paths: usize,
+    /// Single-step factors kept.
+    pub factors: usize,
+    /// Composed adjacencies kept.
+    pub composed: usize,
+    /// Oriented per-relation adjacencies kept.
+    pub oriented: usize,
+    /// Influence vectors kept.
+    pub influence: usize,
+    /// Diversity-bonus vectors kept.
+    pub diversity: usize,
+    /// Propagated block sets kept.
+    pub propagated: usize,
+    /// Entries the delta invalidated (across all families).
+    pub dropped: usize,
+}
+
+impl DeltaSeedReport {
+    /// Total entries inherited across every cache family.
+    pub fn reused(&self) -> usize {
+        self.paths
+            + self.factors
+            + self.composed
+            + self.oriented
+            + self.influence
+            + self.diversity
+            + self.propagated
+    }
+}
+
+/// The per-family survival rules of selective invalidation, shared by
+/// in-memory delta seeding ([`CondenseContext::seed_from`]) and the
+/// snapshot delta loader (`decode_snapshot_delta_into`) so the two can
+/// never disagree about which entries a delta kills. Each `*_clean`
+/// method answers: is this cache entry's exact dependency set untouched
+/// by the delta? Path families are pure functions of the schema (which
+/// a delta never changes), so family cleanliness is memoized per
+/// `(root, max_hops, max_paths)`.
+pub(crate) struct InvalidationRules<'s> {
+    schema: &'s Schema,
+    target: NodeTypeId,
+    edge_dirty: Vec<bool>,
+    feat_dirty: Vec<bool>,
+    fam_memo: FxHashMap<PathKey, Arc<Vec<MetaPath>>>,
+    influence_memo: FxHashMap<PathKey, bool>,
+}
+
+impl<'s> InvalidationRules<'s> {
+    pub(crate) fn new(schema: &'s Schema, delta: &GraphDelta) -> Self {
+        let mut edge_dirty = vec![false; schema.num_edge_types()];
+        for e in delta.touched_edges() {
+            edge_dirty[e.0 as usize] = true;
+        }
+        let mut feat_dirty = vec![false; schema.num_node_types()];
+        for t in delta.touched_features() {
+            feat_dirty[t.0 as usize] = true;
+        }
+        Self {
+            schema,
+            target: schema.target(),
+            edge_dirty,
+            feat_dirty,
+            fam_memo: FxHashMap::default(),
+            influence_memo: FxHashMap::default(),
+        }
+    }
+
+    fn family(&mut self, root: NodeTypeId, mh: usize, mp: usize) -> Arc<Vec<MetaPath>> {
+        Arc::clone(
+            self.fam_memo
+                .entry((root, mh, mp))
+                .or_insert_with(|| Arc::new(enumerate_metapaths(self.schema, root, mh, mp))),
+        )
+    }
+
+    /// The factor of `step` reads relation `step.edge` alone.
+    pub(crate) fn factor_clean(&self, step: MetaPathStep) -> bool {
+        !self.edge_dirty[step.edge.0 as usize]
+    }
+
+    /// A composed product reads its steps' factors.
+    pub(crate) fn steps_clean(&self, steps: &[MetaPathStep]) -> bool {
+        steps.iter().all(|s| self.factor_clean(*s))
+    }
+
+    /// `(from, to)` resolves one schema relation; the cached negative
+    /// (no relation) depends only on the schema and always survives.
+    pub(crate) fn oriented_clean(&self, from: NodeTypeId, to: NodeTypeId) -> bool {
+        match self.schema.edge_between(from, to) {
+            None => true,
+            Some((e, _)) => !self.edge_dirty[e.0 as usize],
+        }
+    }
+
+    /// Influence scores aggregate the composed adjacencies of the family
+    /// `Φ_L(target → father)` and never read features.
+    pub(crate) fn influence_clean(&mut self, father: NodeTypeId, mh: usize, mp: usize) -> bool {
+        let (schema, target) = (self.schema, self.target);
+        let edge_dirty = &self.edge_dirty;
+        *self
+            .influence_memo
+            .entry((father, mh, mp))
+            .or_insert_with(|| {
+                metapaths_to(schema, target, father, mh, mp)
+                    .iter()
+                    .all(|p| p.steps.iter().all(|s| !edge_dirty[s.edge.0 as usize]))
+            })
+    }
+
+    /// The diversity bonus of path `pi` reads the composed adjacencies
+    /// of `pi` and its same-source-type siblings within the family.
+    pub(crate) fn diversity_clean(
+        &mut self,
+        root: NodeTypeId,
+        mh: usize,
+        mp: usize,
+        pi: usize,
+    ) -> bool {
+        let fam = self.family(root, mh, mp);
+        pi < fam.len() && {
+            let src = fam[pi].source();
+            fam.iter()
+                .filter(|p| p.source() == src)
+                .all(|p| self.steps_clean(&p.steps))
+        }
+    }
+
+    /// Propagated blocks read the raw target features plus, per family
+    /// path, the path's composed adjacency and its source type's
+    /// features.
+    pub(crate) fn propagated_clean(&mut self, mh: usize, mp: usize) -> bool {
+        let target = self.target;
+        let fam = self.family(target, mh, mp);
+        !self.feat_dirty[target.0 as usize]
+            && fam
+                .iter()
+                .all(|p| self.steps_clean(&p.steps) && !self.feat_dirty[p.source().0 as usize])
     }
 }
 
@@ -199,6 +358,9 @@ pub(crate) type AnyArc = Arc<dyn Any + Send + Sync>;
 /// Oriented-adjacency cache: `None` is the cached *negative* answer for
 /// a type pair the schema has no relation between.
 type OrientedMap = FxHashMap<(NodeTypeId, NodeTypeId), Option<Arc<CsrMatrix>>>;
+/// One dumped oriented-cache entry (key, cached positive-or-negative
+/// answer), as handed between contexts by the delta seeding path.
+pub(crate) type OrientedEntry = ((NodeTypeId, NodeTypeId), Option<Arc<CsrMatrix>>);
 
 /// The graph a context precomputes for: borrowed for single-owner use,
 /// `Arc`-shared for registry-resident `'static` contexts.
@@ -355,7 +517,9 @@ pub struct CondenseContext<'g> {
     oriented: Mutex<OrientedMap>,
     influence: Mutex<FxHashMap<InfluenceKey, Arc<Vec<f64>>>>,
     diversity: Mutex<FxHashMap<DiversityKey, Arc<Vec<f64>>>>,
-    propagated: Mutex<FxHashMap<(usize, usize), AnyArc>>,
+    /// Type-erased propagated blocks plus the resident-byte count their
+    /// owning layer reported for them (0 = unreported).
+    propagated: Mutex<FxHashMap<(usize, usize), (AnyArc, usize)>>,
     paths_stats: Counter,
     factors_stats: Counter,
     composed_stats: Counter,
@@ -495,9 +659,34 @@ impl CondenseContext<'_> {
         );
     }
 
-    /// A point-in-time snapshot of all cache counters.
+    /// A point-in-time snapshot of all cache counters. The per-family
+    /// resident-byte fields are computed here from the live maps (the
+    /// vectors' payload bytes; the propagated family reports whatever
+    /// its owning layer declared), so they are exact at the moment of
+    /// the call rather than a running estimate.
     pub fn stats(&self) -> CacheCounters {
         let composed = self.composed.lock().unwrap();
+        let influence_bytes: u64 = self
+            .influence
+            .lock()
+            .unwrap()
+            .values()
+            .map(|v| (v.len() * std::mem::size_of::<f64>()) as u64)
+            .sum();
+        let diversity_bytes: u64 = self
+            .diversity
+            .lock()
+            .unwrap()
+            .values()
+            .map(|v| (v.len() * std::mem::size_of::<f64>()) as u64)
+            .sum();
+        let propagated_bytes: u64 = self
+            .propagated
+            .lock()
+            .unwrap()
+            .values()
+            .map(|(_, bytes)| *bytes as u64)
+            .sum();
         CacheCounters {
             paths: self.paths_stats.snapshot(),
             factors: self.factors_stats.snapshot(),
@@ -510,6 +699,9 @@ impl CondenseContext<'_> {
             composed_rejected: composed.rejected,
             composed_bytes: composed.bytes as u64,
             composed_peak_bytes: composed.peak_bytes as u64,
+            influence_bytes,
+            diversity_bytes,
+            propagated_bytes,
         }
     }
 
@@ -684,6 +876,131 @@ impl CondenseContext<'_> {
         Arc::clone(self.diversity.lock().unwrap().entry(key).or_insert(v))
     }
 
+    // ---- delta seeding ----------------------------------------------
+
+    /// Seeds this (typically cold) context from `old`'s caches, keeping
+    /// exactly the entries a [`GraphDelta`] provably leaves unchanged.
+    /// The caller guarantees `self.graph()` equals `old.graph()` with
+    /// `delta` applied — same schema, same per-type node counts, the
+    /// named relations/feature tables rewired and nothing else.
+    ///
+    /// Survival rules, one per family (each is the exact dependency set
+    /// of the cached computation):
+    ///
+    /// * **paths** — enumeration reads only the schema; always survives.
+    /// * **factors** — the factor of step `s` reads relation `s.edge`
+    ///   alone; killed iff the delta touches it.
+    /// * **composed** — a product reads its steps' factors; killed iff
+    ///   any step's edge is touched.
+    /// * **oriented** — `(from, to)` resolves one schema relation; the
+    ///   cached negative (`None`) is schema-only and always survives, a
+    ///   positive is killed iff its relation is touched.
+    /// * **influence** — scores aggregate the composed adjacencies of
+    ///   the family `Φ_L(target → father)` and never read features;
+    ///   killed iff any family path traverses a touched edge.
+    /// * **diversity** — the bonus of path `i` reads the composed
+    ///   adjacencies of `i` and its same-source-type siblings; killed
+    ///   iff any path in that group traverses a touched edge.
+    /// * **propagated** — block 0 is the raw target features and block
+    ///   `i` is `Â_i · X_source(i)`; killed iff any family path
+    ///   traverses a touched edge, or the delta rewrites the target's
+    ///   or any family source type's features.
+    ///
+    /// Surviving entries are installed verbatim (`Arc` clones — no
+    /// recompute, no hit/miss counter noise), so a seeded context is
+    /// bitwise-identical to a cold rebuild everywhere: warm entries are
+    /// pure functions the delta did not perturb, and everything else
+    /// recomputes against the mutated graph on demand.
+    ///
+    /// # Panics
+    /// Panics when the fill-in caps disagree (cap changes composed
+    /// bits) or the graphs' shapes differ (a delta never resizes).
+    pub fn seed_from(&self, old: &CondenseContext<'_>, delta: &GraphDelta) -> DeltaSeedReport {
+        assert_eq!(
+            self.max_row_nnz, old.max_row_nnz,
+            "delta seeding requires equal fill-in caps: the cap changes \
+             composed bits, so inherited entries would be wrong"
+        );
+        let schema = self.graph().schema();
+        let old_schema = old.graph().schema();
+        assert_eq!(
+            schema.num_edge_types(),
+            old_schema.num_edge_types(),
+            "delta seeding requires an unchanged schema"
+        );
+        assert!(
+            schema
+                .node_type_ids()
+                .all(|t| self.graph().num_nodes(t) == old.graph().num_nodes(t)),
+            "delta seeding requires unchanged node counts"
+        );
+
+        let mut rules = InvalidationRules::new(schema, delta);
+        let mut report = DeltaSeedReport::default();
+
+        for (key, v) in old.dump_paths() {
+            self.install_paths(key, v);
+            report.paths += 1;
+        }
+
+        for (step, m) in old.dump_factors() {
+            if rules.factor_clean(step) {
+                self.install_factor(step, m);
+                report.factors += 1;
+            } else {
+                report.dropped += 1;
+            }
+        }
+
+        for (steps, m, cost) in old.dump_composed() {
+            if rules.steps_clean(&steps) {
+                self.install_composed(steps, m, cost);
+                report.composed += 1;
+            } else {
+                report.dropped += 1;
+            }
+        }
+
+        for (key, a) in old.dump_oriented() {
+            if rules.oriented_clean(key.0, key.1) {
+                self.install_oriented(key, a);
+                report.oriented += 1;
+            } else {
+                report.dropped += 1;
+            }
+        }
+
+        for (key, v) in old.dump_influence() {
+            if rules.influence_clean(key.father, key.max_hops, key.max_paths) {
+                self.install_influence(key, v);
+                report.influence += 1;
+            } else {
+                report.dropped += 1;
+            }
+        }
+
+        for (key, v) in old.dump_diversity() {
+            let (root, mh, mp, pi) = key;
+            if rules.diversity_clean(root, mh, mp, pi) {
+                self.install_diversity(key, v);
+                report.diversity += 1;
+            } else {
+                report.dropped += 1;
+            }
+        }
+
+        for (key, v, bytes) in old.dump_propagated() {
+            if rules.propagated_clean(key.0, key.1) {
+                self.install_propagated(key, v, bytes);
+                report.propagated += 1;
+            } else {
+                report.dropped += 1;
+            }
+        }
+
+        report
+    }
+
     // ---- snapshot support -------------------------------------------
     //
     // The dump methods hand the snapshot encoder a *sorted* copy of each
@@ -742,13 +1059,37 @@ impl CondenseContext<'_> {
         v
     }
 
-    pub(crate) fn dump_propagated(&self) -> Vec<((usize, usize), AnyArc)> {
+    pub(crate) fn dump_propagated(&self) -> Vec<((usize, usize), AnyArc, usize)> {
         let mut v: Vec<_> = self
             .propagated
             .lock()
             .unwrap()
             .iter()
-            .map(|(k, x)| (*k, Arc::clone(x)))
+            .map(|(k, (x, bytes))| (*k, Arc::clone(x), *bytes))
+            .collect();
+        v.sort_unstable_by_key(|(k, _, _)| *k);
+        v
+    }
+
+    pub(crate) fn dump_paths(&self) -> Vec<(PathKey, Arc<Vec<MetaPath>>)> {
+        let mut v: Vec<_> = self
+            .paths
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|(k, p)| (*k, Arc::clone(p)))
+            .collect();
+        v.sort_unstable_by_key(|(k, _)| *k);
+        v
+    }
+
+    pub(crate) fn dump_oriented(&self) -> Vec<OrientedEntry> {
+        let mut v: Vec<_> = self
+            .oriented
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|(k, a)| (*k, a.as_ref().map(Arc::clone)))
             .collect();
         v.sort_unstable_by_key(|(k, _)| *k);
         v
@@ -773,8 +1114,24 @@ impl CondenseContext<'_> {
         self.diversity.lock().unwrap().entry(key).or_insert(v);
     }
 
-    pub(crate) fn install_propagated(&self, key: (usize, usize), v: AnyArc) {
-        self.propagated.lock().unwrap().entry(key).or_insert(v);
+    pub(crate) fn install_propagated(&self, key: (usize, usize), v: AnyArc, bytes: usize) {
+        self.propagated
+            .lock()
+            .unwrap()
+            .entry(key)
+            .or_insert((v, bytes));
+    }
+
+    pub(crate) fn install_paths(&self, key: PathKey, v: Arc<Vec<MetaPath>>) {
+        self.paths.lock().unwrap().entry(key).or_insert(v);
+    }
+
+    pub(crate) fn install_oriented(
+        &self,
+        key: (NodeTypeId, NodeTypeId),
+        v: Option<Arc<CsrMatrix>>,
+    ) {
+        self.oriented.lock().unwrap().entry(key).or_insert(v);
     }
 
     /// Returns the cached propagated-feature value for `key`, computing
@@ -787,17 +1144,40 @@ impl CondenseContext<'_> {
         key: (usize, usize),
         compute: impl FnOnce() -> T,
     ) -> Arc<T> {
-        if let Some(v) = self.propagated.lock().unwrap().get(&key) {
+        self.propagated_sized(key, compute, |_| 0)
+    }
+
+    /// [`CondenseContext::propagated`] whose caller also reports the
+    /// value's resident heap bytes, surfaced through
+    /// [`CacheCounters::propagated_bytes`]. `bytes_of` runs once, only
+    /// on the miss that actually stores the value.
+    pub fn propagated_sized<T: Any + Send + Sync>(
+        &self,
+        key: (usize, usize),
+        compute: impl FnOnce() -> T,
+        bytes_of: impl FnOnce(&T) -> usize,
+    ) -> Arc<T> {
+        if let Some((v, _)) = self.propagated.lock().unwrap().get(&key) {
             self.propagated_stats.hit();
             return Arc::clone(v)
                 .downcast::<T>()
                 .expect("propagated cache holds one concrete type per context");
         }
         self.propagated_stats.miss();
-        let v: AnyArc = Arc::new(compute());
-        Arc::clone(self.propagated.lock().unwrap().entry(key).or_insert(v))
-            .downcast::<T>()
-            .expect("propagated cache holds one concrete type per context")
+        let v = Arc::new(compute());
+        let bytes = bytes_of(&v);
+        let any: AnyArc = v;
+        Arc::clone(
+            &self
+                .propagated
+                .lock()
+                .unwrap()
+                .entry(key)
+                .or_insert((any, bytes))
+                .0,
+        )
+        .downcast::<T>()
+        .expect("propagated cache holds one concrete type per context")
     }
 }
 

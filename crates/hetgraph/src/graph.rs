@@ -4,8 +4,87 @@ use crate::features::FeatureMatrix;
 use crate::registry::GraphFingerprint;
 use crate::schema::{EdgeTypeId, NodeTypeId, Schema};
 use crate::split::Split;
-use freehgc_sparse::{CooMatrix, CsrMatrix};
+use freehgc_sparse::{CooMatrix, CsrMatrix, FxHashSet};
+use std::collections::BTreeMap;
 use std::sync::OnceLock;
+
+/// A typed, relation-level description of a graph mutation: edge adds and
+/// removes per edge type, plus whole-row feature updates per node type.
+///
+/// Deltas exist so the cache stack can invalidate *selectively*: a delta
+/// names exactly which relations and feature tables it touches
+/// ([`GraphDelta::touched_edges`] / [`GraphDelta::touched_features`]),
+/// and [`CondenseContext::seed_from`](crate::CondenseContext::seed_from)
+/// keeps every cached entry whose inputs a delta provably leaves alone.
+/// Node counts and the schema are fixed — a delta rewires and re-weights,
+/// it does not grow the graph.
+#[derive(Clone, Debug, Default)]
+pub struct GraphDelta {
+    edge_adds: BTreeMap<EdgeTypeId, Vec<(u32, u32, f32)>>,
+    edge_removes: BTreeMap<EdgeTypeId, Vec<(u32, u32)>>,
+    feature_updates: BTreeMap<NodeTypeId, Vec<(u32, Vec<f32>)>>,
+}
+
+impl GraphDelta {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Queues a unit-weight edge `src → dst` of type `e`. Duplicate adds
+    /// (or an add on top of a surviving stored edge) accumulate, matching
+    /// [`HeteroGraphBuilder::add_edge`] semantics.
+    pub fn add_edge(&mut self, e: EdgeTypeId, src: u32, dst: u32) -> &mut Self {
+        self.add_weighted_edge(e, src, dst, 1.0)
+    }
+
+    /// Queues a weighted edge `src → dst` of type `e`.
+    pub fn add_weighted_edge(&mut self, e: EdgeTypeId, src: u32, dst: u32, w: f32) -> &mut Self {
+        self.edge_adds.entry(e).or_default().push((src, dst, w));
+        self
+    }
+
+    /// Queues removal of the stored entry at `(src, dst)` of type `e`,
+    /// whatever its accumulated weight. Removing a pair the graph does
+    /// not store is a no-op (but still marks `e` as touched). Removes are
+    /// applied before adds, so a remove+add pair replaces the weight.
+    pub fn remove_edge(&mut self, e: EdgeTypeId, src: u32, dst: u32) -> &mut Self {
+        self.edge_removes.entry(e).or_default().push((src, dst));
+        self
+    }
+
+    /// Queues a whole-row feature overwrite for node `row` of type `t`.
+    /// Later updates to the same row win.
+    pub fn update_feature_row(&mut self, t: NodeTypeId, row: u32, values: Vec<f32>) -> &mut Self {
+        self.feature_updates
+            .entry(t)
+            .or_default()
+            .push((row, values));
+        self
+    }
+
+    /// True when the delta queues nothing at all.
+    pub fn is_empty(&self) -> bool {
+        self.edge_adds.is_empty() && self.edge_removes.is_empty() && self.feature_updates.is_empty()
+    }
+
+    /// The edge types this delta rewires, sorted and duplicate-free.
+    pub fn touched_edges(&self) -> Vec<EdgeTypeId> {
+        let mut out: Vec<EdgeTypeId> = self
+            .edge_adds
+            .keys()
+            .chain(self.edge_removes.keys())
+            .copied()
+            .collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// The node types whose features this delta rewrites, sorted.
+    pub fn touched_features(&self) -> Vec<NodeTypeId> {
+        self.feature_updates.keys().copied().collect()
+    }
+}
 
 /// A heterogeneous graph dataset `G = {A, X, Y}` (paper §II-A): one CSR
 /// adjacency per edge type, one feature matrix per node type, labels over
@@ -212,6 +291,70 @@ impl HeteroGraph {
             split,
             fingerprint_cache: OnceLock::new(),
         }
+    }
+
+    /// Applies a typed [`GraphDelta`] in place.
+    ///
+    /// Per touched edge type the relation is rebuilt from its surviving
+    /// stored entries (minus the queued removes) plus the queued adds,
+    /// through the same COO → CSR path the builder uses — so weights
+    /// accumulate, entries stay `(row, col)`-sorted, and the result is
+    /// bitwise-identical to building the mutated graph from scratch.
+    /// Feature updates overwrite whole rows. An empty delta returns
+    /// without touching anything, preserving the memoized fingerprint; a
+    /// non-empty delta invalidates it exactly once.
+    ///
+    /// # Panics
+    /// Panics when an edge endpoint or feature row is out of range, or a
+    /// feature row has the wrong dimension.
+    pub fn apply_delta(&mut self, delta: &GraphDelta) {
+        if delta.is_empty() {
+            return;
+        }
+        static EMPTY_ADDS: Vec<(u32, u32, f32)> = Vec::new();
+        static EMPTY_REMOVES: Vec<(u32, u32)> = Vec::new();
+        for e in delta.touched_edges() {
+            let adds = delta.edge_adds.get(&e).unwrap_or(&EMPTY_ADDS);
+            let removes = delta.edge_removes.get(&e).unwrap_or(&EMPTY_REMOVES);
+            let old = &self.adjacency[e.0 as usize];
+            let (nrows, ncols) = (old.nrows(), old.ncols());
+            let gone: FxHashSet<(u32, u32)> = removes.iter().copied().collect();
+            let mut coo = CooMatrix::with_capacity(nrows, ncols, old.nnz() + adds.len());
+            for r in 0..nrows {
+                let (cols, vals) = old.row(r);
+                for (&c, &v) in cols.iter().zip(vals) {
+                    if !gone.contains(&(r as u32, c)) {
+                        coo.push(r as u32, c, v);
+                    }
+                }
+            }
+            for &(src, dst, w) in adds {
+                assert!(
+                    (src as usize) < nrows && (dst as usize) < ncols,
+                    "delta edge ({src}, {dst}) out of range for {nrows}x{ncols} relation {}",
+                    self.schema.edge_type_name(e)
+                );
+                coo.push(src, dst, w);
+            }
+            self.adjacency[e.0 as usize] = coo.to_csr();
+        }
+        for (&t, rows) in &delta.feature_updates {
+            let f = &mut self.features[t.0 as usize];
+            for (row, values) in rows {
+                assert!(
+                    (*row as usize) < f.num_rows(),
+                    "delta feature row {row} out of range for node type {}",
+                    self.schema.node_type_name(t)
+                );
+                assert_eq!(
+                    values.len(),
+                    f.dim(),
+                    "delta feature row must match the feature dimension"
+                );
+                f.row_mut(*row as usize).copy_from_slice(values);
+            }
+        }
+        self.invalidate_fingerprint();
     }
 }
 
@@ -499,5 +642,118 @@ mod tests {
         b.set_labels(vec![0, 0], 1);
         let g = b.build();
         assert_eq!(g.adjacency(e).get(0, 1), 0.75);
+    }
+
+    /// An applied delta must equal rebuilding the mutated graph from
+    /// scratch — the property the whole incremental-invalidation stack
+    /// leans on.
+    #[test]
+    fn apply_delta_matches_a_from_scratch_build() {
+        let mut g = tiny_acm();
+        let s = g.schema().clone();
+        let paper = s.node_type_by_name("paper").unwrap();
+        let pa = s.edge_type_by_name("pa").unwrap();
+
+        let mut d = GraphDelta::new();
+        d.remove_edge(pa, 0, 1)
+            .add_edge(pa, 1, 2)
+            .add_weighted_edge(pa, 2, 2, 0.5) // accumulates onto stored (2,2)
+            .update_feature_row(paper, 1, vec![7.0, 8.0]);
+        assert_eq!(d.touched_edges(), vec![pa]);
+        assert_eq!(d.touched_features(), vec![paper]);
+        g.apply_delta(&d);
+
+        // From-scratch reference with the same final edge set.
+        let mut b = HeteroGraphBuilder::new(s.clone(), vec![4, 3, 2]);
+        for (p, a) in [(0, 0), (1, 1), (2, 2), (3, 0), (3, 2), (1, 2)] {
+            b.add_edge(pa, p, a);
+        }
+        b.add_weighted_edge(pa, 2, 2, 0.5);
+        let ps = s.edge_type_by_name("ps").unwrap();
+        for (p, sj) in [(0, 0), (1, 0), (2, 1), (3, 1)] {
+            b.add_edge(ps, p, sj);
+        }
+        let mut pf = vec![1.0; 8];
+        pf[2] = 7.0;
+        pf[3] = 8.0;
+        b.set_features(paper, FeatureMatrix::from_rows(2, pf));
+        let author = s.node_type_by_name("author").unwrap();
+        let subject = s.node_type_by_name("subject").unwrap();
+        b.set_features(author, FeatureMatrix::from_rows(3, vec![2.0; 9]));
+        b.set_features(subject, FeatureMatrix::from_rows(1, vec![3.0; 2]));
+        b.set_labels(vec![0, 0, 1, 1], 2);
+        b.set_split(Split {
+            train: vec![0, 2],
+            val: vec![1],
+            test: vec![3],
+        });
+        let want = b.build();
+
+        for e in s.edge_type_ids() {
+            let (a, b) = (g.adjacency(e), want.adjacency(e));
+            assert_eq!(a.indptr(), b.indptr(), "{}", s.edge_type_name(e));
+            assert_eq!(a.indices(), b.indices());
+            assert_eq!(a.values(), b.values());
+        }
+        for t in s.node_type_ids() {
+            assert_eq!(g.features(t).data(), want.features(t).data());
+        }
+        assert_eq!(g.fingerprint(), want.fingerprint());
+    }
+
+    #[test]
+    fn empty_delta_is_a_noop_and_keeps_the_fingerprint_memo() {
+        let mut g = tiny_acm();
+        let fp = g.fingerprint();
+        let d = GraphDelta::new();
+        assert!(d.is_empty());
+        assert!(d.touched_edges().is_empty());
+        assert!(d.touched_features().is_empty());
+        g.apply_delta(&d);
+        // The memo survives: OnceLock still holds the same value.
+        assert_eq!(g.fingerprint_cache.get(), Some(&fp));
+    }
+
+    #[test]
+    fn nonempty_delta_invalidates_the_fingerprint() {
+        let mut g = tiny_acm();
+        let fp = g.fingerprint();
+        let pa = g.schema().edge_type_by_name("pa").unwrap();
+        let mut d = GraphDelta::new();
+        d.add_edge(pa, 1, 0);
+        g.apply_delta(&d);
+        assert_ne!(g.fingerprint(), fp);
+    }
+
+    #[test]
+    fn removing_a_missing_edge_is_lenient() {
+        let mut g = tiny_acm();
+        let pa = g.schema().edge_type_by_name("pa").unwrap();
+        let before = g.adjacency(pa).clone();
+        let mut d = GraphDelta::new();
+        d.remove_edge(pa, 3, 1); // not stored
+        g.apply_delta(&d);
+        assert_eq!(g.adjacency(pa).indptr(), before.indptr());
+        assert_eq!(g.adjacency(pa).values(), before.values());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn delta_rejects_out_of_range_edges() {
+        let mut g = tiny_acm();
+        let pa = g.schema().edge_type_by_name("pa").unwrap();
+        let mut d = GraphDelta::new();
+        d.add_edge(pa, 99, 0);
+        g.apply_delta(&d);
+    }
+
+    #[test]
+    #[should_panic(expected = "feature dimension")]
+    fn delta_rejects_wrong_feature_dimension() {
+        let mut g = tiny_acm();
+        let paper = g.schema().node_type_by_name("paper").unwrap();
+        let mut d = GraphDelta::new();
+        d.update_feature_row(paper, 0, vec![1.0]);
+        g.apply_delta(&d);
     }
 }

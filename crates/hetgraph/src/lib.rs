@@ -28,13 +28,14 @@ pub use condense::{
     all_ids, induce_selection, proportional_allocation, CondenseSpec, CondensedGraph, Condenser,
     DEFAULT_MAX_PATHS, DEFAULT_MAX_ROW_NNZ,
 };
-pub use context::{CacheCounters, CondenseContext, DiversityKey, InfluenceKey};
+pub use context::{CacheCounters, CondenseContext, DeltaSeedReport, DiversityKey, InfluenceKey};
 pub use features::FeatureMatrix;
-pub use graph::{HeteroGraph, HeteroGraphBuilder};
+pub use graph::{GraphDelta, HeteroGraph, HeteroGraphBuilder};
 pub use metapath::{enumerate_metapaths, metapaths_to, MetaPath, MetaPathEngine, MetaPathStep};
 pub use registry::{ContextRegistry, GraphFingerprint};
 pub use schema::{EdgeTypeId, NodeTypeId, Role, Schema};
 pub use snapshot::{
-    snapshot_file_name, PropagatedCodec, SnapshotError, SnapshotLoadReport, SNAPSHOT_VERSION,
+    decode_snapshot_delta_into, snapshot_file_name, PropagatedCodec, SnapshotError,
+    SnapshotLoadReport, SNAPSHOT_VERSION,
 };
 pub use split::Split;

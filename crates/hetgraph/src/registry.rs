@@ -37,9 +37,9 @@
 //! budgets for the remaining caches as future work (see ROADMAP).
 
 use crate::condense::CondenseSpec;
-use crate::context::CondenseContext;
-use crate::graph::HeteroGraph;
-use crate::snapshot::{snapshot_file_name, PropagatedCodec, SnapshotError};
+use crate::context::{CondenseContext, DeltaSeedReport};
+use crate::graph::{GraphDelta, HeteroGraph};
+use crate::snapshot::{snapshot_file_name, PropagatedCodec, SnapshotError, SnapshotLoadReport};
 use freehgc_sparse::fx::FxHasher;
 use freehgc_sparse::FxHashMap;
 use std::hash::Hasher;
@@ -331,6 +331,148 @@ impl ContextRegistry {
         }
     }
 
+    /// Resolves the context for a *mutated* graph by inheriting the old
+    /// graph's surviving cache entries instead of starting cold.
+    ///
+    /// `old_fp` is the fingerprint of the graph *before*
+    /// [`HeteroGraph::apply_delta`] ran (capture it with
+    /// [`HeteroGraph::fingerprint`] first), `graph` is the mutated
+    /// graph, and `delta` is the exact delta that was applied. If the
+    /// old fingerprint is registered under the same cache knobs, the
+    /// fresh context is seeded via [`CondenseContext::seed_from`]:
+    /// every entry the delta provably does not touch is inherited, the
+    /// rest recompute lazily — and the result is bitwise-identical to a
+    /// cold rebuild. If the old entry is gone (evicted, never resolved)
+    /// this degrades to a plain cold miss with an empty report.
+    ///
+    /// Resolving the new fingerprint again is an ordinary in-memory hit
+    /// (empty report — the context is already warm).
+    pub fn resolve_delta(
+        &self,
+        old_fp: GraphFingerprint,
+        graph: &Arc<HeteroGraph>,
+        spec: &CondenseSpec,
+        delta: &GraphDelta,
+    ) -> (Arc<CondenseContext<'static>>, DeltaSeedReport) {
+        self.resolve_delta_inner(old_fp, graph, spec, delta, None, None)
+    }
+
+    /// [`ContextRegistry::resolve_delta`], additionally falling back to
+    /// disk when no live old context exists: the loader first tries the
+    /// mutated graph's own canonical snapshot (an exact load), then the
+    /// *old* fingerprint's snapshot filtered through the same
+    /// delta-invalidation rules
+    /// ([`decode_snapshot_delta_into`](crate::snapshot::decode_snapshot_delta_into)),
+    /// so a delta update beats a cold rebuild even across restarts. Any
+    /// problem with either file falls back to cold compute; loads and
+    /// rejections are counted in [`ContextRegistry::snapshot_stats`].
+    pub fn resolve_delta_or_load(
+        &self,
+        dir: &Path,
+        old_fp: GraphFingerprint,
+        graph: &Arc<HeteroGraph>,
+        spec: &CondenseSpec,
+        delta: &GraphDelta,
+        codec: Option<&dyn PropagatedCodec>,
+    ) -> (Arc<CondenseContext<'static>>, DeltaSeedReport) {
+        self.resolve_delta_inner(old_fp, graph, spec, delta, Some(dir), codec)
+    }
+
+    fn resolve_delta_inner(
+        &self,
+        old_fp: GraphFingerprint,
+        graph: &Arc<HeteroGraph>,
+        spec: &CondenseSpec,
+        delta: &GraphDelta,
+        snapshot_dir: Option<&Path>,
+        codec: Option<&dyn PropagatedCodec>,
+    ) -> (Arc<CondenseContext<'static>>, DeltaSeedReport) {
+        let (mrn, ccb) = (spec.max_row_nnz, spec.composed_cache_bytes);
+        let key = (graph.fingerprint(), mrn, ccb);
+        let old_key = (old_fp, mrn, ccb);
+        // The mutated graph may already be registered (e.g. a second
+        // caller raced us through the same delta) — that is an ordinary
+        // warm hit and there is nothing left to seed.
+        if let Some(ctx) = self.entries.lock().unwrap().get(&key) {
+            assert!(
+                ctx.shared_graph().is_some_and(|g| Arc::ptr_eq(graph, g))
+                    || same_shape(graph, ctx.graph()),
+                "GraphFingerprint collision: two structurally different graphs hashed to \
+                 {} — refusing to share a context",
+                key.0
+            );
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return (Arc::clone(ctx), DeltaSeedReport::default());
+        }
+        let ctx = Arc::new(
+            CondenseContext::shared(Arc::clone(graph))
+                .with_max_row_nnz(mrn)
+                .with_composed_budget(ccb),
+        );
+        let mut report = DeltaSeedReport::default();
+        let mut load_outcome = None;
+        // A live old context is the cheapest seed source: inherit its
+        // surviving entries in-memory. Clone the Arc out of the lock so
+        // seeding (which walks every cache) runs unlocked.
+        let old_ctx = self.entries.lock().unwrap().get(&old_key).cloned();
+        if let Some(old_ctx) = old_ctx {
+            report = ctx.seed_from(&old_ctx, delta);
+        } else if let Some(dir) = snapshot_dir {
+            // No live old context: try disk. An exact snapshot of the
+            // mutated graph (if a previous process already paid for it)
+            // beats a delta-filtered load of the old one.
+            let exact = dir.join(snapshot_file_name(key.0, mrn, ccb));
+            load_outcome = match std::fs::read(&exact) {
+                Ok(bytes) => match crate::snapshot::decode_snapshot_into(&ctx, &bytes, codec) {
+                    Ok(r) => {
+                        report = seed_report_from_snapshot(&r);
+                        Some(true)
+                    }
+                    Err(_) => Some(false),
+                },
+                Err(e) if e.kind() == std::io::ErrorKind::NotFound => None,
+                Err(_) => Some(false),
+            };
+            if load_outcome != Some(true) {
+                let old_path = dir.join(snapshot_file_name(old_fp, mrn, ccb));
+                load_outcome = match std::fs::read(&old_path) {
+                    Ok(bytes) => match crate::snapshot::decode_snapshot_delta_into(
+                        &ctx, &bytes, old_fp, delta, codec,
+                    ) {
+                        Ok(r) => {
+                            report = seed_report_from_snapshot(&r);
+                            Some(true)
+                        }
+                        Err(_) => Some(false),
+                    },
+                    Err(e) if e.kind() == std::io::ErrorKind::NotFound => load_outcome,
+                    Err(_) => Some(false),
+                };
+            }
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        match self.entries.lock().unwrap().entry(key) {
+            // Lost the insert race: the winner's context is bitwise
+            // identical; serve it and drop ours, seed and all. The
+            // report describes state nobody received, so report empty.
+            std::collections::hash_map::Entry::Occupied(o) => {
+                (Arc::clone(o.get()), DeltaSeedReport::default())
+            }
+            std::collections::hash_map::Entry::Vacant(v) => {
+                match load_outcome {
+                    Some(true) => {
+                        self.snapshot_loads.fetch_add(1, Ordering::Relaxed);
+                    }
+                    Some(false) => {
+                        self.snapshot_rejections.fetch_add(1, Ordering::Relaxed);
+                    }
+                    None => {}
+                }
+                (Arc::clone(v.insert(ctx)), report)
+            }
+        }
+    }
+
     /// Writes the registered context for `(graph, spec)` to its
     /// canonical snapshot file under `dir` (creating the directory),
     /// registering the context first if needed. Returns the path a
@@ -411,6 +553,22 @@ impl ContextRegistry {
     /// Drops every registered context.
     pub fn clear(&self) {
         self.entries.lock().unwrap().clear();
+    }
+}
+
+/// Maps a snapshot load's per-family counts into the delta-seed report
+/// shape. Snapshots do not carry the paths / oriented sections (both
+/// are cheap to recompute), so those families report 0.
+fn seed_report_from_snapshot(r: &SnapshotLoadReport) -> DeltaSeedReport {
+    DeltaSeedReport {
+        paths: 0,
+        factors: r.factors,
+        composed: r.composed,
+        oriented: 0,
+        influence: r.influence,
+        diversity: r.diversity,
+        propagated: r.propagated,
+        dropped: r.dropped,
     }
 }
 

@@ -42,7 +42,7 @@
 //! converts into a clean cold miss. Corruption can cost a recompute,
 //! never a panic and never wrong bits.
 
-use crate::context::{AnyArc, CondenseContext, DiversityKey, InfluenceKey};
+use crate::context::{AnyArc, CondenseContext, DiversityKey, InfluenceKey, InvalidationRules};
 use crate::graph::HeteroGraph;
 use crate::metapath::MetaPathStep;
 use crate::registry::GraphFingerprint;
@@ -140,6 +140,9 @@ pub struct SnapshotLoadReport {
     /// Propagated entries present in the file but skipped because the
     /// loader supplied no [`PropagatedCodec`].
     pub propagated_skipped: usize,
+    /// Entries present in the file but invalidated by the delta filter
+    /// ([`decode_snapshot_delta_into`]); always 0 for exact loads.
+    pub dropped: usize,
 }
 
 impl SnapshotLoadReport {
@@ -172,6 +175,14 @@ pub trait PropagatedCodec {
     /// whole load. The default accepts everything.
     fn validate(&self, _value: &dyn Any, _graph: &HeteroGraph) -> bool {
         true
+    }
+
+    /// Resident heap bytes of a decoded value, recorded alongside the
+    /// installed entry and surfaced through
+    /// [`CacheCounters::propagated_bytes`](crate::CacheCounters). The
+    /// default reports 0 (unknown).
+    fn resident_bytes(&self, _value: &dyn Any) -> usize {
+        0
     }
 }
 
@@ -479,6 +490,27 @@ fn put_csr(w: &mut ByteWriter, m: &CsrMatrix) {
     w.put_f32_slice(m.values());
 }
 
+/// Advances past one encoded CSR matrix without materializing it —
+/// bounds-checked only, since a skipped entry is never installed. Delta
+/// loads use this to step over invalidated entries at `take()` cost
+/// instead of paying the full decode + invariant re-validation.
+fn skip_csr(r: &mut ByteReader<'_>) -> Result<(), SnapshotError> {
+    let nrows = r.usize()?;
+    let _ncols = r.usize()?;
+    let nnz = r.usize()?;
+    let ptr_bytes = nrows
+        .checked_add(1)
+        .and_then(|n| n.checked_mul(8))
+        .ok_or(SnapshotError::Malformed("nrows overflow"))?;
+    // indices (u32) + values (f32): 8 bytes per stored entry.
+    let entry_bytes = nnz
+        .checked_mul(8)
+        .ok_or(SnapshotError::Malformed("length overflow"))?;
+    r.take(ptr_bytes)?;
+    r.take(entry_bytes)?;
+    Ok(())
+}
+
 /// Decodes a CSR matrix, re-validating every invariant `CsrMatrix`
 /// promises (monotone indptr, sorted strictly-increasing in-range column
 /// indices) so a checksum-colliding corruption can never reach the
@@ -581,7 +613,7 @@ fn encode_diversity(ctx: &CondenseContext<'_>) -> Vec<u8> {
 
 fn encode_propagated(ctx: &CondenseContext<'_>, codec: &dyn PropagatedCodec) -> Vec<u8> {
     let mut encoded: Vec<((usize, usize), Vec<u8>)> = Vec::new();
-    for (key, value) in ctx.dump_propagated() {
+    for (key, value, _) in ctx.dump_propagated() {
         if let Some(bytes) = codec.encode(value.as_ref()) {
             encoded.push((key, bytes));
         }
@@ -629,7 +661,11 @@ pub fn encode_snapshot(ctx: &CondenseContext<'_>, codec: Option<&dyn PropagatedC
 }
 
 /// Fully decoded snapshot contents, staged before installation so a
-/// failure anywhere leaves the target context untouched.
+/// failure anywhere leaves the target context untouched. On delta
+/// loads, entries the delta invalidates never enter staging — the
+/// decoders skip their bytes (bounds-checked) instead of decoding and
+/// re-validating values that would only be thrown away, and count them
+/// in `dropped`.
 #[derive(Default)]
 struct Staging {
     factors: Vec<(MetaPathStep, CsrMatrix)>,
@@ -638,15 +674,25 @@ struct Staging {
     diversity: Vec<(DiversityKey, Vec<f64>)>,
     propagated: Vec<((usize, usize), AnyArc)>,
     propagated_skipped: usize,
+    dropped: usize,
 }
 
-fn decode_factors(payload: &[u8], out: &mut Staging) -> Result<(), SnapshotError> {
+fn decode_factors(
+    payload: &[u8],
+    rules: &mut Option<InvalidationRules<'_>>,
+    out: &mut Staging,
+) -> Result<(), SnapshotError> {
     let mut r = ByteReader::new(payload);
     let count = r.seq_len(3)?;
     for _ in 0..count {
         let step = read_step(&mut r)?;
-        let m = read_csr(&mut r)?;
-        out.factors.push((step, m));
+        if rules.as_mut().is_some_and(|ru| !ru.factor_clean(step)) {
+            skip_csr(&mut r)?;
+            out.dropped += 1;
+        } else {
+            let m = read_csr(&mut r)?;
+            out.factors.push((step, m));
+        }
     }
     if !r.is_empty() {
         return Err(SnapshotError::Malformed("trailing bytes in factors"));
@@ -654,7 +700,11 @@ fn decode_factors(payload: &[u8], out: &mut Staging) -> Result<(), SnapshotError
     Ok(())
 }
 
-fn decode_composed(payload: &[u8], out: &mut Staging) -> Result<(), SnapshotError> {
+fn decode_composed(
+    payload: &[u8],
+    rules: &mut Option<InvalidationRules<'_>>,
+    out: &mut Staging,
+) -> Result<(), SnapshotError> {
     let mut r = ByteReader::new(payload);
     let count = r.seq_len(8)?;
     for _ in 0..count {
@@ -669,8 +719,16 @@ fn decode_composed(payload: &[u8], out: &mut Staging) -> Result<(), SnapshotErro
             steps.push(read_step(&mut r)?);
         }
         let cost = r.u64()?;
-        let m = read_csr(&mut r)?;
-        out.composed.push((steps, m, cost));
+        if rules
+            .as_mut()
+            .is_some_and(|ru| steps.iter().any(|s| !ru.factor_clean(*s)))
+        {
+            skip_csr(&mut r)?;
+            out.dropped += 1;
+        } else {
+            let m = read_csr(&mut r)?;
+            out.composed.push((steps, m, cost));
+        }
     }
     if !r.is_empty() {
         return Err(SnapshotError::Malformed("trailing bytes in composed"));
@@ -678,7 +736,11 @@ fn decode_composed(payload: &[u8], out: &mut Staging) -> Result<(), SnapshotErro
     Ok(())
 }
 
-fn decode_influence(payload: &[u8], out: &mut Staging) -> Result<(), SnapshotError> {
+fn decode_influence(
+    payload: &[u8],
+    rules: &mut Option<InvalidationRules<'_>>,
+    out: &mut Staging,
+) -> Result<(), SnapshotError> {
     let mut r = ByteReader::new(payload);
     let count = r.seq_len(8)?;
     for _ in 0..count {
@@ -700,6 +762,17 @@ fn decode_influence(payload: &[u8], out: &mut Staging) -> Result<(), SnapshotErr
         };
         let seed = r.u64()?;
         let n = r.usize()?;
+        if rules
+            .as_mut()
+            .is_some_and(|ru| !ru.influence_clean(father, max_hops, max_paths))
+        {
+            let bytes = n
+                .checked_mul(8)
+                .ok_or(SnapshotError::Malformed("length overflow"))?;
+            r.take(bytes)?;
+            out.dropped += 1;
+            continue;
+        }
         let v = r.f64_vec(n)?;
         out.influence.push((
             InfluenceKey {
@@ -719,7 +792,11 @@ fn decode_influence(payload: &[u8], out: &mut Staging) -> Result<(), SnapshotErr
     Ok(())
 }
 
-fn decode_diversity(payload: &[u8], out: &mut Staging) -> Result<(), SnapshotError> {
+fn decode_diversity(
+    payload: &[u8],
+    rules: &mut Option<InvalidationRules<'_>>,
+    out: &mut Staging,
+) -> Result<(), SnapshotError> {
     let mut r = ByteReader::new(payload);
     let count = r.seq_len(8)?;
     for _ in 0..count {
@@ -728,6 +805,17 @@ fn decode_diversity(payload: &[u8], out: &mut Staging) -> Result<(), SnapshotErr
         let max_paths = r.usize()?;
         let path_idx = r.usize()?;
         let n = r.usize()?;
+        if rules
+            .as_mut()
+            .is_some_and(|ru| !ru.diversity_clean(root, max_hops, max_paths, path_idx))
+        {
+            let bytes = n
+                .checked_mul(8)
+                .ok_or(SnapshotError::Malformed("length overflow"))?;
+            r.take(bytes)?;
+            out.dropped += 1;
+            continue;
+        }
         let v = r.f64_vec(n)?;
         out.diversity
             .push(((root, max_hops, max_paths, path_idx), v));
@@ -740,6 +828,7 @@ fn decode_diversity(payload: &[u8], out: &mut Staging) -> Result<(), SnapshotErr
 
 fn decode_propagated(
     payload: &[u8],
+    rules: &mut Option<InvalidationRules<'_>>,
     codec: Option<&dyn PropagatedCodec>,
     out: &mut Staging,
 ) -> Result<(), SnapshotError> {
@@ -752,6 +841,16 @@ fn decode_propagated(
         match codec {
             None => out.propagated_skipped += 1,
             Some(codec) => {
+                // Skipping the codec decode for invalidated blocks is
+                // the biggest delta-load saving: propagated blocks are
+                // dense and dominate the file.
+                if rules
+                    .as_mut()
+                    .is_some_and(|ru| !ru.propagated_clean(key.0, key.1))
+                {
+                    out.dropped += 1;
+                    continue;
+                }
                 let value = codec
                     .decode(bytes)
                     .ok_or(SnapshotError::Malformed("propagated payload"))?;
@@ -839,6 +938,36 @@ pub fn decode_snapshot_into(
     bytes: &[u8],
     codec: Option<&dyn PropagatedCodec>,
 ) -> Result<SnapshotLoadReport, SnapshotError> {
+    decode_snapshot_core(ctx, bytes, ctx.graph().fingerprint(), None, codec)
+}
+
+/// Loads an *old* graph's snapshot into a context over the *mutated*
+/// graph: the file's fingerprint is checked against `old_fp` (the
+/// pre-delta graph's), and every staged entry the delta invalidates —
+/// per the same [`InvalidationRules`] in-memory seeding uses — is
+/// dropped before validation and install. Node counts are invariant
+/// under deltas, so surviving entries shape-check against the mutated
+/// graph exactly as they would against the old one; what installs is
+/// therefore bitwise what a cold rebuild of the mutated graph would
+/// compute. This is how a delta-load beats a cold rebuild across
+/// restarts, before any snapshot of the new fingerprint exists.
+pub fn decode_snapshot_delta_into(
+    ctx: &CondenseContext<'_>,
+    bytes: &[u8],
+    old_fp: GraphFingerprint,
+    delta: &crate::graph::GraphDelta,
+    codec: Option<&dyn PropagatedCodec>,
+) -> Result<SnapshotLoadReport, SnapshotError> {
+    decode_snapshot_core(ctx, bytes, old_fp, Some(delta), codec)
+}
+
+fn decode_snapshot_core(
+    ctx: &CondenseContext<'_>,
+    bytes: &[u8],
+    expected: GraphFingerprint,
+    delta: Option<&crate::graph::GraphDelta>,
+    codec: Option<&dyn PropagatedCodec>,
+) -> Result<SnapshotLoadReport, SnapshotError> {
     let mut r = ByteReader::new(bytes);
     if r.take(8)? != SNAPSHOT_MAGIC {
         return Err(SnapshotError::BadMagic);
@@ -851,7 +980,6 @@ pub fn decode_snapshot_into(
         });
     }
     let found = GraphFingerprint(r.u64()?, r.u64()?);
-    let expected = ctx.graph().fingerprint();
     if found != expected {
         return Err(SnapshotError::WrongFingerprint { found, expected });
     }
@@ -860,6 +988,12 @@ pub fn decode_snapshot_into(
     if cap != ctx.max_row_nnz() || budget != ctx.composed_budget() {
         return Err(SnapshotError::WrongKnobs);
     }
+
+    // Delta loads never stage an entry the delta invalidates: the
+    // decoders consult the identical survival rules in-memory seeding
+    // applies (`CondenseContext::seed_from`) and step over doomed bytes
+    // instead of decoding values that would only be thrown away.
+    let mut rules = delta.map(|d| InvalidationRules::new(ctx.graph().schema(), d));
 
     let nsect = r.u32()?;
     let mut staging = Staging::default();
@@ -879,17 +1013,19 @@ pub fn decode_snapshot_into(
             return Err(SnapshotError::Malformed("duplicate section"));
         }
         match id {
-            SECTION_FACTORS => decode_factors(payload, &mut staging)?,
-            SECTION_COMPOSED => decode_composed(payload, &mut staging)?,
-            SECTION_INFLUENCE => decode_influence(payload, &mut staging)?,
-            SECTION_DIVERSITY => decode_diversity(payload, &mut staging)?,
-            SECTION_PROPAGATED => decode_propagated(payload, codec, &mut staging)?,
+            SECTION_FACTORS => decode_factors(payload, &mut rules, &mut staging)?,
+            SECTION_COMPOSED => decode_composed(payload, &mut rules, &mut staging)?,
+            SECTION_INFLUENCE => decode_influence(payload, &mut rules, &mut staging)?,
+            SECTION_DIVERSITY => decode_diversity(payload, &mut rules, &mut staging)?,
+            SECTION_PROPAGATED => decode_propagated(payload, &mut rules, codec, &mut staging)?,
             _ => unreachable!("id range checked above"),
         }
     }
     if !r.is_empty() {
         return Err(SnapshotError::Malformed("trailing bytes after sections"));
     }
+    let dropped = staging.dropped;
+
     validate_against_graph(&staging, ctx.graph())?;
     if let Some(codec) = codec {
         for (_, v) in &staging.propagated {
@@ -908,6 +1044,7 @@ pub fn decode_snapshot_into(
         diversity: staging.diversity.len(),
         propagated: staging.propagated.len(),
         propagated_skipped: staging.propagated_skipped,
+        dropped,
     };
     for (step, m) in staging.factors {
         ctx.install_factor(step, Arc::new(m));
@@ -922,7 +1059,8 @@ pub fn decode_snapshot_into(
         ctx.install_diversity(k, Arc::new(v));
     }
     for (k, v) in staging.propagated {
-        ctx.install_propagated(k, v);
+        let bytes = codec.map_or(0, |c| c.resident_bytes(v.as_ref()));
+        ctx.install_propagated(k, v, bytes);
     }
     Ok(report)
 }

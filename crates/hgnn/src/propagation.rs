@@ -42,6 +42,17 @@ impl PropagatedFeatures {
     pub fn gather(&self, rows: &[u32]) -> Vec<Matrix> {
         self.blocks.iter().map(|b| b.gather_rows(rows)).collect()
     }
+
+    /// Resident heap bytes of the block data — what this value costs to
+    /// keep cached. Reported through
+    /// [`CacheCounters::propagated_bytes`](freehgc_hetgraph::CacheCounters).
+    pub fn resident_bytes(&self) -> usize {
+        self.blocks
+            .iter()
+            .map(|b| b.data.len() * std::mem::size_of::<f32>())
+            .sum::<usize>()
+            + self.path_names.iter().map(|n| n.len()).sum::<usize>()
+    }
 }
 
 /// The [`PropagatedCodec`] for this crate's [`PropagatedFeatures`]: the
@@ -105,6 +116,15 @@ impl PropagatedCodec for PropagatedFeaturesCodec {
             && pf.blocks.len() == pf.path_names.len()
             && pf.blocks.iter().all(|b| b.rows == n)
     }
+
+    /// Sizes a snapshot-loaded block set so
+    /// [`CacheCounters::propagated_bytes`](freehgc_hetgraph::CacheCounters)
+    /// stays accurate for warm-from-disk contexts too.
+    fn resident_bytes(&self, value: &dyn Any) -> usize {
+        value
+            .downcast_ref::<PropagatedFeatures>()
+            .map_or(0, PropagatedFeatures::resident_bytes)
+    }
 }
 
 /// Default cap on the number of enumerated meta-paths (re-exported from
@@ -130,9 +150,11 @@ pub fn propagate_ctx(
     max_hops: usize,
     max_paths: usize,
 ) -> Arc<PropagatedFeatures> {
-    ctx.propagated((max_hops, max_paths), || {
-        propagate_uncached(ctx, max_hops, max_paths)
-    })
+    ctx.propagated_sized(
+        (max_hops, max_paths),
+        || propagate_uncached(ctx, max_hops, max_paths),
+        PropagatedFeatures::resident_bytes,
+    )
 }
 
 /// Adjacency composition runs first (the prefix cache is inherently

@@ -35,6 +35,11 @@ const SPMVT_NNZ_GRAIN: usize = 16_384;
 /// entry, so fewer workers than this cannot amortize it.
 const SPMVT_MIN_CHUNKS: usize = 4;
 
+/// One source row chunk's counting-sorted contributions: bin offsets
+/// per destination column chunk (length `chunks + 1`) plus the flat
+/// `(column, value·x)` buffer they index into.
+type SpmvTBin = (Vec<usize>, Vec<(u32, f32)>);
+
 /// An immutable CSR matrix. Rows are contiguous index/value slices with
 /// strictly increasing column indices.
 #[derive(Clone, Debug, PartialEq)]
@@ -463,13 +468,15 @@ impl CsrMatrix {
     /// increasing-row order of the serial scatter loop — bitwise
     /// identical at any thread count. The parallel path streams every
     /// entry twice, so it only engages when the output is large enough
-    /// that the serial scatter thrashes cache ([`SPMVT_MIN_COLS`]) and
-    /// there is enough work per chunk ([`SPMVT_NNZ_GRAIN`]).
+    /// that the serial scatter thrashes cache ([`SPMVT_MIN_COLS`]),
+    /// there is enough work per chunk ([`SPMVT_NNZ_GRAIN`]), and the
+    /// machine has more than one real core — a `FREEHGC_THREADS` budget
+    /// above the core count only timeshares the redistribution, which
+    /// can then never be bought back.
     pub fn spmv_t_into(&self, x: &[f32], y: &mut [f32]) {
         assert_eq!(x.len(), self.nrows, "vector length mismatch");
         assert_eq!(y.len(), self.ncols, "output length mismatch");
-        y.fill(0.0);
-        let mut chunks = if self.ncols >= SPMVT_MIN_COLS {
+        let mut chunks = if self.ncols >= SPMVT_MIN_COLS && par::machine_parallelism() >= 2 {
             par::chunks_for(self.nnz(), SPMVT_NNZ_GRAIN, self.nrows.min(self.ncols))
         } else {
             1
@@ -478,31 +485,78 @@ impl CsrMatrix {
             chunks = 1;
         }
         if chunks <= 1 {
-            // Serial scatter (the FREEHGC_THREADS=1 path).
-            for r in 0..self.nrows {
-                let xr = x[r];
-                if xr == 0.0 {
-                    continue;
-                }
-                let (cols, vals) = self.row(r);
-                for (&c, &v) in cols.iter().zip(vals) {
-                    y[c as usize] += v * xr;
-                }
-            }
-            return;
+            self.spmv_t_serial(x, y);
+        } else {
+            self.spmv_t_binned(x, y, chunks);
         }
+    }
+
+    /// [`CsrMatrix::spmv_t_into`] with the chunk count forced: two or
+    /// more chunks take the two-phase binned path regardless of the
+    /// size and core-count gates, one (or zero) the serial scatter.
+    /// Bitwise-identical either way — this exists so tests and benches
+    /// on single-core hosts (where the gate keeps the public entry
+    /// serial) can still exercise and verify the parallel path.
+    pub fn spmv_t_into_chunked(&self, x: &[f32], y: &mut [f32], chunks: usize) {
+        assert_eq!(x.len(), self.nrows, "vector length mismatch");
+        assert_eq!(y.len(), self.ncols, "output length mismatch");
+        if chunks <= 1 {
+            self.spmv_t_serial(x, y);
+        } else {
+            self.spmv_t_binned(x, y, chunks);
+        }
+    }
+
+    /// Serial scatter (the `FREEHGC_THREADS=1` path).
+    fn spmv_t_serial(&self, x: &[f32], y: &mut [f32]) {
+        y.fill(0.0);
+        for r in 0..self.nrows {
+            let xr = x[r];
+            if xr == 0.0 {
+                continue;
+            }
+            let (cols, vals) = self.row(r);
+            for (&c, &v) in cols.iter().zip(vals) {
+                y[c as usize] += v * xr;
+            }
+        }
+    }
+
+    /// The order-preserving two-phase path (see [`CsrMatrix::spmv_t_into`]).
+    fn spmv_t_binned(&self, x: &[f32], y: &mut [f32], chunks: usize) {
+        y.fill(0.0);
         let row_ranges = par::chunk_ranges(self.nrows, chunks);
         let col_ranges = par::chunk_ranges(self.ncols, chunks);
-        // Phase 1: bins[src][dst] = (column, A[r,c]·x[r]) contributions
-        // of source row chunk `src` into destination column chunk
-        // `dst`, in (row, column) order.
-        let bins: Vec<Vec<Vec<(u32, f32)>>> = par::scoped_map(row_ranges, |_, rr| {
-            let chunk_nnz = self.indptr[rr.end] - self.indptr[rr.start];
-            // (`vec![v; n]` would clone away the capacity — a cloned
-            // empty Vec has capacity 0.)
-            let mut out: Vec<Vec<(u32, f32)>> = (0..col_ranges.len())
-                .map(|_| Vec::with_capacity(chunk_nnz / col_ranges.len() + 16))
-                .collect();
+        // Phase 1: each source row chunk partitions its contributions
+        // `A[r,c]·x[r]` by destination column chunk — a counting sort
+        // over destinations. The counting pass sizes every bin exactly,
+        // so the fill pass writes into one flat right-sized allocation
+        // (no per-push growth, no nested-Vec bookkeeping); within each
+        // bin, entries stay in (row, column) order. Columns are sorted,
+        // so the destination chunk only ever advances within a row.
+        let bins: Vec<SpmvTBin> = par::scoped_map(row_ranges, |_, rr| {
+            let mut counts = vec![0usize; col_ranges.len()];
+            for r in rr.clone() {
+                if x[r] == 0.0 {
+                    continue;
+                }
+                let mut dst = 0usize;
+                for &c in self.row(r).0 {
+                    while c as usize >= col_ranges[dst].end {
+                        dst += 1;
+                    }
+                    counts[dst] += 1;
+                }
+            }
+            let mut offsets = Vec::with_capacity(col_ranges.len() + 1);
+            let mut total = 0usize;
+            offsets.push(0);
+            for &n in &counts {
+                total += n;
+                offsets.push(total);
+            }
+            let mut flat = vec![(0u32, 0f32); total];
+            let mut cursor = offsets[..col_ranges.len()].to_vec();
             for r in rr {
                 let xr = x[r];
                 if xr == 0.0 {
@@ -511,15 +565,14 @@ impl CsrMatrix {
                 let (cols, vals) = self.row(r);
                 let mut dst = 0usize;
                 for (&c, &v) in cols.iter().zip(vals) {
-                    // Columns are sorted, so the destination chunk only
-                    // ever advances within a row.
                     while c as usize >= col_ranges[dst].end {
                         dst += 1;
                     }
-                    out[dst].push((c, v * xr));
+                    flat[cursor[dst]] = (c, v * xr);
+                    cursor[dst] += 1;
                 }
             }
-            out
+            (offsets, flat)
         });
         // Phase 2: each destination owner applies its bins in source
         // order, preserving the global increasing-row accumulation.
@@ -527,8 +580,8 @@ impl CsrMatrix {
         let yslices = par::split_by_lens(y, lens);
         let work: Vec<_> = col_ranges.iter().zip(yslices).collect();
         par::scoped_map(work, |dst, (cr, ys)| {
-            for src_bins in &bins {
-                for &(c, contrib) in &src_bins[dst] {
+            for (offsets, flat) in &bins {
+                for &(c, contrib) in &flat[offsets[dst]..offsets[dst + 1]] {
                     ys[c as usize - cr.start] += contrib;
                 }
             }

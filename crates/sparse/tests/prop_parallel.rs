@@ -94,6 +94,28 @@ proptest! {
     }
 
     #[test]
+    fn spmv_t_binned_path_is_bitwise_identical_at_forced_chunk_counts(
+        // The public entry keeps SpMVᵀ serial on single-core machines
+        // (and below the size gates), so the forced-chunk entry is what
+        // guarantees the binned path is exercised everywhere CI runs.
+        rows in 200usize..400,
+        cols in 150usize..400,
+        seed in 0u64..1000,
+    ) {
+        let a = random_sparse(rows, cols, 8, seed);
+        let x: Vec<f32> = (0..rows).map(|i| ((i * 31 + 5) % 17) as f32 * 0.5 - 4.0).collect();
+        let mut reference = vec![f32::NAN; cols];
+        a.spmv_t_into_chunked(&x, &mut reference, 1);
+        prop_assert_eq!(&reference, &with_threads(1, || a.spmv_t(&x)),
+            "chunks=1 must be the serial scatter");
+        for chunks in [2usize, 3, 5, 8, 64] {
+            let mut buf = vec![f32::NAN; cols];
+            with_threads(4, || a.spmv_t_into_chunked(&x, &mut buf, chunks));
+            prop_assert_eq!(&buf, &reference, "binned path diverged at {} chunks", chunks);
+        }
+    }
+
+    #[test]
     fn spmm_dense_is_bitwise_identical_across_thread_counts(
         // rows * per_row * dim must clear DENSE_FLOP_GRAIN on several
         // chunks.
