@@ -4,7 +4,7 @@
 //! to regress against.
 //!
 //! ```bash
-//! cargo run --release -p freehgc_bench --bin bench_report            # full scales → BENCH_PR4.json
+//! cargo run --release -p freehgc_bench --bin bench_report            # full scales → BENCH_PR7.json
 //! cargo run --release -p freehgc_bench --bin bench_report -- --quick # smoke scales
 //! cargo run --release -p freehgc_bench --bin bench_report -- --threads=8 --out=path.json
 //! ```
@@ -49,6 +49,15 @@
 //! the cold rebuild on wall time, and (at full scale, where the
 //! precompute dwarfs file I/O) that the snapshot-seeded delta does
 //! too.
+//!
+//! The *chaos* leg (PR 7) drills the failure-hardened serving layer:
+//! concurrent clients resolve one registry key and condense through it
+//! while deterministic faults fire underneath (compiled in with
+//! `--features failpoints`; without the feature the same traffic runs
+//! fault-free and the leg degenerates to a concurrency smoke). It
+//! asserts every response is bitwise-equal to the fault-free
+//! reference, that single-flight allowed zero duplicate cold computes,
+//! and that each recovery was counted.
 
 use freehgc_baselines::{
     CoarseningHg, GCondBaseline, GradMatchConfig, HGCondBaseline, HerdingHg, KCenterHg, RandomHg,
@@ -555,6 +564,165 @@ fn run_delta_leg(quick: bool) -> DeltaReport {
     report
 }
 
+struct ChaosReport {
+    clients: usize,
+    requests_per_client: usize,
+    ms: f64,
+    failpoints_compiled: bool,
+    faults_injected: u64,
+    panics_recovered: u64,
+    singleflight_coalesced: u64,
+    io_retries: u64,
+    tmp_files_swept: u64,
+    duplicate_computes: u64,
+    snapshot_loads: u64,
+    snapshot_rejections: u64,
+    bitwise_equal: bool,
+    served_after_faults: bool,
+}
+
+/// Failure-hardening leg (PR 7): N concurrent clients hammer one
+/// registry key through `resolve_or_load` + `condense_shared` while
+/// deterministic faults fire underneath — injected snapshot-read I/O
+/// errors, a panicking leader build, panicking condensations, a torn
+/// snapshot write, composed-cache pressure spikes, and an orphaned temp
+/// file from a "crashed" earlier writer. The contract being measured:
+/// every client completes (no hangs, no deaths), every response is
+/// bitwise-identical to the fault-free reference, no cold compute is
+/// duplicated, and every recovery is counted. Without the `failpoints`
+/// feature the same traffic runs fault-free (the counters record that).
+fn run_chaos_leg(quick: bool) -> ChaosReport {
+    use freehgc_eval::ChaosKnobs;
+
+    let scale = if quick { 0.1 } else { 0.3 };
+    let g = Arc::new(generate(DatasetKind::Acm, scale, 44));
+    let spec = CondenseSpec::new(0.15).with_max_hops(2).with_seed(11);
+    let method = FreeHgc::default();
+
+    // Fault-free reference bits, through an isolated registry.
+    let want = method.condense_shared(&ContextRegistry::new(), &g, &spec);
+
+    // A previous "process" persists the warm snapshot … and leaves an
+    // orphaned temp file behind, as a crashed writer would.
+    let dir = std::env::temp_dir().join(format!("fhgc-bench-chaos-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    {
+        let reg = ContextRegistry::new();
+        method.condense_shared(&reg, &g, &spec);
+        reg.persist(&dir, &g, &spec)
+            .expect("persist reference snapshot");
+    }
+    std::fs::write(dir.join("ctx-dead.fhgc.tmp-99999-0"), b"torn leftovers")
+        .expect("plant orphan temp file");
+
+    // Injected panics are expected and recovered; keep their backtraces
+    // out of the report. Anything else still prints through the default
+    // hook (and would fail the join below anyway).
+    let default_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        let injected = info
+            .payload()
+            .downcast_ref::<String>()
+            .is_some_and(|m| m.starts_with("injected failpoint panic"));
+        if !injected {
+            default_hook(info);
+        }
+    }));
+
+    ChaosKnobs {
+        seed: 1234,
+        read_io_one_in: Some(3),
+        torn_writes: 1,
+        condense_panics: 2,
+        build_panics: 1,
+        build_delay: true,
+        composed_pressure_one_in: Some(4),
+    }
+    .arm();
+
+    let clients = 8usize;
+    let requests_per_client = if quick { 2usize } else { 3 };
+    let reg = ContextRegistry::new();
+    let barrier = std::sync::Barrier::new(clients);
+    let t0 = Instant::now();
+    let results: Vec<CondensedGraph> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..clients)
+            .map(|_| {
+                s.spawn(|| {
+                    barrier.wait();
+                    let mut outs = Vec::with_capacity(requests_per_client);
+                    for _ in 0..requests_per_client {
+                        let _ctx = reg.resolve_or_load(&dir, &g, &spec);
+                        outs.push(method.condense_shared(&reg, &g, &spec));
+                    }
+                    outs
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| {
+                h.join()
+                    .expect("a chaos client died — an injected fault escaped isolation")
+            })
+            .collect()
+    });
+    let ms = t0.elapsed().as_secs_f64() * 1e3;
+
+    // Under the still-armed faults, persisting tears once mid-write and
+    // must retry into a published canonical file (leaving the torn
+    // attempt's temp file for the next startup sweep).
+    reg.persist(&dir, &g, &spec)
+        .expect("persist must survive the torn write");
+
+    let stats = reg.fault_stats();
+    let (snapshot_loads, snapshot_rejections) = reg.snapshot_stats();
+    let faults_injected = ChaosKnobs::faults_fired();
+    ChaosKnobs::disarm_all();
+    let _ = std::panic::take_hook();
+
+    // "Restart": a fresh registry sweeps the torn write's orphan and
+    // keeps serving reference bits.
+    let reg2 = ContextRegistry::new();
+    let _warm = reg2.resolve_or_load(&dir, &g, &spec);
+    let after = method.condense_shared(&reg2, &g, &spec);
+    let served_after_faults = condensed_equal(&want, &after);
+    std::fs::remove_dir_all(&dir).ok();
+
+    let report = ChaosReport {
+        clients,
+        requests_per_client,
+        ms,
+        failpoints_compiled: ChaosKnobs::active(),
+        faults_injected,
+        panics_recovered: stats.panics_recovered,
+        singleflight_coalesced: stats.singleflight_coalesced,
+        io_retries: stats.io_retries,
+        tmp_files_swept: stats.tmp_files_swept + reg2.fault_stats().tmp_files_swept,
+        duplicate_computes: stats.duplicate_computes,
+        snapshot_loads,
+        snapshot_rejections,
+        bitwise_equal: results.iter().all(|r| condensed_equal(&want, r)),
+        served_after_faults,
+    };
+    eprintln!(
+        "chaos leg                    {} clients x {} reqs in {:>9.3} ms   faults {}   \
+         recovered {}   coalesced {}   io_retries {}   swept {}   dup_computes {}   \
+         bitwise_equal={}",
+        report.clients,
+        report.requests_per_client,
+        report.ms,
+        report.faults_injected,
+        report.panics_recovered,
+        report.singleflight_coalesced,
+        report.io_retries,
+        report.tmp_files_swept,
+        report.duplicate_computes,
+        report.bitwise_equal
+    );
+    report
+}
+
 fn fmt_ms(v: f64) -> String {
     if v.is_finite() {
         format!("{v:.4}")
@@ -566,7 +734,7 @@ fn fmt_ms(v: f64) -> String {
 fn main() {
     let mut quick = false;
     let mut threads = 4usize;
-    let mut out_path = "BENCH_PR6.json".to_string();
+    let mut out_path = "BENCH_PR7.json".to_string();
     // The effective FREEHGC_THREADS / machine default, captured before
     // the measurement loops start flipping the runtime override.
     let freehgc_threads = par::max_threads();
@@ -705,11 +873,14 @@ fn main() {
     // Incremental-invalidation leg (PR 6).
     let delta = run_delta_leg(quick);
 
+    // Failure-hardening leg (PR 7).
+    let chaos = run_chaos_leg(quick);
+
     // Emit the JSON report.
     let avail = std::thread::available_parallelism().map_or(1, |n| n.get());
     let mut out = String::new();
     out.push_str("{\n");
-    out.push_str("  \"pr\": 6,\n");
+    out.push_str("  \"pr\": 7,\n");
     out.push_str("  \"created_by\": \"bench_report\",\n");
     out.push_str(&format!("  \"quick\": {quick},\n"));
     out.push_str("  \"machine\": {\n");
@@ -907,6 +1078,45 @@ fn main() {
         delta.snapshot_reused_entries, delta.snapshot_loads
     ));
     out.push_str(&format!("    \"bitwise_equal\": {}\n", delta.bitwise_equal));
+    out.push_str("  },\n");
+    out.push_str("  \"chaos\": {\n");
+    out.push_str(
+        "    \"note\": \"N concurrent clients resolve one registry key and condense through it \
+         while deterministic faults fire underneath (injected snapshot-read I/O errors, a \
+         panicking single-flight leader, panicking condensations, one torn snapshot write, \
+         composed-cache pressure spikes, an orphaned temp file from a crashed writer). \
+         bitwise_equal asserts every response matched the fault-free reference; \
+         duplicate_computes must stay 0 (single-flight); the counters record each recovery. \
+         With failpoints_compiled=false the same traffic ran fault-free.\",\n",
+    );
+    out.push_str(&format!(
+        "    \"clients\": {},\n    \"requests_per_client\": {},\n    \"ms\": {},\n",
+        chaos.clients,
+        chaos.requests_per_client,
+        fmt_ms(chaos.ms)
+    ));
+    out.push_str(&format!(
+        "    \"failpoints_compiled\": {},\n    \"faults_injected\": {},\n",
+        chaos.failpoints_compiled, chaos.faults_injected
+    ));
+    out.push_str(&format!(
+        "    \"panics_recovered\": {},\n    \"singleflight_coalesced\": {},\n    \
+         \"io_retries\": {},\n    \"tmp_files_swept\": {},\n    \
+         \"duplicate_computes\": {},\n",
+        chaos.panics_recovered,
+        chaos.singleflight_coalesced,
+        chaos.io_retries,
+        chaos.tmp_files_swept,
+        chaos.duplicate_computes
+    ));
+    out.push_str(&format!(
+        "    \"snapshot_loads\": {},\n    \"snapshot_rejections\": {},\n",
+        chaos.snapshot_loads, chaos.snapshot_rejections
+    ));
+    out.push_str(&format!(
+        "    \"bitwise_equal\": {},\n    \"served_after_faults\": {}\n",
+        chaos.bitwise_equal, chaos.served_after_faults
+    ));
     out.push_str("  }\n");
     out.push_str("}\n");
     std::fs::write(&out_path, &out).expect("write bench report");
@@ -1006,6 +1216,31 @@ fn main() {
             "FATAL: the snapshot-seeded delta update did not beat the cold rebuild \
              (cold {:.3} ms, snapshot {:.3} ms)",
             delta.cold_ms, delta.snapshot_ms
+        );
+        std::process::exit(1);
+    }
+    if !chaos.bitwise_equal || !chaos.served_after_faults {
+        eprintln!("FATAL: a chaos-leg response diverged from the fault-free reference");
+        std::process::exit(1);
+    }
+    if chaos.duplicate_computes != 0 {
+        eprintln!(
+            "FATAL: the chaos leg recorded {} duplicate cold computes — single-flight is broken",
+            chaos.duplicate_computes
+        );
+        std::process::exit(1);
+    }
+    if chaos.tmp_files_swept == 0 {
+        eprintln!("FATAL: the chaos leg swept no orphaned temp files — the startup sweep is dead");
+        std::process::exit(1);
+    }
+    // Only meaningful when fault injection is compiled in: the drill
+    // must actually have injected faults and recovered from panics.
+    if chaos.failpoints_compiled && (chaos.faults_injected == 0 || chaos.panics_recovered == 0) {
+        eprintln!(
+            "FATAL: chaos ran with failpoints compiled but injected {} faults and recovered {} \
+             panics — the drill exercised nothing",
+            chaos.faults_injected, chaos.panics_recovered
         );
         std::process::exit(1);
     }

@@ -233,13 +233,25 @@ pub trait Condenser {
     /// ratios and seeds — share one warm precompute. Same transparency
     /// contract as [`Condenser::condense_in`]: bitwise-identical to a
     /// fresh-context run.
+    ///
+    /// The condensation runs under the registry's panic isolation
+    /// ([`ContextRegistry::run_isolated`](crate::registry::ContextRegistry::run_isolated)):
+    /// a panicking compute is counted and retried a bounded number of
+    /// times before it propagates, and because the context only ever
+    /// publishes complete cache entries, a failed attempt leaves the
+    /// shared state untouched — the retry (and every concurrent
+    /// request) still gets bit-identical output.
     fn condense_shared(
         &self,
         registry: &crate::registry::ContextRegistry,
         graph: &std::sync::Arc<HeteroGraph>,
         spec: &CondenseSpec,
     ) -> CondensedGraph {
-        self.condense_in(&registry.context_for(graph, spec), spec)
+        let ctx = registry.context_for(graph, spec);
+        registry.run_isolated(|| {
+            crate::failpoints::fire_panic(crate::failpoints::CONDENSE_PANIC);
+            self.condense_in(&ctx, spec)
+        })
     }
 }
 

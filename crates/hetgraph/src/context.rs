@@ -70,7 +70,20 @@ use crate::schema::{NodeTypeId, Schema};
 use freehgc_sparse::{CsrMatrix, FxHashMap};
 use std::any::Any;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+
+/// Locks `m`, recovering from poisoning instead of propagating it.
+///
+/// Every mutation made under these mutexes is a single map operation
+/// publishing an already-complete value (computes run *outside* the
+/// locks), so a panic unwinding through a lock scope can never leave
+/// half-written state behind it — the data under a poisoned mutex is
+/// exactly as consistent as under a clean one. Recovering therefore
+/// keeps one panicking request from killing every later request on the
+/// process, without weakening any invariant.
+pub(crate) fn relock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// One hit/miss pair, updated with relaxed atomics (counters are
 /// diagnostics, never control flow).
@@ -426,6 +439,14 @@ impl ComposedCache {
         if let Some(e) = self.map.get(steps) {
             return Arc::clone(&e.matrix);
         }
+        if crate::failpoints::should_fire(crate::failpoints::COMPOSED_PRESSURE) {
+            // Injected budget-pressure spike: behave exactly like an
+            // entry that exceeds the whole budget — a counted rejection,
+            // the caller keeps its freshly computed (bit-identical)
+            // matrix, and resident bytes never move.
+            self.rejected += 1;
+            return matrix;
+        }
         let bytes = matrix.storage_bytes();
         if let Some(budget) = self.budget {
             if bytes > budget {
@@ -634,12 +655,12 @@ impl CondenseContext<'_> {
 
     /// The composed-cache byte budget (`None` = unbounded).
     pub fn composed_budget(&self) -> Option<usize> {
-        self.composed.lock().unwrap().budget
+        relock(&self.composed).budget
     }
 
     /// Resident bytes of the composed cache right now.
     pub fn composed_bytes(&self) -> usize {
-        self.composed.lock().unwrap().bytes
+        relock(&self.composed).bytes
     }
 
     /// Asserts that condensing `spec` through this context cannot
@@ -665,7 +686,7 @@ impl CondenseContext<'_> {
     /// its owning layer declared), so they are exact at the moment of
     /// the call rather than a running estimate.
     pub fn stats(&self) -> CacheCounters {
-        let composed = self.composed.lock().unwrap();
+        let composed = relock(&self.composed);
         let influence_bytes: u64 = self
             .influence
             .lock()
@@ -707,7 +728,7 @@ impl CondenseContext<'_> {
 
     /// Number of cached composed adjacencies (for tests/benches).
     pub fn composed_len(&self) -> usize {
-        self.composed.lock().unwrap().map.len()
+        relock(&self.composed).map.len()
     }
 
     /// Cached [`enumerate_metapaths`]: every proper meta-path rooted at
@@ -719,7 +740,7 @@ impl CondenseContext<'_> {
         max_paths: usize,
     ) -> Arc<Vec<MetaPath>> {
         let key = (root, max_hops, max_paths);
-        if let Some(p) = self.paths.lock().unwrap().get(&key) {
+        if let Some(p) = relock(&self.paths).get(&key) {
             self.paths_stats.hit();
             return Arc::clone(p);
         }
@@ -730,7 +751,7 @@ impl CondenseContext<'_> {
             max_hops,
             max_paths,
         ));
-        Arc::clone(self.paths.lock().unwrap().entry(key).or_insert(paths))
+        Arc::clone(relock(&self.paths).entry(key).or_insert(paths))
     }
 
     /// The paths from `root` that end at `source` (the path family
@@ -759,7 +780,7 @@ impl CondenseContext<'_> {
     }
 
     fn factor(&self, step: MetaPathStep) -> Arc<CsrMatrix> {
-        if let Some(f) = self.factors.lock().unwrap().get(&step) {
+        if let Some(f) = relock(&self.factors).get(&step) {
             self.factors_stats.hit();
             return Arc::clone(f);
         }
@@ -789,7 +810,7 @@ impl CondenseContext<'_> {
         if steps.len() == 1 {
             return self.factor(steps[0]);
         }
-        if let Some(m) = self.composed.lock().unwrap().get(steps) {
+        if let Some(m) = relock(&self.composed).get(steps) {
             self.composed_stats.hit();
             return m;
         }
@@ -826,7 +847,7 @@ impl CondenseContext<'_> {
     /// under-report.
     pub fn adjacency_between(&self, from: NodeTypeId, to: NodeTypeId) -> Option<Arc<CsrMatrix>> {
         let key = (from, to);
-        if let Some(a) = self.oriented.lock().unwrap().get(&key) {
+        if let Some(a) = relock(&self.oriented).get(&key) {
             self.oriented_stats.hit();
             return a.as_ref().map(Arc::clone);
         }
@@ -848,13 +869,13 @@ impl CondenseContext<'_> {
         key: InfluenceKey,
         compute: impl FnOnce() -> Vec<f64>,
     ) -> Arc<Vec<f64>> {
-        if let Some(v) = self.influence.lock().unwrap().get(&key) {
+        if let Some(v) = relock(&self.influence).get(&key) {
             self.influence_stats.hit();
             return Arc::clone(v);
         }
         self.influence_stats.miss();
         let v = Arc::new(compute());
-        Arc::clone(self.influence.lock().unwrap().entry(key).or_insert(v))
+        Arc::clone(relock(&self.influence).entry(key).or_insert(v))
     }
 
     /// Returns the cached diversity-bonus vector for `key` (one entry per
@@ -867,13 +888,13 @@ impl CondenseContext<'_> {
         key: DiversityKey,
         compute: impl FnOnce() -> Vec<f64>,
     ) -> Arc<Vec<f64>> {
-        if let Some(v) = self.diversity.lock().unwrap().get(&key) {
+        if let Some(v) = relock(&self.diversity).get(&key) {
             self.diversity_stats.hit();
             return Arc::clone(v);
         }
         self.diversity_stats.miss();
         let v = Arc::new(compute());
-        Arc::clone(self.diversity.lock().unwrap().entry(key).or_insert(v))
+        Arc::clone(relock(&self.diversity).entry(key).or_insert(v))
     }
 
     // ---- delta seeding ----------------------------------------------
@@ -1096,22 +1117,22 @@ impl CondenseContext<'_> {
     }
 
     pub(crate) fn install_factor(&self, step: MetaPathStep, m: Arc<CsrMatrix>) {
-        self.factors.lock().unwrap().entry(step).or_insert(m);
+        relock(&self.factors).entry(step).or_insert(m);
     }
 
     /// Installs a composed adjacency through the cache's normal admission
     /// path, so a byte budget (and its eviction policy) applies to loaded
     /// entries exactly as to computed ones.
     pub(crate) fn install_composed(&self, steps: Vec<MetaPathStep>, m: Arc<CsrMatrix>, cost: u64) {
-        self.composed.lock().unwrap().insert(&steps, m, cost);
+        relock(&self.composed).insert(&steps, m, cost);
     }
 
     pub(crate) fn install_influence(&self, key: InfluenceKey, v: Arc<Vec<f64>>) {
-        self.influence.lock().unwrap().entry(key).or_insert(v);
+        relock(&self.influence).entry(key).or_insert(v);
     }
 
     pub(crate) fn install_diversity(&self, key: DiversityKey, v: Arc<Vec<f64>>) {
-        self.diversity.lock().unwrap().entry(key).or_insert(v);
+        relock(&self.diversity).entry(key).or_insert(v);
     }
 
     pub(crate) fn install_propagated(&self, key: (usize, usize), v: AnyArc, bytes: usize) {
@@ -1123,7 +1144,7 @@ impl CondenseContext<'_> {
     }
 
     pub(crate) fn install_paths(&self, key: PathKey, v: Arc<Vec<MetaPath>>) {
-        self.paths.lock().unwrap().entry(key).or_insert(v);
+        relock(&self.paths).entry(key).or_insert(v);
     }
 
     pub(crate) fn install_oriented(
@@ -1131,7 +1152,7 @@ impl CondenseContext<'_> {
         key: (NodeTypeId, NodeTypeId),
         v: Option<Arc<CsrMatrix>>,
     ) {
-        self.oriented.lock().unwrap().entry(key).or_insert(v);
+        relock(&self.oriented).entry(key).or_insert(v);
     }
 
     /// Returns the cached propagated-feature value for `key`, computing
@@ -1157,7 +1178,7 @@ impl CondenseContext<'_> {
         compute: impl FnOnce() -> T,
         bytes_of: impl FnOnce(&T) -> usize,
     ) -> Arc<T> {
-        if let Some((v, _)) = self.propagated.lock().unwrap().get(&key) {
+        if let Some((v, _)) = relock(&self.propagated).get(&key) {
             self.propagated_stats.hit();
             return Arc::clone(v)
                 .downcast::<T>()

@@ -306,13 +306,43 @@ impl HeteroGraph {
     ///
     /// # Panics
     /// Panics when an edge endpoint or feature row is out of range, or a
-    /// feature row has the wrong dimension.
+    /// feature row has the wrong dimension. Validation is all-or-nothing:
+    /// every add and feature update is checked *before* any mutation, so
+    /// a rejected delta leaves the graph bitwise unchanged — it never
+    /// panics out of a half-applied state.
     pub fn apply_delta(&mut self, delta: &GraphDelta) {
         if delta.is_empty() {
             return;
         }
         static EMPTY_ADDS: Vec<(u32, u32, f32)> = Vec::new();
         static EMPTY_REMOVES: Vec<(u32, u32)> = Vec::new();
+        for e in delta.touched_edges() {
+            let adds = delta.edge_adds.get(&e).unwrap_or(&EMPTY_ADDS);
+            let old = &self.adjacency[e.0 as usize];
+            let (nrows, ncols) = (old.nrows(), old.ncols());
+            for &(src, dst, _) in adds {
+                assert!(
+                    (src as usize) < nrows && (dst as usize) < ncols,
+                    "delta edge ({src}, {dst}) out of range for {nrows}x{ncols} relation {}",
+                    self.schema.edge_type_name(e)
+                );
+            }
+        }
+        for (&t, rows) in &delta.feature_updates {
+            let f = &self.features[t.0 as usize];
+            for (row, values) in rows {
+                assert!(
+                    (*row as usize) < f.num_rows(),
+                    "delta feature row {row} out of range for node type {}",
+                    self.schema.node_type_name(t)
+                );
+                assert_eq!(
+                    values.len(),
+                    f.dim(),
+                    "delta feature row must match the feature dimension"
+                );
+            }
+        }
         for e in delta.touched_edges() {
             let adds = delta.edge_adds.get(&e).unwrap_or(&EMPTY_ADDS);
             let removes = delta.edge_removes.get(&e).unwrap_or(&EMPTY_REMOVES);
@@ -329,11 +359,6 @@ impl HeteroGraph {
                 }
             }
             for &(src, dst, w) in adds {
-                assert!(
-                    (src as usize) < nrows && (dst as usize) < ncols,
-                    "delta edge ({src}, {dst}) out of range for {nrows}x{ncols} relation {}",
-                    self.schema.edge_type_name(e)
-                );
                 coo.push(src, dst, w);
             }
             self.adjacency[e.0 as usize] = coo.to_csr();
@@ -341,16 +366,6 @@ impl HeteroGraph {
         for (&t, rows) in &delta.feature_updates {
             let f = &mut self.features[t.0 as usize];
             for (row, values) in rows {
-                assert!(
-                    (*row as usize) < f.num_rows(),
-                    "delta feature row {row} out of range for node type {}",
-                    self.schema.node_type_name(t)
-                );
-                assert_eq!(
-                    values.len(),
-                    f.dim(),
-                    "delta feature row must match the feature dimension"
-                );
                 f.row_mut(*row as usize).copy_from_slice(values);
             }
         }
@@ -755,5 +770,39 @@ mod tests {
         let mut d = GraphDelta::new();
         d.update_feature_row(paper, 0, vec![1.0]);
         g.apply_delta(&d);
+    }
+
+    #[test]
+    fn rejected_delta_leaves_the_graph_unchanged() {
+        // All-or-nothing contract: a delta that mixes valid mutations
+        // with one invalid entry must not apply *any* of them — the
+        // valid edge add and feature update here would land before the
+        // invalid one was reached if validation ran inline.
+        let mut g = tiny_acm();
+        let pa = g.schema().edge_type_by_name("pa").unwrap();
+        let paper = g.schema().node_type_by_name("paper").unwrap();
+        let adj_before = g.adjacency(pa).clone();
+        let feat_before = g.features(paper).clone();
+
+        let mut d = GraphDelta::new();
+        d.add_edge(pa, 1, 0); // valid
+        let dim = feat_before.dim();
+        d.update_feature_row(paper, 0, vec![9.0; dim]); // valid
+        d.add_edge(pa, 99, 0); // out of range — must reject the lot
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| g.apply_delta(&d)));
+        assert!(err.is_err(), "invalid delta must panic");
+        assert_eq!(g.adjacency(pa).indptr(), adj_before.indptr());
+        assert_eq!(g.adjacency(pa).indices(), adj_before.indices());
+        assert_eq!(g.adjacency(pa).values(), adj_before.values());
+        assert_eq!(g.features(paper).data(), feat_before.data());
+
+        // Same with the invalid entry on the feature side.
+        let mut d = GraphDelta::new();
+        d.add_edge(pa, 1, 0); // valid
+        d.update_feature_row(paper, 0, vec![1.0]); // wrong dimension
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| g.apply_delta(&d)));
+        assert!(err.is_err(), "invalid delta must panic");
+        assert_eq!(g.adjacency(pa).values(), adj_before.values());
+        assert_eq!(g.features(paper).data(), feat_before.data());
     }
 }

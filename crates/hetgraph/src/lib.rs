@@ -16,6 +16,7 @@
 
 pub mod condense;
 pub mod context;
+pub mod failpoints;
 pub mod features;
 pub mod graph;
 pub mod metapath;
@@ -32,7 +33,7 @@ pub use context::{CacheCounters, CondenseContext, DeltaSeedReport, DiversityKey,
 pub use features::FeatureMatrix;
 pub use graph::{GraphDelta, HeteroGraph, HeteroGraphBuilder};
 pub use metapath::{enumerate_metapaths, metapaths_to, MetaPath, MetaPathEngine, MetaPathStep};
-pub use registry::{ContextRegistry, GraphFingerprint};
+pub use registry::{ContextRegistry, FaultStats, GraphFingerprint};
 pub use schema::{EdgeTypeId, NodeTypeId, Role, Schema};
 pub use snapshot::{
     decode_snapshot_delta_into, snapshot_file_name, PropagatedCodec, SnapshotError,

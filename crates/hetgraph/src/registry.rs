@@ -25,6 +25,38 @@
 //! against structural invariants of the stored graph, so a hash
 //! collision panics instead of silently serving the wrong precompute.
 //!
+//! # Failure model
+//!
+//! The registry is the cache tier a serving front end will sit on, so
+//! it must survive the faults a long-lived process meets:
+//!
+//! * **Single-flight resolution.** Concurrent misses on one key
+//!   coalesce onto a single leader build; waiters block on the flight
+//!   and are counted as coalesced hits. No duplicate cold computes, no
+//!   thundering herd on a cold dataset.
+//! * **Panic isolation.** The leader's build runs under `catch_unwind`;
+//!   a panicking build (or an injected
+//!   [`failpoints`](crate::failpoints) fault) never installs a partial
+//!   context — the half-built value is dropped, the flight is marked
+//!   failed, and the build is retried a bounded number of times (by the
+//!   leader, or by exactly one of the woken waiters — whichever re-locks
+//!   the map first). [`ContextRegistry::run_isolated`] extends the same
+//!   contract to condensation work (`Condenser::condense_shared`).
+//! * **Poison recovery.** Every mutex access recovers from poisoning
+//!   (see `context::relock`): all mutations under the registry's locks
+//!   are single map operations on complete values, so a poisoned lock
+//!   guards perfectly consistent data and refusing to serve it would
+//!   turn one panic into a process-wide death spiral.
+//! * **Crash-safe snapshot I/O.** Loads retry transient read errors
+//!   with backoff before falling back to a counted cold miss; saves
+//!   fsync before their atomic rename and retry transient failures; the
+//!   first touch of a snapshot directory sweeps leftover per-call temp
+//!   files from crashed writers. See [`crate::snapshot`].
+//!
+//! Every recovery is counted ([`ContextRegistry::fault_stats`]), and
+//! none of them changes a single output bit: a fault degrades to a
+//! retry or a cold recompute of the same pure function.
+//!
 //! # Memory lifecycle
 //!
 //! A registered context lives (with its graph `Arc`) until
@@ -37,15 +69,17 @@
 //! budgets for the remaining caches as future work (see ROADMAP).
 
 use crate::condense::CondenseSpec;
-use crate::context::{CondenseContext, DeltaSeedReport};
+use crate::context::{relock, CondenseContext, DeltaSeedReport};
+use crate::failpoints;
 use crate::graph::{GraphDelta, HeteroGraph};
 use crate::snapshot::{snapshot_file_name, PropagatedCodec, SnapshotError, SnapshotLoadReport};
 use freehgc_sparse::fx::FxHasher;
-use freehgc_sparse::FxHashMap;
+use freehgc_sparse::{FxHashMap, FxHashSet};
 use std::hash::Hasher;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::{Arc, Condvar, Mutex, OnceLock, PoisonError};
 
 /// A 128-bit content hash of a [`HeteroGraph`] — the registry key.
 ///
@@ -165,11 +199,101 @@ fn same_shape(a: &HeteroGraph, b: &HeteroGraph) -> bool {
 /// caller's memory ceiling from silently governing another's.
 type RegistryKey = (GraphFingerprint, Option<usize>, Option<usize>);
 
+/// One registry map slot: either a served context or an in-flight build
+/// other resolvers of the same key coalesce onto.
+enum Slot {
+    Ready(Arc<CondenseContext<'static>>),
+    Building(Arc<Flight>),
+}
+
+/// The single-flight rendezvous for one key's cold build: waiters block
+/// on the condvar until the leader publishes the context or reports
+/// failure.
+#[derive(Default)]
+struct Flight {
+    state: Mutex<FlightState>,
+    cv: Condvar,
+}
+
+#[derive(Default)]
+enum FlightState {
+    #[default]
+    Pending,
+    Ready(Arc<CondenseContext<'static>>),
+    Failed,
+}
+
+impl Flight {
+    /// Blocks until the leader resolves this flight. `None` means the
+    /// build failed; the caller loops back to resolution, where the map
+    /// elects exactly one new leader among the woken waiters.
+    fn wait(&self) -> Option<Arc<CondenseContext<'static>>> {
+        let mut state = relock(&self.state);
+        loop {
+            match &*state {
+                FlightState::Pending => {
+                    state = self.cv.wait(state).unwrap_or_else(PoisonError::into_inner);
+                }
+                FlightState::Ready(ctx) => return Some(Arc::clone(ctx)),
+                FlightState::Failed => return None,
+            }
+        }
+    }
+
+    /// Publishes the build outcome and wakes every waiter. The leader
+    /// calls this on **every** exit path — success or caught panic — so
+    /// a waiter can never hang on an abandoned flight.
+    fn finish(&self, result: Option<Arc<CondenseContext<'static>>>) {
+        *relock(&self.state) = match result {
+            Some(ctx) => FlightState::Ready(ctx),
+            None => FlightState::Failed,
+        };
+        self.cv.notify_all();
+    }
+}
+
+/// How many times one caller will (re)try a failing cold build — its
+/// own leader attempts and leader failures it observes as a waiter
+/// combined — before giving up. The final failure propagates with the
+/// original panic payload.
+const MAX_BUILD_ATTEMPTS: usize = 4;
+
+/// Total attempts [`ContextRegistry::run_isolated`] gives a panicking
+/// computation; the last one runs unprotected so a persistent fault
+/// surfaces with its original payload.
+const MAX_COMPUTE_ATTEMPTS: usize = 3;
+
+/// Fault-recovery counters — see [`ContextRegistry::fault_stats`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Panics caught and retried: failed single-flight leader builds
+    /// plus computations isolated by [`ContextRegistry::run_isolated`].
+    pub panics_recovered: u64,
+    /// Resolutions that blocked on another caller's in-flight build
+    /// instead of computing their own.
+    pub singleflight_coalesced: u64,
+    /// Transient snapshot I/O errors absorbed by a retry. Process-wide
+    /// (the snapshot layer's saves retry too, without a registry in
+    /// hand), not per-registry.
+    pub io_retries: u64,
+    /// Leftover per-call snapshot temp files garbage-collected by this
+    /// registry's startup sweeps.
+    pub tmp_files_swept: u64,
+    /// Completed cold builds thrown away because another resolver's
+    /// context was already registered. Single-flight exists to hold
+    /// this at zero; nonzero means the coalescing broke.
+    pub duplicate_computes: u64,
+}
+
 /// Keyed registry of shared condensation contexts: graph fingerprint →
 /// `Arc<CondenseContext>`. See the module docs.
 #[derive(Default)]
 pub struct ContextRegistry {
-    entries: Mutex<FxHashMap<RegistryKey, Arc<CondenseContext<'static>>>>,
+    entries: Mutex<FxHashMap<RegistryKey, Slot>>,
+    /// Snapshot directories already swept for leftover temp files; the
+    /// sweep runs once per directory per registry (the "startup" of
+    /// this registry's use of that directory).
+    swept_dirs: Mutex<FxHashSet<PathBuf>>,
     hits: AtomicU64,
     misses: AtomicU64,
     /// On-disk snapshots successfully loaded by
@@ -178,6 +302,10 @@ pub struct ContextRegistry {
     /// Snapshot files found but rejected (corruption, version or knob
     /// mismatch, unreadable) — each one fell back to a clean cold miss.
     snapshot_rejections: AtomicU64,
+    panics_recovered: AtomicU64,
+    singleflight_coalesced: AtomicU64,
+    tmp_files_swept: AtomicU64,
+    duplicate_computes: AtomicU64,
 }
 
 impl ContextRegistry {
@@ -224,8 +352,9 @@ impl ContextRegistry {
     /// from it. *Any* problem with the file — absent, truncated,
     /// corrupted, wrong version, wrong fingerprint, wrong knobs — falls
     /// back to plain cold compute; a snapshot can save work, never
-    /// change bits and never turn into an error. Loads and rejections
-    /// are counted in [`ContextRegistry::snapshot_stats`].
+    /// change bits and never turn into an error. Transient read errors
+    /// are retried with backoff first. Loads and rejections are counted
+    /// in [`ContextRegistry::snapshot_stats`].
     ///
     /// Propagated-feature blocks need a codec to round-trip — use
     /// [`ContextRegistry::resolve_or_load_with`] to supply one; this
@@ -257,6 +386,145 @@ impl ContextRegistry {
         )
     }
 
+    /// Panic-checks a fingerprint hit: serving another graph's warm
+    /// precompute would be silently wrong output, so a (vanishingly
+    /// unlikely) hash collision is loudly rejected instead of absorbed.
+    fn check_collision(
+        &self,
+        graph: &Arc<HeteroGraph>,
+        ctx: &Arc<CondenseContext<'static>>,
+        key: &RegistryKey,
+    ) {
+        assert!(
+            ctx.shared_graph().is_some_and(|g| Arc::ptr_eq(graph, g))
+                || same_shape(graph, ctx.graph()),
+            "GraphFingerprint collision: two structurally different graphs hashed to \
+             {} — refusing to share a context",
+            key.0
+        );
+    }
+
+    /// The single-flight core every resolution funnels through.
+    ///
+    /// Exactly one caller per key runs `build` (on a fresh context,
+    /// outside any lock); concurrent resolvers of the same key block on
+    /// the flight and share the leader's result. `build` returns the
+    /// snapshot-load outcome (`Some(true)` loaded / `Some(false)`
+    /// rejected / `None` no file) plus a per-resolution report; waiters
+    /// and plain hits get `R::default()` — the report describes work
+    /// only its owner performed.
+    ///
+    /// A panicking build never publishes: the partial context is
+    /// dropped, the slot is cleared, the flight is marked failed, and
+    /// the build is retried — by this caller or by exactly one woken
+    /// waiter, whichever re-locks the map first — up to
+    /// [`MAX_BUILD_ATTEMPTS`] observed failures per caller.
+    fn resolve_single_flight<R: Default>(
+        &self,
+        key: RegistryKey,
+        graph: &Arc<HeteroGraph>,
+        build: impl Fn(&CondenseContext<'static>) -> (Option<bool>, R),
+    ) -> (Arc<CondenseContext<'static>>, R) {
+        enum Role {
+            Hit(Arc<CondenseContext<'static>>),
+            Wait(Arc<Flight>),
+            Lead(Arc<Flight>),
+        }
+        let mut failures = 0usize;
+        loop {
+            let role = {
+                let mut entries = relock(&self.entries);
+                match entries.entry(key) {
+                    std::collections::hash_map::Entry::Occupied(o) => match o.get() {
+                        Slot::Ready(ctx) => {
+                            self.check_collision(graph, ctx, &key);
+                            Role::Hit(Arc::clone(ctx))
+                        }
+                        Slot::Building(f) => Role::Wait(Arc::clone(f)),
+                    },
+                    std::collections::hash_map::Entry::Vacant(v) => {
+                        let f = Arc::new(Flight::default());
+                        v.insert(Slot::Building(Arc::clone(&f)));
+                        Role::Lead(f)
+                    }
+                }
+            };
+            match role {
+                Role::Hit(ctx) => {
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    return (ctx, R::default());
+                }
+                Role::Wait(flight) => {
+                    self.singleflight_coalesced.fetch_add(1, Ordering::Relaxed);
+                    if let Some(ctx) = flight.wait() {
+                        self.hits.fetch_add(1, Ordering::Relaxed);
+                        return (ctx, R::default());
+                    }
+                    failures += 1;
+                    assert!(
+                        failures < MAX_BUILD_ATTEMPTS,
+                        "registry build for {} failed {failures} times; giving up",
+                        key.0
+                    );
+                }
+                Role::Lead(flight) => {
+                    self.misses.fetch_add(1, Ordering::Relaxed);
+                    // Construction is cheap (empty caches) and the
+                    // optional disk load is pure pre-warming, so the
+                    // whole build runs outside the map lock. Unwind
+                    // safety holds because a failed build's context is
+                    // dropped whole — nothing partial can escape.
+                    let built = catch_unwind(AssertUnwindSafe(|| {
+                        failpoints::fire_panic(failpoints::REGISTRY_BUILD_PANIC);
+                        failpoints::fire_delay(failpoints::REGISTRY_BUILD_DELAY);
+                        let ctx = Arc::new(
+                            CondenseContext::shared(Arc::clone(graph))
+                                .with_max_row_nnz(key.1)
+                                .with_composed_budget(key.2),
+                        );
+                        let (load_outcome, report) = build(&ctx);
+                        (ctx, load_outcome, report)
+                    }));
+                    match built {
+                        Ok((ctx, load_outcome, report)) => {
+                            {
+                                let mut entries = relock(&self.entries);
+                                match load_outcome {
+                                    Some(true) => {
+                                        self.snapshot_loads.fetch_add(1, Ordering::Relaxed);
+                                    }
+                                    Some(false) => {
+                                        self.snapshot_rejections.fetch_add(1, Ordering::Relaxed);
+                                    }
+                                    None => {}
+                                }
+                                if let Some(Slot::Ready(_)) =
+                                    entries.insert(key, Slot::Ready(Arc::clone(&ctx)))
+                                {
+                                    // Unreachable while single-flight
+                                    // holds: our Building slot kept
+                                    // every other resolver waiting.
+                                    self.duplicate_computes.fetch_add(1, Ordering::Relaxed);
+                                }
+                            }
+                            flight.finish(Some(Arc::clone(&ctx)));
+                            return (ctx, report);
+                        }
+                        Err(payload) => {
+                            relock(&self.entries).remove(&key);
+                            flight.finish(None);
+                            self.panics_recovered.fetch_add(1, Ordering::Relaxed);
+                            failures += 1;
+                            if failures >= MAX_BUILD_ATTEMPTS {
+                                resume_unwind(payload);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
     fn resolve(
         &self,
         graph: &Arc<HeteroGraph>,
@@ -265,70 +533,35 @@ impl ContextRegistry {
         snapshot_dir: Option<&Path>,
         codec: Option<&dyn PropagatedCodec>,
     ) -> Arc<CondenseContext<'static>> {
-        let key = (graph.fingerprint(), max_row_nnz, composed_cache_bytes);
-        if let Some(ctx) = self.entries.lock().unwrap().get(&key) {
-            // A fingerprint hit must be the same graph content; serving
-            // another graph's warm precompute would be silently wrong
-            // output, so a (vanishingly unlikely) hash collision is
-            // loudly rejected instead of absorbed.
-            assert!(
-                ctx.shared_graph().is_some_and(|g| Arc::ptr_eq(graph, g))
-                    || same_shape(graph, ctx.graph()),
-                "GraphFingerprint collision: two structurally different graphs hashed to \
-                 {} — refusing to share a context",
-                key.0
-            );
-            self.hits.fetch_add(1, Ordering::Relaxed);
-            return Arc::clone(ctx);
-        }
-        // Miss: construction is cheap (empty caches) and the optional
-        // disk load is pure pre-warming, so both run outside the lock;
-        // a concurrent resolver of the same key builds identical state
-        // and whichever lands in the map first wins below.
-        let ctx = Arc::new(
-            CondenseContext::shared(Arc::clone(graph))
-                .with_max_row_nnz(max_row_nnz)
-                .with_composed_budget(composed_cache_bytes),
-        );
-        // Some(true) = snapshot loaded into `ctx`, Some(false) = a file
-        // was found but rejected, None = no file. Counted only below,
-        // once we know `ctx` is the context the registry actually
-        // serves — a racing resolver's discarded load must not inflate
-        // `snapshot_stats` into reporting a warm start nobody received.
-        let mut load_outcome = None;
         if let Some(dir) = snapshot_dir {
-            let path = dir.join(snapshot_file_name(key.0, max_row_nnz, composed_cache_bytes));
-            load_outcome = match std::fs::read(&path) {
-                Ok(bytes) => match crate::snapshot::decode_snapshot_into(&ctx, &bytes, codec) {
-                    Ok(_) => Some(true),
-                    // decode_snapshot_into installed nothing, so the
-                    // context is exactly as cold as before the try.
+            self.sweep_once(dir);
+        }
+        let key = (graph.fingerprint(), max_row_nnz, composed_cache_bytes);
+        let (ctx, ()) = self.resolve_single_flight(key, graph, |ctx| {
+            // Some(true) = snapshot loaded into `ctx`, Some(false) = a
+            // file was found but rejected, None = no file. Counted by
+            // the single-flight core once the built context is the one
+            // the registry actually serves.
+            let mut load_outcome = None;
+            if let Some(dir) = snapshot_dir {
+                let path = dir.join(snapshot_file_name(key.0, max_row_nnz, composed_cache_bytes));
+                load_outcome = match crate::snapshot::read_snapshot_bytes(&path) {
+                    Ok(bytes) => match crate::snapshot::decode_snapshot_into(ctx, &bytes, codec) {
+                        Ok(_) => Some(true),
+                        // decode_snapshot_into installed nothing, so the
+                        // context is exactly as cold as before the try.
+                        Err(_) => Some(false),
+                    },
+                    // No file at all is the ordinary cold path, not a
+                    // rejection; any other (already-retried) read
+                    // failure is one.
+                    Err(e) if e.kind() == std::io::ErrorKind::NotFound => None,
                     Err(_) => Some(false),
-                },
-                // No file at all is the ordinary cold path, not a
-                // rejection; any other read failure is one.
-                Err(e) if e.kind() == std::io::ErrorKind::NotFound => None,
-                Err(_) => Some(false),
-            };
-        }
-        self.misses.fetch_add(1, Ordering::Relaxed);
-        match self.entries.lock().unwrap().entry(key) {
-            // Lost the insert race: serve the winner's (bitwise
-            // identical) context and drop ours, load and all.
-            std::collections::hash_map::Entry::Occupied(o) => Arc::clone(o.get()),
-            std::collections::hash_map::Entry::Vacant(v) => {
-                match load_outcome {
-                    Some(true) => {
-                        self.snapshot_loads.fetch_add(1, Ordering::Relaxed);
-                    }
-                    Some(false) => {
-                        self.snapshot_rejections.fetch_add(1, Ordering::Relaxed);
-                    }
-                    None => {}
-                }
-                Arc::clone(v.insert(ctx))
+                };
             }
-        }
+            (load_outcome, ())
+        });
+        ctx
     }
 
     /// Resolves the context for a *mutated* graph by inheriting the old
@@ -387,88 +620,98 @@ impl ContextRegistry {
         snapshot_dir: Option<&Path>,
         codec: Option<&dyn PropagatedCodec>,
     ) -> (Arc<CondenseContext<'static>>, DeltaSeedReport) {
+        if let Some(dir) = snapshot_dir {
+            self.sweep_once(dir);
+        }
         let (mrn, ccb) = (spec.max_row_nnz, spec.composed_cache_bytes);
         let key = (graph.fingerprint(), mrn, ccb);
         let old_key = (old_fp, mrn, ccb);
-        // The mutated graph may already be registered (e.g. a second
-        // caller raced us through the same delta) — that is an ordinary
-        // warm hit and there is nothing left to seed.
-        if let Some(ctx) = self.entries.lock().unwrap().get(&key) {
-            assert!(
-                ctx.shared_graph().is_some_and(|g| Arc::ptr_eq(graph, g))
-                    || same_shape(graph, ctx.graph()),
-                "GraphFingerprint collision: two structurally different graphs hashed to \
-                 {} — refusing to share a context",
-                key.0
-            );
-            self.hits.fetch_add(1, Ordering::Relaxed);
-            return (Arc::clone(ctx), DeltaSeedReport::default());
-        }
-        let ctx = Arc::new(
-            CondenseContext::shared(Arc::clone(graph))
-                .with_max_row_nnz(mrn)
-                .with_composed_budget(ccb),
-        );
-        let mut report = DeltaSeedReport::default();
-        let mut load_outcome = None;
-        // A live old context is the cheapest seed source: inherit its
-        // surviving entries in-memory. Clone the Arc out of the lock so
-        // seeding (which walks every cache) runs unlocked.
-        let old_ctx = self.entries.lock().unwrap().get(&old_key).cloned();
-        if let Some(old_ctx) = old_ctx {
-            report = ctx.seed_from(&old_ctx, delta);
-        } else if let Some(dir) = snapshot_dir {
-            // No live old context: try disk. An exact snapshot of the
-            // mutated graph (if a previous process already paid for it)
-            // beats a delta-filtered load of the old one.
-            let exact = dir.join(snapshot_file_name(key.0, mrn, ccb));
-            load_outcome = match std::fs::read(&exact) {
-                Ok(bytes) => match crate::snapshot::decode_snapshot_into(&ctx, &bytes, codec) {
-                    Ok(r) => {
-                        report = seed_report_from_snapshot(&r);
-                        Some(true)
-                    }
-                    Err(_) => Some(false),
-                },
-                Err(e) if e.kind() == std::io::ErrorKind::NotFound => None,
-                Err(_) => Some(false),
+        self.resolve_single_flight(key, graph, |ctx| {
+            let mut report = DeltaSeedReport::default();
+            let mut load_outcome = None;
+            // A live old context is the cheapest seed source: inherit
+            // its surviving entries in-memory. Clone the Arc out of the
+            // lock so seeding (which walks every cache) runs unlocked.
+            // An old entry still *building* counts as absent — waiting
+            // on it from inside our own build could deadlock two deltas
+            // chasing each other.
+            let old_ctx = match relock(&self.entries).get(&old_key) {
+                Some(Slot::Ready(c)) => Some(Arc::clone(c)),
+                _ => None,
             };
-            if load_outcome != Some(true) {
-                let old_path = dir.join(snapshot_file_name(old_fp, mrn, ccb));
-                load_outcome = match std::fs::read(&old_path) {
-                    Ok(bytes) => match crate::snapshot::decode_snapshot_delta_into(
-                        &ctx, &bytes, old_fp, delta, codec,
-                    ) {
+            if let Some(old_ctx) = old_ctx {
+                report = ctx.seed_from(&old_ctx, delta);
+            } else if let Some(dir) = snapshot_dir {
+                // No live old context: try disk. An exact snapshot of
+                // the mutated graph (if a previous process already paid
+                // for it) beats a delta-filtered load of the old one.
+                let exact = dir.join(snapshot_file_name(key.0, mrn, ccb));
+                load_outcome = match crate::snapshot::read_snapshot_bytes(&exact) {
+                    Ok(bytes) => match crate::snapshot::decode_snapshot_into(ctx, &bytes, codec) {
                         Ok(r) => {
                             report = seed_report_from_snapshot(&r);
                             Some(true)
                         }
                         Err(_) => Some(false),
                     },
-                    Err(e) if e.kind() == std::io::ErrorKind::NotFound => load_outcome,
+                    Err(e) if e.kind() == std::io::ErrorKind::NotFound => None,
                     Err(_) => Some(false),
                 };
+                if load_outcome != Some(true) {
+                    let old_path = dir.join(snapshot_file_name(old_fp, mrn, ccb));
+                    load_outcome = match crate::snapshot::read_snapshot_bytes(&old_path) {
+                        Ok(bytes) => match crate::snapshot::decode_snapshot_delta_into(
+                            ctx, &bytes, old_fp, delta, codec,
+                        ) {
+                            Ok(r) => {
+                                report = seed_report_from_snapshot(&r);
+                                Some(true)
+                            }
+                            Err(_) => Some(false),
+                        },
+                        Err(e) if e.kind() == std::io::ErrorKind::NotFound => load_outcome,
+                        Err(_) => Some(false),
+                    };
+                }
+            }
+            (load_outcome, report)
+        })
+    }
+
+    /// Runs `f` with panic isolation: a panicking run is counted in
+    /// [`ContextRegistry::fault_stats`] and retried, up to
+    /// [`MAX_COMPUTE_ATTEMPTS`] total attempts; the final attempt runs
+    /// unprotected so a persistent fault propagates with its original
+    /// payload. `Condenser::condense_shared` routes its condensation
+    /// through here, so one request hitting a bug (or an injected
+    /// fault) degrades to a retry instead of taking the process down
+    /// with a poisoned lock.
+    ///
+    /// Safe to retry because everything `f` may have touched — the
+    /// context caches — only ever publishes complete entries; an
+    /// unwound compute leaves warm state exactly as consistent as
+    /// before it started.
+    pub fn run_isolated<T>(&self, mut f: impl FnMut() -> T) -> T {
+        for _ in 1..MAX_COMPUTE_ATTEMPTS {
+            match catch_unwind(AssertUnwindSafe(&mut f)) {
+                Ok(v) => return v,
+                Err(_) => {
+                    self.panics_recovered.fetch_add(1, Ordering::Relaxed);
+                }
             }
         }
-        self.misses.fetch_add(1, Ordering::Relaxed);
-        match self.entries.lock().unwrap().entry(key) {
-            // Lost the insert race: the winner's context is bitwise
-            // identical; serve it and drop ours, seed and all. The
-            // report describes state nobody received, so report empty.
-            std::collections::hash_map::Entry::Occupied(o) => {
-                (Arc::clone(o.get()), DeltaSeedReport::default())
-            }
-            std::collections::hash_map::Entry::Vacant(v) => {
-                match load_outcome {
-                    Some(true) => {
-                        self.snapshot_loads.fetch_add(1, Ordering::Relaxed);
-                    }
-                    Some(false) => {
-                        self.snapshot_rejections.fetch_add(1, Ordering::Relaxed);
-                    }
-                    None => {}
-                }
-                (Arc::clone(v.insert(ctx)), report)
+        f()
+    }
+
+    /// Garbage-collects leftover per-call snapshot temp files the first
+    /// time this registry touches `dir` — the startup sweep that cleans
+    /// up after crashed writers (see
+    /// [`sweep_tmp_files`](crate::snapshot::sweep_tmp_files)).
+    fn sweep_once(&self, dir: &Path) {
+        let mut swept = relock(&self.swept_dirs);
+        if swept.insert(dir.to_path_buf()) {
+            if let Ok(n) = crate::snapshot::sweep_tmp_files(dir) {
+                self.tmp_files_swept.fetch_add(n as u64, Ordering::Relaxed);
             }
         }
     }
@@ -501,6 +744,7 @@ impl ContextRegistry {
     ) -> Result<PathBuf, SnapshotError> {
         let ctx = self.context_for(graph, spec);
         std::fs::create_dir_all(dir)?;
+        self.sweep_once(dir);
         let path = dir.join(snapshot_file_name(
             graph.fingerprint(),
             spec.max_row_nnz,
@@ -510,9 +754,9 @@ impl ContextRegistry {
         Ok(path)
     }
 
-    /// Number of registered contexts.
+    /// Number of registered contexts (including in-flight builds).
     pub fn len(&self) -> usize {
-        self.entries.lock().unwrap().len()
+        relock(&self.entries).len()
     }
 
     pub fn is_empty(&self) -> bool {
@@ -520,7 +764,10 @@ impl ContextRegistry {
     }
 
     /// `(hits, misses)` of registry lookups (not of the contexts' inner
-    /// caches — read those off each context's `stats()`).
+    /// caches — read those off each context's `stats()`). A resolution
+    /// that coalesced onto another caller's in-flight build counts as a
+    /// hit — it received warm shared state without computing; the
+    /// coalesced count itself is in [`ContextRegistry::fault_stats`].
     pub fn lookup_stats(&self) -> (u64, u64) {
         (
             self.hits.load(Ordering::Relaxed),
@@ -539,20 +786,38 @@ impl ContextRegistry {
         )
     }
 
+    /// Fault-recovery counters: caught panics, single-flight
+    /// coalescings, snapshot I/O retries (process-wide — see
+    /// [`FaultStats::io_retries`]), temp files swept, and duplicate
+    /// cold computes (held at zero by single-flight). Complements
+    /// [`ContextRegistry::lookup_stats`] /
+    /// [`ContextRegistry::snapshot_stats`].
+    pub fn fault_stats(&self) -> FaultStats {
+        FaultStats {
+            panics_recovered: self.panics_recovered.load(Ordering::Relaxed),
+            singleflight_coalesced: self.singleflight_coalesced.load(Ordering::Relaxed),
+            io_retries: crate::snapshot::io_retries(),
+            tmp_files_swept: self.tmp_files_swept.load(Ordering::Relaxed),
+            duplicate_computes: self.duplicate_computes.load(Ordering::Relaxed),
+        }
+    }
+
     /// Drops every context registered for `fingerprint` (any knob
     /// combination). Outstanding `Arc`s keep their contexts alive;
-    /// subsequent resolutions start cold. Returns how many entries were
-    /// dropped.
+    /// subsequent resolutions start cold. In-flight builds are left to
+    /// finish (their leaders re-insert on completion). Returns how many
+    /// ready entries were dropped.
     pub fn evict(&self, fingerprint: GraphFingerprint) -> usize {
-        let mut entries = self.entries.lock().unwrap();
+        let mut entries = relock(&self.entries);
         let before = entries.len();
-        entries.retain(|(fp, _, _), _| *fp != fingerprint);
+        entries.retain(|(fp, _, _), slot| *fp != fingerprint || matches!(slot, Slot::Building(_)));
         before - entries.len()
     }
 
-    /// Drops every registered context.
+    /// Drops every registered (ready) context. In-flight builds keep
+    /// their slots so waiters still rendezvous with their leader.
     pub fn clear(&self) {
-        self.entries.lock().unwrap().clear();
+        relock(&self.entries).retain(|_, slot| matches!(slot, Slot::Building(_)));
     }
 }
 
@@ -795,5 +1060,89 @@ mod tests {
             ContextRegistry::global(),
             ContextRegistry::global()
         ));
+    }
+
+    #[test]
+    fn poisoned_entries_lock_recovers() {
+        let reg = ContextRegistry::new();
+        let g = Arc::new(graph(1.0));
+        let spec = CondenseSpec::new(0.5);
+        reg.context_for(&g, &spec);
+        // Poison the map mutex the way a panicking lock holder would.
+        let _ = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            let _guard = reg.entries.lock().unwrap();
+            panic!("poison the registry mutex");
+        }));
+        assert!(reg.entries.lock().is_err(), "mutex must be poisoned");
+        // Every public entry point must keep serving regardless.
+        assert_eq!(reg.len(), 1);
+        let warm = reg.context_for(&g, &spec);
+        assert_eq!(reg.lookup_stats(), (1, 1), "post-poison hit");
+        let g2 = Arc::new(graph(2.0));
+        let cold = reg.context_for(&g2, &spec);
+        assert!(!Arc::ptr_eq(&warm, &cold));
+        assert_eq!(reg.evict(g2.fingerprint()), 1);
+        reg.clear();
+        assert!(reg.is_empty());
+    }
+
+    #[test]
+    fn run_isolated_retries_and_counts_panics() {
+        let reg = ContextRegistry::new();
+        let mut calls = 0;
+        let out = reg.run_isolated(|| {
+            calls += 1;
+            if calls == 1 {
+                panic!("first attempt fails");
+            }
+            calls
+        });
+        assert_eq!(out, 2, "second attempt's value is returned");
+        assert_eq!(reg.fault_stats().panics_recovered, 1);
+    }
+
+    #[test]
+    fn run_isolated_propagates_a_persistent_panic() {
+        let reg = ContextRegistry::new();
+        let res = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            reg.run_isolated(|| -> () { panic!("always fails") })
+        }));
+        let payload = res.expect_err("persistent fault must propagate");
+        assert_eq!(
+            payload.downcast_ref::<&str>().copied(),
+            Some("always fails"),
+            "the original payload must survive the retries"
+        );
+        assert_eq!(
+            reg.fault_stats().panics_recovered as usize,
+            MAX_COMPUTE_ATTEMPTS - 1,
+            "every protected attempt is counted"
+        );
+    }
+
+    #[test]
+    fn concurrent_cold_resolutions_single_flight() {
+        let reg = ContextRegistry::new();
+        let g = Arc::new(graph(1.0));
+        let spec = CondenseSpec::new(0.5);
+        let n = 8;
+        let barrier = std::sync::Barrier::new(n);
+        let ctxs: Vec<_> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..n)
+                .map(|_| {
+                    s.spawn(|| {
+                        barrier.wait();
+                        reg.context_for(&g, &spec)
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        assert!(ctxs.windows(2).all(|w| Arc::ptr_eq(&w[0], &w[1])));
+        // Exactly one cold build; every other resolution was a hit
+        // (served from the map or coalesced onto the in-flight build).
+        assert_eq!(reg.lookup_stats(), (n as u64 - 1, 1));
+        assert_eq!(reg.fault_stats().duplicate_computes, 0);
+        assert_eq!(reg.len(), 1);
     }
 }

@@ -206,6 +206,77 @@ pub fn snapshot_file_name(
 }
 
 // ---------------------------------------------------------------------
+// Crash-safe file I/O: bounded retry for transient errors, fsync before
+// the atomic rename, and a sweep for temp files orphaned by crashes.
+// ---------------------------------------------------------------------
+
+/// Attempts (first try + retries) a snapshot read or write gets before
+/// its I/O error escapes to the caller.
+const IO_ATTEMPTS: u32 = 3;
+
+static IO_RETRIES: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+
+/// Process-wide count of transient snapshot I/O errors absorbed by a
+/// retry (reads and writes combined). Surfaced through
+/// `ContextRegistry::fault_stats`.
+pub fn io_retries() -> u64 {
+    IO_RETRIES.load(std::sync::atomic::Ordering::Relaxed)
+}
+
+/// Runs `op` up to [`IO_ATTEMPTS`] times with a short exponential
+/// backoff, counting each absorbed error in [`io_retries`]. `NotFound`
+/// is never retried — an absent file is a state, not a transient fault.
+fn retry_io<T>(mut op: impl FnMut() -> std::io::Result<T>) -> std::io::Result<T> {
+    let mut attempt = 0u32;
+    loop {
+        match op() {
+            Ok(v) => return Ok(v),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Err(e),
+            Err(e) => {
+                attempt += 1;
+                if attempt >= IO_ATTEMPTS {
+                    return Err(e);
+                }
+                IO_RETRIES.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                std::thread::sleep(std::time::Duration::from_millis(1 << attempt));
+            }
+        }
+    }
+}
+
+/// `std::fs::read` with transient-error retry (and the
+/// `snapshot.read.io` failpoint) — the registry's load path.
+pub(crate) fn read_snapshot_bytes(path: &Path) -> std::io::Result<Vec<u8>> {
+    retry_io(|| {
+        crate::failpoints::fire_io(crate::failpoints::SNAPSHOT_READ_IO)?;
+        std::fs::read(path)
+    })
+}
+
+/// Deletes leftover per-call snapshot temp files (`*.fhgc.tmp-…`) from
+/// `dir`, returning how many were removed. A writer that dies (or a
+/// torn-write fault) between writing its temp file and the atomic
+/// rename leaves the orphan behind — the canonical file is never at
+/// risk, but orphans accumulate and hold disk space. The registry runs
+/// this once per directory it touches (its "startup sweep"). Sweeping
+/// under a *live* concurrent writer is benign: the writer's rename
+/// fails and its retry uses a fresh temp name.
+pub fn sweep_tmp_files(dir: &Path) -> std::io::Result<usize> {
+    let mut swept = 0usize;
+    for entry in std::fs::read_dir(dir)? {
+        let path = entry?.path();
+        let is_orphan = path
+            .file_name()
+            .and_then(|n| n.to_str())
+            .is_some_and(|n| n.contains(".fhgc.tmp-"));
+        if is_orphan && std::fs::remove_file(&path).is_ok() {
+            swept += 1;
+        }
+    }
+    Ok(swept)
+}
+
+// ---------------------------------------------------------------------
 // Byte-level encoding primitives (shared with the propagated codecs).
 // ---------------------------------------------------------------------
 
@@ -755,13 +826,15 @@ fn decode_influence(
         let seed_targets = match r.u8()? {
             0 => None,
             1 => {
-                let n = r.usize()?;
+                // seq_len, not a raw usize: a corrupted length field
+                // must fail fast instead of sizing an allocation.
+                let n = r.seq_len(4)?;
                 Some(r.u32_vec(n)?)
             }
             _ => return Err(SnapshotError::Malformed("seed-target tag")),
         };
         let seed = r.u64()?;
-        let n = r.usize()?;
+        let n = r.seq_len(8)?;
         if rules
             .as_mut()
             .is_some_and(|ru| !ru.influence_clean(father, max_hops, max_paths))
@@ -804,7 +877,7 @@ fn decode_diversity(
         let max_hops = r.usize()?;
         let max_paths = r.usize()?;
         let path_idx = r.usize()?;
-        let n = r.usize()?;
+        let n = r.seq_len(8)?;
         if rules
             .as_mut()
             .is_some_and(|ru| !ru.diversity_clean(root, max_hops, max_paths, path_idx))
@@ -1087,20 +1160,16 @@ impl CondenseContext<'_> {
         // two threads saving the same path concurrently (two benches on
         // one graph) would otherwise interleave writes into one temp
         // file and could rename torn bytes under the canonical name.
+        // Each retry attempt also gets a fresh name, so a torn attempt's
+        // leftover can never be renamed by a later one.
         static SAVE_SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
-        let seq = SAVE_SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         let bytes = encode_snapshot(self, codec);
-        let mut tmp = path.as_os_str().to_owned();
-        tmp.push(format!(".tmp-{}-{seq}", std::process::id()));
-        let tmp = std::path::PathBuf::from(tmp);
-        // Clean the temp file up on *either* failure — a half-written
-        // temp left by ENOSPC would otherwise keep occupying exactly
-        // the space whose shortage caused the failure.
-        std::fs::write(&tmp, &bytes)
-            .and_then(|()| std::fs::rename(&tmp, path))
-            .inspect_err(|_| {
-                let _ = std::fs::remove_file(&tmp);
-            })?;
+        retry_io(|| {
+            let seq = SAVE_SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            let mut tmp = path.as_os_str().to_owned();
+            tmp.push(format!(".tmp-{}-{seq}", std::process::id()));
+            write_atomic(&std::path::PathBuf::from(tmp), path, &bytes)
+        })?;
         Ok(())
     }
 
@@ -1125,15 +1194,48 @@ impl CondenseContext<'_> {
 
     /// Loads the snapshot at `path` into this context (see
     /// [`decode_snapshot_into`] for the verification and the
-    /// nothing-installed-on-error guarantee).
+    /// nothing-installed-on-error guarantee). Transient read errors are
+    /// retried like the registry's load path.
     pub fn load_snapshot_with(
         &self,
         path: &Path,
         codec: Option<&dyn PropagatedCodec>,
     ) -> Result<SnapshotLoadReport, SnapshotError> {
-        let bytes = std::fs::read(path)?;
+        let bytes = read_snapshot_bytes(path)?;
         decode_snapshot_into(self, &bytes, codec)
     }
+}
+
+/// One atomic-save attempt: write `bytes` to `tmp`, fsync, rename over
+/// `path`. Hosts the `snapshot.write.torn` / `snapshot.write.io`
+/// failpoints.
+fn write_atomic(tmp: &Path, path: &Path, bytes: &[u8]) -> std::io::Result<()> {
+    use std::io::Write;
+    if crate::failpoints::should_fire(crate::failpoints::SNAPSHOT_TORN_WRITE) {
+        // Simulated crash mid-write: half the payload lands in the temp
+        // file, which is left behind exactly as a dead process would
+        // leave it — that orphan is what the startup sweep is for.
+        let _ = std::fs::write(tmp, &bytes[..bytes.len() / 2]);
+        return Err(std::io::Error::other(
+            "injected torn write: snapshot.write.torn",
+        ));
+    }
+    crate::failpoints::fire_io(crate::failpoints::SNAPSHOT_WRITE_IO)?;
+    let res = std::fs::File::create(tmp).and_then(|mut f| {
+        f.write_all(bytes)
+            // fsync before the rename: the rename must never publish a
+            // name whose data is still only in the page cache — a power
+            // loss after the rename but before writeback would leave a
+            // torn *canonical* file, defeating the temp-file dance.
+            .and_then(|()| f.sync_all())
+            .and_then(|()| std::fs::rename(tmp, path))
+    });
+    // Clean the temp file up on failure — a half-written temp left by
+    // ENOSPC would otherwise keep occupying exactly the space whose
+    // shortage caused the failure.
+    res.inspect_err(|_| {
+        let _ = std::fs::remove_file(tmp);
+    })
 }
 
 #[cfg(test)]

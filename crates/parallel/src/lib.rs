@@ -170,6 +170,13 @@ where
 
 /// One scoped thread per item (the first item runs on the caller's
 /// thread); callers are responsible for bounding `items.len()`.
+///
+/// Panic contract: every worker is joined, then the *first* worker
+/// panic (in item order) resumes on the caller with its original
+/// payload — not a generic join-failure message — so a caller isolating
+/// faults (`ContextRegistry::run_isolated` upstream) can still identify
+/// what failed. No result of a successful worker is ever returned
+/// alongside a panic; the pool itself stays usable for the next call.
 fn spawn_per_item<I, T, F>(items: Vec<I>, f: &F) -> Vec<T>
 where
     I: Send,
@@ -195,11 +202,21 @@ where
         };
         let mut out = Vec::with_capacity(handles.len() + 1);
         out.push(first_out);
-        out.extend(
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("parallel worker panicked")),
-        );
+        let mut panic_payload = None;
+        for h in handles {
+            match h.join() {
+                Ok(v) => out.push(v),
+                // Keep joining the rest: every worker must finish
+                // before we unwind out of the scope, and the first
+                // payload (item order) is the one that propagates.
+                Err(p) => {
+                    panic_payload.get_or_insert(p);
+                }
+            }
+        }
+        if let Some(p) = panic_payload {
+            std::panic::resume_unwind(p);
+        }
         out
     })
 }
@@ -333,6 +350,31 @@ mod tests {
             PEAK.load(Ordering::SeqCst) <= 3,
             "worker concurrency must stay within the configured budget"
         );
+    }
+
+    #[test]
+    fn worker_panics_propagate_with_their_payload() {
+        // The catch_unwind sits *inside* with_override so the thread
+        // budget is restored even though the mapped closure panics.
+        let payload = with_override(4, || {
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                scoped_map((0..8).collect::<Vec<usize>>(), |i, _| {
+                    if i == 2 {
+                        panic!("boom {i}");
+                    }
+                    i
+                })
+            }))
+            .expect_err("a worker panic must propagate to the caller")
+        });
+        assert_eq!(
+            payload.downcast_ref::<String>().map(String::as_str),
+            Some("boom 2"),
+            "the worker's own payload must survive the join"
+        );
+        // The pool is not wedged: the next call works normally.
+        let out = with_override(4, || scoped_map(vec![1, 2, 3], |_, x| x * 10));
+        assert_eq!(out, vec![10, 20, 30]);
     }
 
     #[test]

@@ -1,0 +1,251 @@
+//! Chaos drills: every injected fault must degrade to a counted
+//! recovery with bitwise-identical output.
+//!
+//! Requires the `failpoints` cargo feature (`cargo test --features
+//! failpoints`); without it the whole file compiles away. Failpoint
+//! state is process-global, so every test serializes on [`FP_LOCK`] and
+//! resets the table on entry and exit.
+
+#![cfg(feature = "failpoints")]
+
+use freehgc::core::FreeHgc;
+use freehgc::datasets::tiny;
+use freehgc::eval::ChaosKnobs;
+use freehgc::hetgraph::failpoints as fp;
+use freehgc::hetgraph::{CondenseSpec, Condenser, ContextRegistry};
+use std::sync::{Arc, Mutex};
+
+static FP_LOCK: Mutex<()> = Mutex::new(());
+
+/// Serializes a drill and guarantees a clean failpoint table on both
+/// sides, even when the drill itself panics.
+fn drill<T>(f: impl FnOnce() -> T) -> T {
+    let _guard = FP_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    fp::reset();
+    let out = f();
+    fp::reset();
+    out
+}
+
+fn temp_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("fhgc-chaos-{tag}-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn condenser_panic_recovers_and_registry_keeps_serving() {
+    drill(|| {
+        let g = Arc::new(tiny(41));
+        let spec = CondenseSpec::new(0.2).with_max_hops(2).with_seed(3);
+        let c = FreeHgc::default();
+        // Fault-free reference, through its own registry.
+        let want = c.condense_shared(&ContextRegistry::new(), &g, &spec);
+
+        let reg = ContextRegistry::new();
+        fp::arm(fp::CONDENSE_PANIC, 1);
+        let got = c.condense_shared(&reg, &g, &spec);
+        assert_eq!(fp::fired(fp::CONDENSE_PANIC), 1, "the fault must fire");
+        assert_eq!(
+            reg.fault_stats().panics_recovered,
+            1,
+            "the panic must be caught and counted"
+        );
+        assert_eq!(got.orig_ids, want.orig_ids, "retry output bitwise");
+
+        // The registry is not wedged: a second request serves warm with
+        // the same bits and no further recoveries.
+        let again = c.condense_shared(&reg, &g, &spec);
+        assert_eq!(again.orig_ids, want.orig_ids);
+        assert_eq!(reg.fault_stats().panics_recovered, 1);
+        let (hits, misses) = reg.lookup_stats();
+        assert_eq!(misses, 1, "one cold build despite the injected panic");
+        assert!(hits >= 1);
+    });
+}
+
+#[test]
+fn persistent_condenser_panic_propagates_after_bounded_retries() {
+    drill(|| {
+        let g = Arc::new(tiny(42));
+        let spec = CondenseSpec::new(0.2).with_max_hops(2).with_seed(3);
+        let reg = ContextRegistry::new();
+        fp::arm(fp::CONDENSE_PANIC, u64::MAX);
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            FreeHgc::default().condense_shared(&reg, &g, &spec)
+        }));
+        let payload = err.expect_err("a persistent fault must escape");
+        let msg = payload
+            .downcast_ref::<String>()
+            .expect("injected panics carry String payloads");
+        assert!(
+            msg.contains(fp::CONDENSE_PANIC),
+            "payload must name the failpoint, got: {msg}"
+        );
+        assert!(reg.fault_stats().panics_recovered >= 1);
+        fp::reset();
+        // Recovery after the fault clears: same registry, clean serve.
+        let ok = FreeHgc::default().condense_shared(&reg, &g, &spec);
+        assert!(!ok.orig_ids.is_empty());
+    });
+}
+
+#[test]
+fn failed_leader_build_is_retaken_and_output_is_unchanged() {
+    drill(|| {
+        let g = Arc::new(tiny(43));
+        let spec = CondenseSpec::new(0.25).with_max_hops(2).with_seed(7);
+        let want = FreeHgc::default().condense_shared(&ContextRegistry::new(), &g, &spec);
+
+        let reg = ContextRegistry::new();
+        fp::arm(fp::REGISTRY_BUILD_PANIC, 2);
+        let got = FreeHgc::default().condense_shared(&reg, &g, &spec);
+        assert_eq!(got.orig_ids, want.orig_ids, "bits survive two dead leaders");
+        let stats = reg.fault_stats();
+        assert_eq!(stats.panics_recovered, 2);
+        // Each failed leader attempt is a (counted) miss; no partial
+        // context was ever installed.
+        assert_eq!(reg.lookup_stats().1, 3);
+        assert_eq!(reg.len(), 1);
+    });
+}
+
+#[test]
+fn delayed_leader_coalesces_every_concurrent_waiter() {
+    drill(|| {
+        let g = Arc::new(tiny(44));
+        let spec = CondenseSpec::new(0.2).with_max_hops(2).with_seed(1);
+        let reg = ContextRegistry::new();
+        // Hold the leader's build open: every other thread must arrive
+        // while the flight is in the air and coalesce onto it.
+        fp::arm_seeded(fp::REGISTRY_BUILD_DELAY, 0, 1);
+        let n = 6;
+        let barrier = std::sync::Barrier::new(n);
+        let ctxs: Vec<_> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..n)
+                .map(|_| {
+                    s.spawn(|| {
+                        barrier.wait();
+                        reg.context_for(&g, &spec)
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        assert!(ctxs.windows(2).all(|w| Arc::ptr_eq(&w[0], &w[1])));
+        let stats = reg.fault_stats();
+        assert_eq!(
+            stats.singleflight_coalesced,
+            n as u64 - 1,
+            "with the leader held open, every other resolver coalesces"
+        );
+        assert_eq!(stats.duplicate_computes, 0);
+        assert_eq!(reg.lookup_stats(), (n as u64 - 1, 1));
+    });
+}
+
+#[test]
+fn transient_read_error_is_retried_into_a_successful_load() {
+    drill(|| {
+        let dir = temp_dir("read-retry");
+        let g = Arc::new(tiny(45));
+        let spec = CondenseSpec::new(0.2).with_max_hops(2).with_seed(2);
+        let reg = ContextRegistry::new();
+        let ctx = reg.context_for(&g, &spec);
+        let root = g.schema().target();
+        for p in ctx.metapaths(root, 2, 50).iter() {
+            ctx.adjacency(p);
+        }
+        reg.persist(&dir, &g, &spec).expect("persist");
+
+        let retries_before = reg.fault_stats().io_retries;
+        // Fail exactly the first read attempt; the retry must land.
+        fp::arm(fp::SNAPSHOT_READ_IO, 1);
+        let reg2 = ContextRegistry::new();
+        let warm = reg2.resolve_or_load(&dir, &g, &spec);
+        assert_eq!(
+            reg2.snapshot_stats(),
+            (1, 0),
+            "the load must succeed through the retry, not fall back cold"
+        );
+        assert!(warm.composed_len() > 0, "warm state actually arrived");
+        assert!(reg2.fault_stats().io_retries > retries_before);
+        std::fs::remove_dir_all(&dir).ok();
+    });
+}
+
+#[test]
+fn torn_write_retries_and_the_orphan_is_swept_on_restart() {
+    drill(|| {
+        let dir = temp_dir("torn");
+        let g = Arc::new(tiny(46));
+        let spec = CondenseSpec::new(0.2).with_max_hops(2).with_seed(2);
+        let reg = ContextRegistry::new();
+        let ctx = reg.context_for(&g, &spec);
+        let root = g.schema().target();
+        for p in ctx.metapaths(root, 2, 50).iter() {
+            ctx.adjacency(p);
+        }
+        // First write attempt tears mid-persist (leaving its temp file
+        // behind, as a crash would); the retry must succeed.
+        fp::arm(fp::SNAPSHOT_TORN_WRITE, 1);
+        let path = reg.persist(&dir, &g, &spec).expect("retry lands");
+        assert!(path.exists(), "canonical file published despite the tear");
+        let orphans = || {
+            std::fs::read_dir(&dir)
+                .unwrap()
+                .filter(|e| {
+                    e.as_ref()
+                        .unwrap()
+                        .file_name()
+                        .to_string_lossy()
+                        .contains(".fhgc.tmp-")
+                })
+                .count()
+        };
+        assert_eq!(orphans(), 1, "the torn attempt's temp file is left over");
+
+        // "Restart": a fresh registry's first touch of the directory
+        // sweeps the orphan and still loads the snapshot cleanly.
+        let reg2 = ContextRegistry::new();
+        let warm = reg2.resolve_or_load(&dir, &g, &spec);
+        assert_eq!(orphans(), 0, "startup sweep collects the orphan");
+        assert_eq!(reg2.fault_stats().tmp_files_swept, 1);
+        assert_eq!(reg2.snapshot_stats(), (1, 0));
+        for p in warm.metapaths(root, 2, 50).iter() {
+            assert_eq!(*warm.adjacency(p), *ctx.adjacency(p), "loaded bits");
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    });
+}
+
+#[test]
+fn composed_pressure_spike_never_changes_output_bits() {
+    drill(|| {
+        let g = Arc::new(tiny(47));
+        let spec = CondenseSpec::new(0.25).with_max_hops(2).with_seed(5);
+        let want = FreeHgc::default().condense_shared(&ContextRegistry::new(), &g, &spec);
+
+        // Reject roughly half of all composed-cache admissions.
+        let knobs = ChaosKnobs {
+            seed: 9,
+            composed_pressure_one_in: Some(2),
+            ..Default::default()
+        };
+        assert!(ChaosKnobs::active(), "suite runs with failpoints on");
+        knobs.arm();
+        let reg = ContextRegistry::new();
+        let got = FreeHgc::default().condense_shared(&reg, &g, &spec);
+        assert!(
+            ChaosKnobs::faults_fired() > 0,
+            "the pressure site must actually fire"
+        );
+        assert_eq!(got.orig_ids, want.orig_ids, "rejections only cost reuse");
+        let ctx = reg.context_for(&g, &spec);
+        assert!(
+            ctx.stats().composed_rejected > 0,
+            "rejections are counted on the cache"
+        );
+    });
+}

@@ -111,6 +111,51 @@ fn registry_shared_matches_fresh_for_every_condenser() {
 }
 
 #[test]
+fn concurrent_cold_key_resolves_exactly_once() {
+    // N requests race onto one cold registry key: single-flight must
+    // elect exactly one builder and coalesce everyone else, at worker
+    // budgets 1 and 4 (CI re-runs the suite across FREEHGC_THREADS too).
+    for threads in [1usize, 4] {
+        let g = Arc::new(tiny(35 + threads as u64));
+        let registry = ContextRegistry::new();
+        let spec = CondenseSpec::new(0.2).with_max_hops(2).with_seed(1);
+        let n = 8;
+        let barrier = std::sync::Barrier::new(n);
+        let ctxs: Vec<_> = with_threads(threads, || {
+            std::thread::scope(|s| {
+                let handles: Vec<_> = (0..n)
+                    .map(|_| {
+                        s.spawn(|| {
+                            barrier.wait();
+                            registry.context_for(&g, &spec)
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().unwrap())
+                    .collect::<Vec<_>>()
+            })
+        });
+        assert!(
+            ctxs.windows(2).all(|w| Arc::ptr_eq(&w[0], &w[1])),
+            "{threads}t: all requests must share one context"
+        );
+        assert_eq!(
+            registry.lookup_stats(),
+            (n as u64 - 1, 1),
+            "{threads}t: exactly one miss (the leader), N-1 hits"
+        );
+        assert_eq!(
+            registry.fault_stats().duplicate_computes,
+            0,
+            "{threads}t: single-flight must prevent duplicate cold builds"
+        );
+        assert_eq!(registry.len(), 1);
+    }
+}
+
+#[test]
 fn evicting_cache_matches_unbounded_and_respects_budget() {
     let g = tiny(32);
     let spec = CondenseSpec::new(0.25).with_max_hops(2).with_seed(9);
