@@ -17,6 +17,29 @@ use std::ops::Range;
 /// product goes parallel (several multiples of a scoped-thread spawn).
 const MATMUL_FLOP_GRAIN: usize = 65_536;
 
+/// The canonical 8-lane dense dot product: element `k` accumulates into
+/// lane `k % 8`, lanes combine as `((l0+l1)+(l2+l3)) + ((l4+l5)+(l6+l7))`.
+/// The blocked main loop and the scalar loop in
+/// [`Matrix::matmul_nt_ref`] put every element into the same lane in the
+/// same order, so their bits match; the fixed shape is what the
+/// autovectorizer turns into SIMD.
+#[inline]
+fn dot_lanes_dense(a: &[f32], b: &[f32]) -> f32 {
+    let mut lanes = [0f32; 8];
+    let mut ac = a.chunks_exact(8);
+    let mut bc = b.chunks_exact(8);
+    for (a8, b8) in (&mut ac).zip(&mut bc) {
+        for l in 0..8 {
+            lanes[l] += a8[l] * b8[l];
+        }
+    }
+    for (l, (&x, &y)) in ac.remainder().iter().zip(bc.remainder()).enumerate() {
+        lanes[l] += x * y;
+    }
+    ((lanes[0] + lanes[1]) + (lanes[2] + lanes[3]))
+        + ((lanes[4] + lanes[5]) + (lanes[6] + lanes[7]))
+}
+
 /// A dense row-major matrix.
 #[derive(Clone, Debug, PartialEq)]
 pub struct Matrix {
@@ -112,11 +135,64 @@ impl Matrix {
         c
     }
 
-    /// The `ikj` kernel over a contiguous output-row range of `A·B`.
+    /// The kernel over a contiguous output-row range of `A·B`.
+    ///
+    /// Column-block-outer: an 8-wide block of the output row is held in
+    /// a register accumulator while `k` streams past, replacing the
+    /// naive `ikj` loop's per-`k` load+store of the whole output row
+    /// with one store per element. For each output element the
+    /// contributions still arrive in increasing-`k` order with the same
+    /// `a[i,k] == 0.0` skip, so the result is bitwise-identical to
+    /// [`Matrix::matmul_ref`].
     fn matmul_rows(&self, b: &Matrix, rows: Range<usize>, out: &mut [f32]) {
+        let n = b.cols;
         for (ri, i) in rows.enumerate() {
             let arow = self.row(i);
-            let crow = &mut out[ri * b.cols..(ri + 1) * b.cols];
+            let crow = &mut out[ri * n..(ri + 1) * n];
+            let mut j = 0usize;
+            while j + 8 <= n {
+                let mut lanes = [0f32; 8];
+                for (k, &aik) in arow.iter().enumerate() {
+                    if aik == 0.0 {
+                        continue;
+                    }
+                    let base = k * n + j;
+                    for (l, lane) in lanes.iter_mut().enumerate() {
+                        // SAFETY: k < b.rows and j+8 <= n, so
+                        // base+l < b.rows*b.cols == b.data.len().
+                        *lane += aik * unsafe { *b.data.get_unchecked(base + l) };
+                    }
+                }
+                crow[j..j + 8].copy_from_slice(&lanes);
+                j += 8;
+            }
+            if j < n {
+                let rem = n - j;
+                let mut lanes = [0f32; 8];
+                for (k, &aik) in arow.iter().enumerate() {
+                    if aik == 0.0 {
+                        continue;
+                    }
+                    let base = k * n + j;
+                    for (l, lane) in lanes.iter_mut().enumerate().take(rem) {
+                        // SAFETY: l < rem keeps base+l in bounds.
+                        *lane += aik * unsafe { *b.data.get_unchecked(base + l) };
+                    }
+                }
+                crow[j..].copy_from_slice(&lanes[..rem]);
+            }
+        }
+    }
+
+    /// The retained naive `ikj` matmul — the pre-rework kernel, kept as
+    /// the bitwise oracle and throughput baseline for
+    /// [`Matrix::matmul`].
+    pub fn matmul_ref(&self, b: &Matrix) -> Matrix {
+        assert_eq!(self.cols, b.rows, "matmul inner dimension mismatch");
+        let mut c = Matrix::zeros(self.rows, b.cols);
+        for i in 0..self.rows {
+            let arow = self.row(i);
+            let crow = &mut c.data[i * b.cols..(i + 1) * b.cols];
             for (k, &aik) in arow.iter().enumerate() {
                 if aik == 0.0 {
                     continue;
@@ -127,12 +203,20 @@ impl Matrix {
                 }
             }
         }
+        c
     }
 
     /// `C = Aᵀ · B` without materializing the transpose. Parallel
     /// workers own disjoint blocks of output rows (columns of `A`) and
     /// accumulate over `A`'s rows in increasing order — the serial
     /// order — so results are bitwise-identical.
+    ///
+    /// Deliberately *not* register-blocked like [`Matrix::matmul`]: its
+    /// `i`-outer loop streams both operands contiguously, while a
+    /// block-outer rewrite would walk `A` down a column (stride
+    /// `cols`), trading the output reload for strided loads over the
+    /// much larger activation matrix — a loss at gradient shapes
+    /// (`rows` = batch ≫ `cols`).
     pub fn matmul_tn(&self, b: &Matrix) -> Matrix {
         assert_eq!(self.rows, b.rows, "matmul_tn outer dimension mismatch");
         let mut c = Matrix::zeros(self.cols, b.cols);
@@ -188,19 +272,38 @@ impl Matrix {
         c
     }
 
-    /// The `A·Bᵀ` kernel over a contiguous output-row range.
+    /// The `A·Bᵀ` kernel over a contiguous output-row range. Each
+    /// output element is a dense dot product in the canonical 8-lane
+    /// reduction order (the same canonical semantics as the sparse
+    /// `spmv` — see `freehgc_sparse`'s module docs), pinned
+    /// bitwise-equal to [`Matrix::matmul_nt_ref`].
     fn matmul_nt_rows(&self, b: &Matrix, rows: Range<usize>, out: &mut [f32]) {
         for (ri, i) in rows.enumerate() {
             let arow = self.row(i);
             for j in 0..b.rows {
-                let brow = b.row(j);
-                let mut acc = 0f32;
-                for (&x, &y) in arow.iter().zip(brow) {
-                    acc += x * y;
-                }
-                out[ri * b.rows + j] = acc;
+                out[ri * b.rows + j] = dot_lanes_dense(arow, b.row(j));
             }
         }
+    }
+
+    /// Naive reference for [`Matrix::matmul_nt`]: the same canonical
+    /// 8-lane reduction order written as the obvious scalar loop.
+    pub fn matmul_nt_ref(&self, b: &Matrix) -> Matrix {
+        assert_eq!(self.cols, b.cols, "matmul_nt inner dimension mismatch");
+        let mut c = Matrix::zeros(self.rows, b.rows);
+        for i in 0..self.rows {
+            let arow = self.row(i);
+            for j in 0..b.rows {
+                let brow = b.row(j);
+                let mut lanes = [0f32; 8];
+                for (k, (&x, &y)) in arow.iter().zip(brow).enumerate() {
+                    lanes[k % 8] += x * y;
+                }
+                c.data[i * b.rows + j] = ((lanes[0] + lanes[1]) + (lanes[2] + lanes[3]))
+                    + ((lanes[4] + lanes[5]) + (lanes[6] + lanes[7]));
+            }
+        }
+        c
     }
 
     pub fn transpose(&self) -> Matrix {

@@ -1,0 +1,121 @@
+//! Rework-equivalence suite for the dense matmul kernels: the
+//! register-blocked `matmul` and the canonical-lane `matmul_nt` are
+//! pinned bitwise-equal to their retained naive references
+//! (`matmul_ref`, `matmul_nt_ref`) across adversarial shapes — 1-column
+//! outputs, every `cols % 8` lane remainder, zero-heavy operands (the
+//! `a[i,k] == 0.0` skip must survive the blocking) — at thread
+//! overrides 1 and 4.
+
+use freehgc_autograd::Matrix;
+use freehgc_parallel as par;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::Rng;
+use rand::SeedableRng;
+use std::sync::Mutex;
+
+static OVERRIDE_LOCK: Mutex<()> = Mutex::new(());
+
+fn with_threads<T>(n: usize, f: impl FnOnce() -> T) -> T {
+    let _guard = OVERRIDE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    par::set_thread_override(Some(n));
+    let out = f();
+    par::set_thread_override(None);
+    out
+}
+
+const THREAD_COUNTS: [usize; 2] = [1, 4];
+
+/// Quarter-integer values in ±2 with explicit zeros so exact arithmetic
+/// coincidences and the zero-skip path both occur.
+fn random_matrix(rows: usize, cols: usize, seed: u64, zero_frac: f64) -> Matrix {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let data: Vec<f32> = (0..rows * cols)
+        .map(|_| {
+            if rng.gen_bool(zero_frac) {
+                0.0
+            } else {
+                (rng.gen_range(-8i32..=8) as f32) * 0.25
+            }
+        })
+        .collect();
+    Matrix::from_vec(rows, cols, data)
+}
+
+#[test]
+fn matmul_matches_reference_on_adversarial_shapes() {
+    // (m, k, n): n spans every lane remainder, k includes 1, and the
+    // 257/9 case forces many blocks plus a remainder.
+    for (m, k, n) in [
+        (1usize, 1usize, 1usize),
+        (3, 1, 7),
+        (5, 4, 8),
+        (7, 3, 9),
+        (2, 6, 15),
+        (4, 5, 16),
+        (6, 2, 17),
+        (9, 257, 9),
+    ] {
+        for zero_frac in [0.0, 0.5] {
+            let a = random_matrix(m, k, (m * 31 + n) as u64, zero_frac);
+            let b = random_matrix(k, n, (k * 17 + n) as u64, zero_frac);
+            let reference = a.matmul_ref(&b);
+            for t in THREAD_COUNTS {
+                let got = with_threads(t, || a.matmul(&b));
+                assert_eq!(
+                    got.data, reference.data,
+                    "matmul diverged at shape ({m},{k},{n}) zeros={zero_frac} threads={t}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn matmul_nt_matches_canonical_reference_on_adversarial_shapes() {
+    for (m, k, n) in [
+        (1usize, 1usize, 1usize),
+        (3, 7, 2),
+        (5, 8, 4),
+        (7, 9, 3),
+        (2, 15, 6),
+        (4, 16, 5),
+        (6, 17, 8),
+        (9, 250, 9),
+    ] {
+        let a = random_matrix(m, k, (m * 13 + k) as u64, 0.25);
+        let b = random_matrix(n, k, (n * 19 + k) as u64, 0.25);
+        let reference = a.matmul_nt_ref(&b);
+        for t in THREAD_COUNTS {
+            let got = with_threads(t, || a.matmul_nt(&b));
+            assert_eq!(
+                got.data, reference.data,
+                "matmul_nt diverged at shape ({m},{k},{n}) threads={t}"
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn matmul_kernels_match_references_on_random_shapes(
+        m in 1usize..40,
+        k in 1usize..40,
+        n in 1usize..40,
+        seed in 0u64..1000,
+    ) {
+        let a = random_matrix(m, k, seed, 0.3);
+        let b = random_matrix(k, n, seed.wrapping_add(3), 0.3);
+        let reference = a.matmul_ref(&b);
+        for t in THREAD_COUNTS {
+            prop_assert_eq!(&with_threads(t, || a.matmul(&b)).data, &reference.data);
+        }
+        let bt = random_matrix(n, k, seed.wrapping_add(5), 0.3);
+        let nt_ref = a.matmul_nt_ref(&bt);
+        for t in THREAD_COUNTS {
+            prop_assert_eq!(&with_threads(t, || a.matmul_nt(&bt)).data, &nt_ref.data);
+        }
+    }
+}

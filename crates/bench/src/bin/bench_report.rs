@@ -4,7 +4,7 @@
 //! to regress against.
 //!
 //! ```bash
-//! cargo run --release -p freehgc_bench --bin bench_report            # full scales → BENCH_PR7.json
+//! cargo run --release -p freehgc_bench --bin bench_report            # full scales → BENCH_PR8.json
 //! cargo run --release -p freehgc_bench --bin bench_report -- --quick # smoke scales
 //! cargo run --release -p freehgc_bench --bin bench_report -- --threads=8 --out=path.json
 //! ```
@@ -50,6 +50,19 @@
 //! precompute dwarfs file I/O) that the snapshot-seeded delta does
 //! too.
 //!
+//! The *micro* leg (PR 8) measures the kernel rework head-to-head: each
+//! reworked kernel is timed serially (thread override pinned to 1)
+//! against the retained pre-rework reference implementation on the same
+//! operands, its output is checked bitwise against the canonical oracle
+//! (for SpMV and `matmul_nt` the canonical-lane reference — the rework
+//! *changed* their reduction order, so the retained sequential kernels
+//! are timing baselines only), and the workspace-pool counters are
+//! sampled over a steady-state loop to prove the iterative callers
+//! allocate nothing per call. Two of the rows back hard throughput
+//! gates: the dense-accumulator SpGEMM must beat the naive
+//! hash/sort-based reference by ≥ 1.5× and the register-blocked
+//! sparse × dense product must beat its predecessor by ≥ 1.2×.
+//!
 //! The *chaos* leg (PR 7) drills the failure-hardened serving layer:
 //! concurrent clients resolve one registry key and condense through it
 //! while deterministic faults fire underneath (compiled in with
@@ -72,7 +85,8 @@ use freehgc_hetgraph::{
 };
 use freehgc_hgnn::propagation::{propagate, propagate_ctx, PropagatedFeaturesCodec};
 use freehgc_parallel as par;
-use freehgc_sparse::ppr::{ppr_push, PprConfig};
+use freehgc_parallel::workspace as ws;
+use freehgc_sparse::ppr::{ppr_push, ppr_push_into, PprConfig};
 use freehgc_sparse::CsrMatrix;
 use rand::rngs::StdRng;
 use rand::Rng;
@@ -723,6 +737,271 @@ fn run_chaos_leg(quick: bool) -> ChaosReport {
     report
 }
 
+struct MicroRow {
+    name: String,
+    baseline: String,
+    baseline_ms: f64,
+    reworked_ms: f64,
+    gflops: f64,
+    bitwise_equal: bool,
+}
+
+impl MicroRow {
+    fn speedup(&self) -> f64 {
+        self.baseline_ms / self.reworked_ms.max(1e-9)
+    }
+}
+
+struct MicroReport {
+    rows: Vec<MicroRow>,
+    steady_iters: usize,
+    spgemm_steady: ws::WorkspaceStats,
+    ppr_steady: ws::WorkspaceStats,
+}
+
+/// Times `baseline` vs `reworked` serially (override pinned to 1) and
+/// checks the reworked output bitwise against `oracle` — which is the
+/// baseline's output where the rework preserved semantics, and the
+/// canonical-lane reference where it deliberately changed them. Rows
+/// that back a throughput gate pass `min_speedup`; a sub-threshold
+/// first reading gets one re-measurement at 10× reps before the gate in
+/// `main` can fail the run (same escape as the spmv_t bound: at quick
+/// scale one scheduling hiccup can swallow the best-of-N window).
+fn measure_micro<T: PartialEq>(
+    name: &str,
+    baseline_name: &str,
+    reps: usize,
+    flops: f64,
+    min_speedup: Option<f64>,
+    mut baseline: impl FnMut() -> T,
+    mut reworked: impl FnMut() -> T,
+    oracle: &T,
+) -> MicroRow {
+    par::set_thread_override(Some(1));
+    let run = |reps: usize, baseline: &mut dyn FnMut() -> T, reworked: &mut dyn FnMut() -> T| {
+        let (baseline_ms, _) = time_best(reps, &mut *baseline);
+        let (reworked_ms, out) = time_best(reps, &mut *reworked);
+        (baseline_ms, reworked_ms, out)
+    };
+    let (mut baseline_ms, mut reworked_ms, mut out) = run(reps, &mut baseline, &mut reworked);
+    if let Some(bound) = min_speedup {
+        if baseline_ms / reworked_ms.max(1e-9) < bound {
+            eprintln!(
+                "micro/{name}: speedup {:.2}x below {bound}x bound, re-measuring at {} reps",
+                baseline_ms / reworked_ms.max(1e-9),
+                reps * 10
+            );
+            (baseline_ms, reworked_ms, out) = run(reps * 10, &mut baseline, &mut reworked);
+        }
+    }
+    par::set_thread_override(None);
+    let row = MicroRow {
+        name: name.to_string(),
+        baseline: baseline_name.to_string(),
+        baseline_ms,
+        reworked_ms,
+        gflops: flops / (reworked_ms * 1e-3).max(1e-12) * 1e-9,
+        bitwise_equal: out == *oracle,
+    };
+    eprintln!(
+        "micro/{:<22} {:>9.3} ms ({})   reworked {:>9.3} ms   speedup {:>5.2}x   \
+         {:>7.2} GFLOP/s   bitwise_equal={}",
+        row.name,
+        row.baseline_ms,
+        row.baseline,
+        row.reworked_ms,
+        row.speedup(),
+        row.gflops,
+        row.bitwise_equal
+    );
+    row
+}
+
+/// Exact multiply-add count of `a.spgemm(b)` (every nonzero of A meets
+/// the full B row it selects), for the throughput column.
+fn spgemm_flops(a: &CsrMatrix, b: &CsrMatrix) -> f64 {
+    let mults: u64 = (0..a.nrows())
+        .flat_map(|r| a.row_indices(r))
+        .map(|&c| b.row_indices(c as usize).len() as u64)
+        .sum();
+    2.0 * mults as f64
+}
+
+/// Kernel-rework leg: reworked vs retained-reference serial timings,
+/// bitwise oracles, and steady-state workspace-allocation counts.
+fn run_micro(quick: bool) -> MicroReport {
+    // SpGEMM density mirrors meta-path composition (Eq. 1): composed
+    // adjacencies like PAP land their product bound well past half the
+    // output width, the regime the dense-row mode is built for.
+    let (sp_n, sp_nnz, mv_n, mv_nnz, dim, dm, reps) = if quick {
+        (
+            400usize, 24usize, 2000usize, 16usize, 16usize, 96usize, 2usize,
+        )
+    } else {
+        (1500, 48, 20_000, 16, 64, 256, 5)
+    };
+    let mut rows: Vec<MicroRow> = Vec::new();
+
+    // Dense-accumulator SpGEMM vs the naive per-row hash/sort reference,
+    // at meta-path-composition density. This row backs the ≥ 1.5× gate.
+    let a = random_sparse(sp_n, sp_n, sp_nnz, 11);
+    let b = random_sparse(sp_n, sp_n, sp_nnz, 12);
+    let sp_flops = spgemm_flops(&a, &b);
+    let sp_oracle = a.spgemm_serial(&b);
+    rows.push(measure_micro(
+        &format!("spgemm/{sp_n}x{sp_nnz}"),
+        "spgemm_serial",
+        reps,
+        sp_flops,
+        Some(1.5),
+        || a.spgemm_serial(&b),
+        || a.spgemm(&b),
+        &sp_oracle,
+    ));
+
+    // The column-tiled variant, forced onto the tiling path with a tile
+    // a third of the operand width (the public gate only tiles at
+    // ≥ 64 Ki columns, far past bench scale).
+    let tile = (sp_n / 3).max(1);
+    rows.push(measure_micro(
+        &format!("spgemm_wide/tile{tile}"),
+        "spgemm_serial",
+        reps,
+        sp_flops,
+        None,
+        || a.spgemm_serial(&b),
+        || a.spgemm_with_tile(&b, tile),
+        &sp_oracle,
+    ));
+
+    // SpMV: the retained pre-rework sequential kernel is the timing
+    // baseline, but the rework CHANGED the reduction order, so the
+    // bitwise oracle is the canonical-lane reference.
+    let m = random_sparse(mv_n, mv_n, mv_nnz, 13);
+    let x: Vec<f32> = (0..mv_n).map(|i| (i % 17) as f32 * 0.25 - 2.0).collect();
+    let mv_flops = 2.0 * m.nnz() as f64;
+    let spmv_oracle = m.spmv_ref(&x);
+    rows.push(measure_micro(
+        &format!("spmv/{mv_n}"),
+        "spmv_seq",
+        reps,
+        mv_flops,
+        None,
+        || m.spmv_seq(&x),
+        || m.spmv(&x),
+        &spmv_oracle,
+    ));
+
+    // SpMVᵀ kept its scatter order; reference is baseline AND oracle.
+    let spmv_t_oracle = m.spmv_t_ref(&x);
+    rows.push(measure_micro(
+        &format!("spmv_t/{mv_n}"),
+        "spmv_t_ref",
+        reps,
+        mv_flops,
+        None,
+        || m.spmv_t_ref(&x),
+        || m.spmv_t(&x),
+        &spmv_t_oracle,
+    ));
+
+    // Sparse × dense: register-blocked but order-preserving, so the
+    // pre-rework kernel is baseline and oracle. Backs the ≥ 1.2× gate.
+    let xd: Vec<f32> = (0..mv_n * dim)
+        .map(|i| (i % 13) as f32 * 0.1 - 0.6)
+        .collect();
+    let sd_oracle = m.spmm_dense_ref(&xd, dim);
+    rows.push(measure_micro(
+        &format!("spmm_dense/{mv_n}x{dim}"),
+        "spmm_dense_ref",
+        reps,
+        2.0 * m.nnz() as f64 * dim as f64,
+        Some(1.2),
+        || m.spmm_dense_ref(&xd, dim),
+        || m.spmm_dense(&xd, dim),
+        &sd_oracle,
+    ));
+
+    // Dense matmuls: `matmul` blocking preserves contribution order
+    // (oracle = naive ikj reference); `matmul_nt` moved to canonical
+    // lanes, and its reference computes the same lanes naively.
+    let am = freehgc_autograd::Matrix::xavier(dm, dm, 21);
+    let bm = freehgc_autograd::Matrix::xavier(dm, dm, 22);
+    let dm_flops = 2.0 * (dm * dm * dm) as f64;
+    let mm_oracle = am.matmul_ref(&bm).data;
+    rows.push(measure_micro(
+        &format!("matmul/{dm}^3"),
+        "matmul_ref",
+        reps,
+        dm_flops,
+        None,
+        || am.matmul_ref(&bm).data,
+        || am.matmul(&bm).data,
+        &mm_oracle,
+    ));
+    let nt_oracle = am.matmul_nt_ref(&bm).data;
+    rows.push(measure_micro(
+        &format!("matmul_nt/{dm}^3"),
+        "matmul_nt_ref",
+        reps,
+        dm_flops,
+        None,
+        || am.matmul_nt_ref(&bm).data,
+        || am.matmul_nt(&bm).data,
+        &nt_oracle,
+    ));
+
+    // Steady-state allocation audit: warm the thread-local pools with
+    // the exact call pattern, zero the counters, rerun, and record what
+    // the pools had to allocate — the contract is "nothing".
+    par::set_thread_override(Some(1));
+    let steady_iters = 5usize;
+    for _ in 0..2 {
+        a.spgemm(&b);
+    }
+    ws::reset_stats();
+    for _ in 0..steady_iters {
+        a.spgemm(&b);
+    }
+    let spgemm_steady = ws::stats();
+
+    let sym = random_sparse(mv_n / 4, mv_n / 4, 8, 14)
+        .symmetrize()
+        .sym_normalized();
+    let mut seed_vec = vec![0f32; sym.nrows()];
+    seed_vec[0] = 1.0;
+    let ppr_cfg = PprConfig::default();
+    let mut acc = vec![0f32; sym.nrows()];
+    for _ in 0..2 {
+        ppr_push_into(&sym, &seed_vec, &ppr_cfg, &mut acc);
+    }
+    ws::reset_stats();
+    for _ in 0..steady_iters {
+        ppr_push_into(&sym, &seed_vec, &ppr_cfg, &mut acc);
+    }
+    let ppr_steady = ws::stats();
+    par::set_thread_override(None);
+
+    eprintln!(
+        "micro steady-state ({steady_iters} iters)   spgemm: takes {} pool_hits {} \
+         fresh_allocs {} alloc_bytes {}   ppr: takes {} fresh_allocs {} alloc_bytes {}",
+        spgemm_steady.takes,
+        spgemm_steady.pool_hits,
+        spgemm_steady.fresh_allocs,
+        spgemm_steady.alloc_bytes,
+        ppr_steady.takes,
+        ppr_steady.fresh_allocs,
+        ppr_steady.alloc_bytes
+    );
+
+    MicroReport {
+        rows,
+        steady_iters,
+        spgemm_steady,
+        ppr_steady,
+    }
+}
+
 fn fmt_ms(v: f64) -> String {
     if v.is_finite() {
         format!("{v:.4}")
@@ -734,7 +1013,7 @@ fn fmt_ms(v: f64) -> String {
 fn main() {
     let mut quick = false;
     let mut threads = 4usize;
-    let mut out_path = "BENCH_PR7.json".to_string();
+    let mut out_path = "BENCH_PR8.json".to_string();
     // The effective FREEHGC_THREADS / machine default, captured before
     // the measurement loops start flipping the runtime override.
     let freehgc_threads = par::max_threads();
@@ -876,11 +1155,14 @@ fn main() {
     // Failure-hardening leg (PR 7).
     let chaos = run_chaos_leg(quick);
 
+    // Kernel-rework leg (PR 8).
+    let micro = run_micro(quick);
+
     // Emit the JSON report.
     let avail = std::thread::available_parallelism().map_or(1, |n| n.get());
     let mut out = String::new();
     out.push_str("{\n");
-    out.push_str("  \"pr\": 7,\n");
+    out.push_str("  \"pr\": 8,\n");
     out.push_str("  \"created_by\": \"bench_report\",\n");
     out.push_str(&format!("  \"quick\": {quick},\n"));
     out.push_str("  \"machine\": {\n");
@@ -1117,6 +1399,48 @@ fn main() {
         "    \"bitwise_equal\": {},\n    \"served_after_faults\": {}\n",
         chaos.bitwise_equal, chaos.served_after_faults
     ));
+    out.push_str("  },\n");
+    out.push_str("  \"micro\": {\n");
+    out.push_str(
+        "    \"note\": \"Serial (thread override = 1) head-to-head of each reworked kernel \
+         against the retained pre-rework reference on identical operands. bitwise_equal checks \
+         the reworked output against the canonical oracle: the baseline itself where the rework \
+         preserved semantics, and the canonical-lane reference for spmv/matmul_nt whose \
+         reduction order the rework deliberately changed (their baselines time the OLD order). \
+         speedup = baseline_ms / reworked_ms; gflops is the reworked kernel's multiply-add \
+         throughput. workspace_steady_state reruns the spgemm and ppr_push inner loops after \
+         warming the thread-local scratch pools: fresh_allocs and alloc_bytes must be zero — \
+         iterative callers pay no per-iteration allocation.\",\n",
+    );
+    out.push_str("    \"kernels\": [\n");
+    for (i, r) in micro.rows.iter().enumerate() {
+        out.push_str(&format!(
+            "      {{ \"name\": \"{}\", \"baseline\": \"{}\", \"baseline_ms\": {}, \
+             \"reworked_ms\": {}, \"speedup\": {}, \"gflops\": {}, \"bitwise_equal\": {} }}{}\n",
+            json_escape(&r.name),
+            json_escape(&r.baseline),
+            fmt_ms(r.baseline_ms),
+            fmt_ms(r.reworked_ms),
+            fmt_ms(r.speedup()),
+            fmt_ms(r.gflops),
+            r.bitwise_equal,
+            if i + 1 < micro.rows.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("    ],\n");
+    out.push_str("    \"workspace_steady_state\": {\n");
+    out.push_str(&format!("      \"iterations\": {},\n", micro.steady_iters));
+    for (name, s, trailing) in [
+        ("spgemm", &micro.spgemm_steady, ","),
+        ("ppr_push", &micro.ppr_steady, ""),
+    ] {
+        out.push_str(&format!(
+            "      \"{name}\": {{ \"takes\": {}, \"pool_hits\": {}, \"fresh_allocs\": {}, \
+             \"alloc_bytes\": {}, \"gives\": {} }}{trailing}\n",
+            s.takes, s.pool_hits, s.fresh_allocs, s.alloc_bytes, s.gives
+        ));
+    }
+    out.push_str("    }\n");
     out.push_str("  }\n");
     out.push_str("}\n");
     std::fs::write(&out_path, &out).expect("write bench report");
@@ -1243,5 +1567,48 @@ fn main() {
             chaos.faults_injected, chaos.panics_recovered
         );
         std::process::exit(1);
+    }
+    // PR-8 kernel-rework gates. Bitwise first: a fast kernel with the
+    // wrong bits is not a kernel.
+    if let Some(r) = micro.rows.iter().find(|r| !r.bitwise_equal) {
+        eprintln!(
+            "FATAL: micro/{} diverged bitwise from its canonical oracle",
+            r.name
+        );
+        std::process::exit(1);
+    }
+    // Throughput floors for the two headline reworks (the sub-threshold
+    // re-measurement escape already ran inside measure_micro).
+    for (prefix, bound) in [("spgemm/", 1.5f64), ("spmm_dense/", 1.2)] {
+        if let Some(r) = micro.rows.iter().find(|r| r.name.starts_with(prefix)) {
+            if r.speedup() < bound {
+                eprintln!(
+                    "FATAL: micro/{} reworked kernel only {:.2}x over {} (bound {bound}x) — \
+                     the rework lost its throughput win",
+                    r.name,
+                    r.speedup(),
+                    r.baseline
+                );
+                std::process::exit(1);
+            }
+        }
+    }
+    // Zero-allocation steady state: warmed pools must serve every take.
+    for (name, s) in [
+        ("spgemm", &micro.spgemm_steady),
+        ("ppr_push", &micro.ppr_steady),
+    ] {
+        if s.takes == 0 {
+            eprintln!("FATAL: micro steady-state {name} loop never touched the workspace pools");
+            std::process::exit(1);
+        }
+        if s.fresh_allocs != 0 || s.alloc_bytes != 0 {
+            eprintln!(
+                "FATAL: micro steady-state {name} loop allocated ({} fresh, {} bytes) — the \
+                 zero-alloc workspace contract is broken",
+                s.fresh_allocs, s.alloc_bytes
+            );
+            std::process::exit(1);
+        }
     }
 }

@@ -183,8 +183,11 @@ fn propagate_uncached(
         paths.iter().zip(adjacencies).collect::<Vec<_>>(),
         |_, (p, adj)| {
             let src_feat = g.features(p.source());
-            let data = adj.spmm_dense(src_feat.data(), src_feat.dim());
-            Matrix::from_vec(n, src_feat.dim(), data)
+            // spmm_dense_into writes straight into the block's own
+            // buffer — no intermediate Vec to hand off.
+            let mut block = Matrix::zeros(n, src_feat.dim());
+            adj.spmm_dense_into(src_feat.data(), src_feat.dim(), &mut block.data);
+            block
         },
     );
     blocks.extend(propagated);

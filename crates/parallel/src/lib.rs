@@ -28,6 +28,8 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::OnceLock;
 use std::thread;
 
+pub mod workspace;
+
 /// Runtime override of the thread count (0 = no override). Takes
 /// precedence over `FREEHGC_THREADS`; used by benches and the
 /// serial/parallel equivalence tests.

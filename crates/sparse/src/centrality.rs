@@ -30,14 +30,16 @@ pub fn hits_authority(a: &CsrMatrix, iters: usize) -> Vec<f32> {
     if n == 0 || m == 0 {
         return vec![0.0; m];
     }
+    // Both iterates live in fixed buffers refilled by the `_into`
+    // kernels — the power iteration allocates nothing per step.
     let mut hub = vec![1f32; n];
     let mut auth = vec![1f32; m];
     for _ in 0..iters.max(1) {
         // auth = Aᵀ hub
-        auth = a.spmv_t(&hub);
+        a.spmv_t_into(&hub, &mut auth);
         normalize_l2(&mut auth);
         // hub = A auth
-        hub = a.spmv(&auth);
+        a.spmv_into(&auth, &mut hub);
         normalize_l2(&mut hub);
     }
     auth

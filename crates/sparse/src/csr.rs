@@ -4,9 +4,58 @@
 //! 4 B nodes per type) and values are `f32`, which halves memory traffic
 //! relative to `usize`/`f64` — the SpGEMM in meta-path composition (Eq. 1 of
 //! the paper) is bandwidth-bound.
+//!
+//! # Kernel architecture
+//!
+//! Every hot kernel here exists in two forms: an **optimized** path
+//! (what `spgemm`/`spmv`/`spmv_t`/`spmm_dense` actually run) and a
+//! **retained naive reference** (`spgemm_serial`, `spmv_ref`,
+//! `spmv_t_ref`, `spmm_dense_ref`) whose output the optimized path must
+//! match *bitwise*. The references double as the pre-rework throughput
+//! baselines the `bench_report` `micro` leg measures against.
+//!
+//! The optimized paths get their speed from three mechanisms, each of
+//! which provably preserves bits:
+//!
+//! * **Dense accumulator + visited marker (SpGEMM).** A generation
+//!   counter per accumulator slot replaces the `acc[j] == 0.0`
+//!   occupancy probe; first touch *sets* `a·b` instead of adding it to
+//!   zero. `x` and `0.0 + x` differ only when `x` is `-0.0`, and exact
+//!   zeros (either sign) are filtered out of the emitted pattern by the
+//!   same `v != 0.0` check the naive path uses — so pattern and values
+//!   are identical. An exact per-row upper-bound prepass
+//!   (Σ `nnz(B[a_k,:])`) sizes the output buffers once, and wide
+//!   right-hand sides are split into column tiles so the accumulator
+//!   stays cache-resident; tiling only regroups *which* rows of `B` are
+//!   merged together, never the in-row contribution order.
+//! * **Canonical 8-lane reduction order (dot-product kernels).** `spmv`
+//!   (and `Matrix::matmul_nt` in `freehgc_autograd`) accumulate element
+//!   `j` into lane `j % 8` and combine lanes as
+//!   `((l0+l1)+(l2+l3)) + ((l4+l5)+(l6+l7))`. That fixed shape is what
+//!   lets the autovectorizer keep 8 independent partial sums in SIMD
+//!   registers — and because the *reference implements the same order*,
+//!   serial, SIMD-shaped, and every parallel partition agree bitwise.
+//!   The lane order is the single canonical semantics; there is no
+//!   "fast but different" mode.
+//! * **Order-preserving restructuring (everything else).** `spmm_dense`
+//!   and `Matrix::matmul` swap loops so a block of output columns lives
+//!   in registers while streaming the sparse row / the `k` dimension;
+//!   per output element the contributions still arrive in exactly the
+//!   naive order, so no reassociation happens at all. `spmv_t` keeps
+//!   its scatter order and only drops bounds checks. Index arithmetic
+//!   inside the kernels uses `get_unchecked` — sound because
+//!   [`CsrMatrix::from_parts`] validates every column index against
+//!   `ncols` up front.
+//!
+//! Scratch buffers (accumulators, markers, touched lists, wrapper
+//! outputs) come from the per-thread pool in
+//! [`freehgc_parallel::workspace`], so iterative callers stop paying an
+//! allocation per call; pooled buffers are either fully overwritten or
+//! marker-guarded, which keeps pooling invisible to the results.
 
 use crate::coo::CooMatrix;
 use freehgc_parallel as par;
+use freehgc_parallel::workspace as ws;
 use std::ops::Range;
 
 /// Minimum rows a SpGEMM worker may own (caps the chunk count so tall
@@ -34,6 +83,198 @@ const SPMVT_NNZ_GRAIN: usize = 16_384;
 /// order-preserving redistribution costs a few× the serial scatter per
 /// entry, so fewer workers than this cannot amortize it.
 const SPMVT_MIN_CHUNKS: usize = 4;
+/// Column width of one SpGEMM accumulator tile. The accumulator and
+/// marker arrays together cost 8 bytes per column; a 32 Ki-column tile
+/// keeps them at 256 KiB — inside L2 — so merging rows of `B` hits a
+/// warm accumulator instead of striding across a multi-megabyte one.
+/// Tiling only engages when the right-hand side is at least twice this
+/// wide (see [`CsrMatrix::spgemm`]).
+const SPGEMM_TILE_COLS: usize = 32_768;
+/// Dense-scan emission threshold: when a row's touched set covers at
+/// least `1/SPGEMM_DENSE_EMIT_DIV` of the accumulator width, emitting
+/// by scanning the marker array in column order is cheaper than sorting
+/// the touched list. Both emit identical bits (a marker scan visits
+/// columns in increasing order, exactly like the sorted list).
+const SPGEMM_DENSE_EMIT_DIV: usize = 8;
+
+/// Combines the 8 canonical partial sums. This exact association —
+/// pairs, then pairs of pairs — is part of the kernel semantics: the
+/// naive references and the optimized kernels both use it, which is why
+/// they agree bitwise.
+#[inline(always)]
+fn combine_lanes(l: [f32; 8]) -> f32 {
+    ((l[0] + l[1]) + (l[2] + l[3])) + ((l[4] + l[5]) + (l[6] + l[7]))
+}
+
+/// The canonical 8-lane sparse dot product: element `j` of the row
+/// accumulates into lane `j % 8`, lanes combine via [`combine_lanes`].
+/// The blocked main loop and the naive `spmv_ref` loop put every
+/// element into the same lane in the same order, so their bits match.
+#[inline]
+fn dot_lanes(cols: &[u32], vals: &[f32], x: &[f32]) -> f32 {
+    let mut lanes = [0f32; 8];
+    let mut cc = cols.chunks_exact(8);
+    let mut vc = vals.chunks_exact(8);
+    for (c8, v8) in (&mut cc).zip(&mut vc) {
+        for l in 0..8 {
+            // SAFETY: every column index is < ncols == x.len(),
+            // validated by `CsrMatrix::from_parts`.
+            lanes[l] += v8[l] * unsafe { *x.get_unchecked(c8[l] as usize) };
+        }
+    }
+    for (l, (&c, &v)) in cc.remainder().iter().zip(vc.remainder()).enumerate() {
+        // SAFETY: as above.
+        lanes[l] += v * unsafe { *x.get_unchecked(c as usize) };
+    }
+    combine_lanes(lanes)
+}
+
+/// The total order behind [`CsrMatrix::top_k_per_row`]: magnitude
+/// descending, then column ascending. Being total (ties broken by the
+/// unique column id, NaN handled by `total_cmp`) is what makes an O(n)
+/// k-selection keep *exactly* the entry set a full sort keeps.
+fn top_k_cmp(a: &(u32, f32), b: &(u32, f32)) -> std::cmp::Ordering {
+    b.1.abs().total_cmp(&a.1.abs()).then_with(|| a.0.cmp(&b.0))
+}
+
+/// Advances the SpGEMM visited-marker generation, re-zeroing the marker
+/// array on the (astronomically rare) u32 wrap so a stale generation
+/// can never alias a live one.
+fn next_gen(gen: u32, marker: &mut [u32]) -> u32 {
+    if gen == u32::MAX {
+        marker.fill(0);
+        1
+    } else {
+        gen + 1
+    }
+}
+
+/// Merges one scaled B-row run into the marker-guarded accumulator.
+/// `bcols` are indices local to the accumulator (global column minus
+/// the tile start; the tile start is 0 when un-tiled). First touch in
+/// this generation *sets* the product, later touches add — see
+/// [`CsrMatrix::spgemm_rows_opt`] for why this matches add-from-zero
+/// bitwise.
+#[inline]
+fn accumulate_run(
+    bcols: &[u32],
+    bvals: &[f32],
+    av: f32,
+    gen: u32,
+    acc: &mut [f32],
+    marker: &mut [u32],
+    touched: &mut Vec<u32>,
+) {
+    for (&bc, &bv) in bcols.iter().zip(bvals) {
+        let j = bc as usize;
+        // SAFETY: j < accumulator width — column indices are validated
+        // `< ncols` at construction, and tile-local indices are
+        // `< tile.width` by construction in `ColTile::split`.
+        unsafe {
+            if *marker.get_unchecked(j) != gen {
+                *marker.get_unchecked_mut(j) = gen;
+                *acc.get_unchecked_mut(j) = av * bv;
+                touched.push(bc);
+            } else {
+                *acc.get_unchecked_mut(j) += av * bv;
+            }
+        }
+    }
+}
+
+/// Emits one accumulated output row (or tile thereof) in increasing
+/// column order, filtering exact zeros — by sorting the touched list
+/// when sparse, or by scanning the marker array in column order when
+/// the row is dense enough ([`SPGEMM_DENSE_EMIT_DIV`]). Both orders are
+/// the same order, so the choice never shows in the output.
+#[allow(clippy::too_many_arguments)]
+fn emit_row(
+    acc: &[f32],
+    marker: &[u32],
+    gen: u32,
+    touched: &mut Vec<u32>,
+    base: u32,
+    width: usize,
+    indices: &mut Vec<u32>,
+    values: &mut Vec<f32>,
+) {
+    if touched.len() * SPGEMM_DENSE_EMIT_DIV >= width {
+        for (j, (&m, &v)) in marker[..width].iter().zip(&acc[..width]).enumerate() {
+            if m == gen && v != 0.0 {
+                indices.push(base + j as u32);
+                values.push(v);
+            }
+        }
+    } else {
+        touched.sort_unstable();
+        for &c in touched.iter() {
+            let v = acc[c as usize];
+            if v != 0.0 {
+                indices.push(base + c);
+                values.push(v);
+            }
+        }
+    }
+    touched.clear();
+}
+
+/// A contiguous column slice of the SpGEMM right-hand side, stored with
+/// *tile-local* column indices (global minus `start`) so the hot merge
+/// loop indexes the accumulator without per-entry offset arithmetic.
+/// Splitting preserves in-row entry order, so a column's contributions
+/// arrive in exactly the order the un-tiled kernel produces them.
+struct ColTile {
+    start: usize,
+    width: usize,
+    indptr: Vec<usize>,
+    indices: Vec<u32>,
+    values: Vec<f32>,
+}
+
+impl ColTile {
+    /// Splits `b` into `ceil(ncols / tile_cols)` column tiles in one
+    /// counting pass plus one fill pass.
+    fn split(b: &CsrMatrix, tile_cols: usize) -> Vec<ColTile> {
+        let ntiles = b.ncols.div_ceil(tile_cols).max(1);
+        let mut counts = vec![0usize; ntiles];
+        for &c in b.indices() {
+            counts[c as usize / tile_cols] += 1;
+        }
+        let mut tiles: Vec<ColTile> = (0..ntiles)
+            .map(|t| {
+                let start = t * tile_cols;
+                let mut indptr = Vec::with_capacity(b.nrows + 1);
+                indptr.push(0usize);
+                ColTile {
+                    start,
+                    width: tile_cols.min(b.ncols - start),
+                    indptr,
+                    indices: Vec::with_capacity(counts[t]),
+                    values: Vec::with_capacity(counts[t]),
+                }
+            })
+            .collect();
+        for r in 0..b.nrows {
+            let (cols, vals) = b.row(r);
+            for (&c, &v) in cols.iter().zip(vals) {
+                let t = &mut tiles[c as usize / tile_cols];
+                t.indices.push(c - t.start as u32);
+                t.values.push(v);
+            }
+            for t in &mut tiles {
+                t.indptr.push(t.indices.len());
+            }
+        }
+        tiles
+    }
+
+    /// The tile-local entries of row `r`.
+    #[inline]
+    fn row(&self, r: usize) -> (&[u32], &[f32]) {
+        let (s, e) = (self.indptr[r], self.indptr[r + 1]);
+        (&self.indices[s..e], &self.values[s..e])
+    }
+}
 
 /// One source row chunk's counting-sorted contributions: bin offsets
 /// per destination column chunk (length `chunks + 1`) plus the flat
@@ -383,8 +624,56 @@ impl CsrMatrix {
         }
     }
 
-    /// Keeps at most the `k` largest-magnitude entries per row.
+    /// Keeps at most the `k` largest-magnitude entries per row (the
+    /// `with_max_row_nnz` fill-in cap behind meta-path composition).
+    ///
+    /// Rows at or under the cap are copied straight through — they are
+    /// already column-sorted, so no scratch, selection, or re-sort is
+    /// needed. Heavy rows use an O(n) `select_nth_unstable_by`
+    /// k-selection under [`top_k_cmp`] (magnitude descending, column
+    /// ascending — a *total* order, so the selection keeps exactly the
+    /// same entry set a full sort would) and only the `k` survivors are
+    /// re-sorted by column. [`CsrMatrix::top_k_per_row_ref`] is the
+    /// full-sort reference this is pinned bitwise-equal to.
     pub fn top_k_per_row(&self, k: usize) -> CsrMatrix {
+        let mut indptr = Vec::with_capacity(self.nrows + 1);
+        let mut indices = Vec::new();
+        let mut values = Vec::new();
+        indptr.push(0usize);
+        let mut scratch: Vec<(u32, f32)> = Vec::new();
+        for r in 0..self.nrows {
+            let (cols, vals) = self.row(r);
+            if cols.len() <= k {
+                indices.extend_from_slice(cols);
+                values.extend_from_slice(vals);
+            } else {
+                scratch.clear();
+                scratch.extend(cols.iter().copied().zip(vals.iter().copied()));
+                scratch.select_nth_unstable_by(k, top_k_cmp);
+                scratch.truncate(k);
+                scratch.sort_unstable_by_key(|&(c, _)| c);
+                for &(c, v) in &scratch {
+                    indices.push(c);
+                    values.push(v);
+                }
+            }
+            indptr.push(indices.len());
+        }
+        CsrMatrix {
+            nrows: self.nrows,
+            ncols: self.ncols,
+            indptr: indptr.into_boxed_slice(),
+            indices: indices.into_boxed_slice(),
+            values: values.into_boxed_slice(),
+        }
+    }
+
+    /// Full-sort reference for [`CsrMatrix::top_k_per_row`]: sorts every
+    /// row completely under the same total order, truncates, re-sorts by
+    /// column. O(n log n) per row — kept as the oracle the O(n)
+    /// selection path is pinned bitwise-equal to.
+    #[doc(hidden)]
+    pub fn top_k_per_row_ref(&self, k: usize) -> CsrMatrix {
         let mut indptr = Vec::with_capacity(self.nrows + 1);
         let mut indices = Vec::new();
         let mut values = Vec::new();
@@ -394,11 +683,8 @@ impl CsrMatrix {
             let (cols, vals) = self.row(r);
             scratch.clear();
             scratch.extend(cols.iter().copied().zip(vals.iter().copied()));
-            if scratch.len() > k {
-                scratch
-                    .select_nth_unstable_by(k, |a, b| b.1.abs().partial_cmp(&a.1.abs()).unwrap());
-                scratch.truncate(k);
-            }
+            scratch.sort_unstable_by(top_k_cmp);
+            scratch.truncate(k);
             scratch.sort_unstable_by_key(|&(c, _)| c);
             for &(c, v) in &scratch {
                 indices.push(c);
@@ -416,16 +702,24 @@ impl CsrMatrix {
     }
 
     /// Dense `y = A·x` (sparse matrix, dense vector). Row-partitioned
-    /// parallel: each worker owns a disjoint slice of `y`.
+    /// parallel: each worker owns a disjoint slice of `y`. The output
+    /// buffer comes from the workspace pool ([`ws::take_f32`]) and is
+    /// detached to the caller, so iterative callers on a warm thread
+    /// allocate nothing.
+    ///
+    /// Per-row reduction uses the canonical 8-lane order (see the
+    /// module docs); [`CsrMatrix::spmv_ref`] is the naive oracle with
+    /// the same semantics, [`CsrMatrix::spmv_seq`] the retained
+    /// pre-rework sequential-sum kernel for throughput comparison.
     pub fn spmv(&self, x: &[f32]) -> Vec<f32> {
-        let mut y = vec![0f32; self.nrows];
+        let mut y = ws::take_f32(self.nrows);
         self.spmv_into(x, &mut y);
-        y
+        y.detach()
     }
 
     /// In-place `y = A·x`, overwriting `y` (length `nrows`). Lets hot
-    /// iterative callers (PPR) reuse buffers instead of allocating per
-    /// term.
+    /// iterative callers (PPR, HITS) reuse buffers instead of
+    /// allocating per term.
     pub fn spmv_into(&self, x: &[f32], y: &mut [f32]) {
         assert_eq!(x.len(), self.ncols, "vector length mismatch");
         assert_eq!(y.len(), self.nrows, "output length mismatch");
@@ -439,22 +733,79 @@ impl CsrMatrix {
         }
     }
 
-    /// `y[i] = A[rows.start + i, :] · x` for the given row range.
+    /// `y[i] = A[rows.start + i, :] · x` for the given row range, in the
+    /// canonical 8-lane reduction order. Serial path and every parallel
+    /// partition run exactly this per-row kernel.
     fn spmv_rows(&self, x: &[f32], rows: Range<usize>, y: &mut [f32]) {
         for (i, r) in rows.enumerate() {
             let (cols, vals) = self.row(r);
-            let mut acc = 0f32;
-            for (&c, &v) in cols.iter().zip(vals) {
-                acc += v * x[c as usize];
-            }
-            y[i] = acc;
+            y[i] = dot_lanes(cols, vals, x);
         }
     }
 
-    /// Dense `y = Aᵀ·x` without materializing the transpose.
+    /// Naive reference for [`CsrMatrix::spmv`]: same canonical 8-lane
+    /// reduction order, written as the obvious scalar loop (no lane
+    /// blocking, no unchecked indexing). The optimized kernel is pinned
+    /// bitwise-equal to this at every thread count.
+    pub fn spmv_ref(&self, x: &[f32]) -> Vec<f32> {
+        assert_eq!(x.len(), self.ncols, "vector length mismatch");
+        (0..self.nrows)
+            .map(|r| {
+                let (cols, vals) = self.row(r);
+                let mut lanes = [0f32; 8];
+                for (j, (&c, &v)) in cols.iter().zip(vals).enumerate() {
+                    lanes[j % 8] += v * x[c as usize];
+                }
+                combine_lanes(lanes)
+            })
+            .collect()
+    }
+
+    /// The retained pre-rework SpMV: one sequential running sum per row.
+    /// Different (legacy) reduction order than the canonical lanes, so
+    /// it is **not** bitwise-comparable to [`CsrMatrix::spmv`] — it
+    /// exists purely as the throughput baseline the `micro` bench leg
+    /// measures the rework against.
+    pub fn spmv_seq(&self, x: &[f32]) -> Vec<f32> {
+        assert_eq!(x.len(), self.ncols, "vector length mismatch");
+        (0..self.nrows)
+            .map(|r| {
+                let (cols, vals) = self.row(r);
+                let mut acc = 0f32;
+                for (&c, &v) in cols.iter().zip(vals) {
+                    acc += v * x[c as usize];
+                }
+                acc
+            })
+            .collect()
+    }
+
+    /// Dense `y = Aᵀ·x` without materializing the transpose. The output
+    /// buffer comes from the workspace pool and is detached to the
+    /// caller. [`CsrMatrix::spmv_t_ref`] is the retained naive scatter
+    /// with identical semantics (the scatter order is unchanged by the
+    /// rework, so reference and optimized path are bitwise-equal).
     pub fn spmv_t(&self, x: &[f32]) -> Vec<f32> {
-        let mut y = vec![0f32; self.ncols];
+        let mut y = ws::take_f32(self.ncols);
         self.spmv_t_into(x, &mut y);
+        y.detach()
+    }
+
+    /// Naive reference (and pre-rework baseline) for
+    /// [`CsrMatrix::spmv_t`]: the plain bounds-checked serial scatter.
+    pub fn spmv_t_ref(&self, x: &[f32]) -> Vec<f32> {
+        assert_eq!(x.len(), self.nrows, "vector length mismatch");
+        let mut y = vec![0f32; self.ncols];
+        for r in 0..self.nrows {
+            let xr = x[r];
+            if xr == 0.0 {
+                continue;
+            }
+            let (cols, vals) = self.row(r);
+            for (&c, &v) in cols.iter().zip(vals) {
+                y[c as usize] += v * xr;
+            }
+        }
         y
     }
 
@@ -507,7 +858,9 @@ impl CsrMatrix {
         }
     }
 
-    /// Serial scatter (the `FREEHGC_THREADS=1` path).
+    /// Serial scatter (the `FREEHGC_THREADS=1` path). Same accumulation
+    /// order as [`CsrMatrix::spmv_t_ref`] — the rework only removes the
+    /// per-add bounds check on the scattered destination.
     fn spmv_t_serial(&self, x: &[f32], y: &mut [f32]) {
         y.fill(0.0);
         for r in 0..self.nrows {
@@ -517,7 +870,8 @@ impl CsrMatrix {
             }
             let (cols, vals) = self.row(r);
             for (&c, &v) in cols.iter().zip(vals) {
-                y[c as usize] += v * xr;
+                // SAFETY: c < ncols == y.len(), validated at construction.
+                unsafe { *y.get_unchecked_mut(c as usize) += v * xr };
             }
         }
     }
@@ -591,29 +945,87 @@ impl CsrMatrix {
     /// Dense `Y = A·X` where `X` is row-major `ncols × dim`.
     /// This is the feature-propagation kernel of the HGNN pre-processing.
     /// Row-partitioned parallel: each worker owns a disjoint block of
-    /// output rows.
+    /// output rows. The output comes from the workspace pool and is
+    /// detached; hot callers use [`CsrMatrix::spmm_dense_into`] to
+    /// reuse their own buffer. [`CsrMatrix::spmm_dense_ref`] is the
+    /// retained naive kernel with identical per-element accumulation
+    /// order (the rework keeps an output block in registers instead of
+    /// re-loading it per sparse entry — it never reassociates).
     pub fn spmm_dense(&self, x: &[f32], dim: usize) -> Vec<f32> {
+        let mut y = ws::take_f32(self.nrows * dim);
+        self.spmm_dense_into(x, dim, &mut y);
+        y.detach()
+    }
+
+    /// In-place `Y = A·X`, overwriting `y` (length `nrows * dim`; prior
+    /// contents are ignored — every output element is stored exactly
+    /// once).
+    pub fn spmm_dense_into(&self, x: &[f32], dim: usize, y: &mut [f32]) {
         assert_eq!(x.len(), self.ncols * dim, "dense operand shape mismatch");
-        let mut y = vec![0f32; self.nrows * dim];
+        assert_eq!(y.len(), self.nrows * dim, "dense output shape mismatch");
         let chunks = par::chunks_for(self.nnz().saturating_mul(dim), DENSE_FLOP_GRAIN, self.nrows);
         if chunks <= 1 {
-            self.spmm_rows(x, dim, 0..self.nrows, &mut y);
+            self.spmm_rows(x, dim, 0..self.nrows, y);
         } else {
             let ranges = par::chunk_ranges(self.nrows, chunks);
             let lens: Vec<usize> = ranges.iter().map(|r| r.len() * dim).collect();
-            par::par_write_chunks(ranges, lens, &mut y, |_, r, ys| {
-                self.spmm_rows(x, dim, r, ys)
-            });
+            par::par_write_chunks(ranges, lens, y, |_, r, ys| self.spmm_rows(x, dim, r, ys));
         }
-        y
     }
 
     /// The dense rows of `A·X` for the given row range, written into
     /// `y` (length `rows.len() * dim`).
+    ///
+    /// The loop is column-block-outer: an 8-wide block of the output
+    /// row lives in a register accumulator while the sparse row streams
+    /// past, so output traffic drops from `nnz(row) × dim` loads+stores
+    /// to one store per element. For a fixed output element the
+    /// contributions still arrive in sparse-row order — exactly the
+    /// naive order of [`CsrMatrix::spmm_dense_ref`] — so the results
+    /// are bitwise-identical.
     fn spmm_rows(&self, x: &[f32], dim: usize, rows: Range<usize>, y: &mut [f32]) {
         for (i, r) in rows.enumerate() {
             let (cols, vals) = self.row(r);
             let out = &mut y[i * dim..(i + 1) * dim];
+            let mut j = 0usize;
+            while j + 8 <= dim {
+                let mut lanes = [0f32; 8];
+                for (&c, &v) in cols.iter().zip(vals) {
+                    let base = c as usize * dim + j;
+                    for (l, lane) in lanes.iter_mut().enumerate() {
+                        // SAFETY: c < ncols and j+8 <= dim, so
+                        // base+l < ncols*dim == x.len().
+                        *lane += v * unsafe { *x.get_unchecked(base + l) };
+                    }
+                }
+                out[j..j + 8].copy_from_slice(&lanes);
+                j += 8;
+            }
+            if j < dim {
+                let rem = dim - j;
+                let mut lanes = [0f32; 8];
+                for (&c, &v) in cols.iter().zip(vals) {
+                    let base = c as usize * dim + j;
+                    for (l, lane) in lanes.iter_mut().enumerate().take(rem) {
+                        // SAFETY: l < rem, so base+l < ncols*dim.
+                        *lane += v * unsafe { *x.get_unchecked(base + l) };
+                    }
+                }
+                out[j..].copy_from_slice(&lanes[..rem]);
+            }
+        }
+    }
+
+    /// Naive reference (and pre-rework baseline) for
+    /// [`CsrMatrix::spmm_dense`]: accumulate each sparse entry's scaled
+    /// source row into the output row, bounds-checked. Identical
+    /// per-element accumulation order to the optimized kernel.
+    pub fn spmm_dense_ref(&self, x: &[f32], dim: usize) -> Vec<f32> {
+        assert_eq!(x.len(), self.ncols * dim, "dense operand shape mismatch");
+        let mut y = vec![0f32; self.nrows * dim];
+        for r in 0..self.nrows {
+            let (cols, vals) = self.row(r);
+            let out = &mut y[r * dim..(r + 1) * dim];
             for (&c, &v) in cols.iter().zip(vals) {
                 let src = &x[c as usize * dim..(c as usize + 1) * dim];
                 for (o, s) in out.iter_mut().zip(src) {
@@ -621,30 +1033,61 @@ impl CsrMatrix {
                 }
             }
         }
+        y
     }
 
     /// Sparse × sparse product by Gustavson's row-wise algorithm with a
     /// dense accumulator — O(flops), the standard SpGEMM for meta-path
     /// adjacency composition (Eq. 1).
     ///
+    /// The per-row kernel uses the visited-marker accumulator described
+    /// in the module docs: a generation counter per column replaces the
+    /// `== 0.0` occupancy probe, an exact per-chunk upper-bound prepass
+    /// sizes the output buffers once (no regrowth), scratch comes from
+    /// the workspace pool, and right-hand sides at least
+    /// `2 × SPGEMM_TILE_COLS` wide are split into column tiles so the
+    /// accumulator stays cache-resident. Output is pinned bitwise-equal
+    /// to the retained naive [`CsrMatrix::spgemm_serial`].
+    ///
     /// Row-partitioned parallel in two phases: each worker runs the
-    /// Gustavson kernel over its contiguous row chunk into chunk-local
-    /// buffers (recording per-row counts, which double as the symbolic
-    /// result), a serial prefix sum turns the counts into the exact
-    /// `indptr` offsets, and the chunk buffers are copied into their
-    /// disjoint regions of the final arrays in parallel. Every row is
-    /// produced by the same per-row kernel as the serial path, so the
-    /// output is bitwise-identical at any thread count.
+    /// kernel over its contiguous row chunk into chunk-local buffers
+    /// (recording per-row counts, which double as the symbolic result),
+    /// a serial prefix sum turns the counts into the exact `indptr`
+    /// offsets, and the chunk buffers are copied into their disjoint
+    /// regions of the final arrays in parallel. Every row is produced by
+    /// the same per-row kernel as the serial path, so the output is
+    /// bitwise-identical at any thread count.
     pub fn spgemm(&self, other: &CsrMatrix) -> CsrMatrix {
+        self.spgemm_opt(other, SPGEMM_TILE_COLS)
+    }
+
+    /// [`CsrMatrix::spgemm`] with the column-tile width forced, so tests
+    /// and benches can exercise the tiled path on narrow matrices
+    /// (tiling engages when `other.ncols() >= 2 * tile_cols`).
+    /// Bitwise-identical for any tile width.
+    #[doc(hidden)]
+    pub fn spgemm_with_tile(&self, other: &CsrMatrix, tile_cols: usize) -> CsrMatrix {
+        assert!(tile_cols >= 1, "tile width must be positive");
+        self.spgemm_opt(other, tile_cols)
+    }
+
+    fn spgemm_opt(&self, other: &CsrMatrix, tile_cols: usize) -> CsrMatrix {
         assert_eq!(self.ncols, other.nrows, "inner dimension mismatch");
         let n = self.nrows;
+        // Tiles are built once and shared by every worker; below the
+        // width gate the whole accumulator already fits in cache and
+        // the un-tiled path is strictly cheaper.
+        let tiles: Option<Vec<ColTile>> =
+            (other.ncols >= 2 * tile_cols).then(|| ColTile::split(other, tile_cols));
         let chunks = par::chunks_for(self.nnz(), SPGEMM_NNZ_GRAIN, n / SPGEMM_ROW_GRAIN);
         if chunks <= 1 {
-            return self.spgemm_serial(other);
+            let (row_lens, indices, values) = self.spgemm_rows_opt(other, tiles.as_deref(), 0..n);
+            return Self::assemble(n, other.ncols, &row_lens, indices, values);
         }
         let ranges = par::chunk_ranges(n, chunks);
-        let parts: Vec<(Vec<usize>, Vec<u32>, Vec<f32>)> =
-            par::scoped_map(ranges, |_, r| self.spgemm_rows(other, r));
+        let parts: Vec<(Vec<usize>, Vec<u32>, Vec<f32>)> = par::scoped_map(ranges, |_, r| {
+            self.spgemm_rows_opt(other, tiles.as_deref(), r)
+        });
 
         // Exact offsets from the per-row counts.
         let mut indptr = Vec::with_capacity(n + 1);
@@ -678,34 +1121,45 @@ impl CsrMatrix {
         }
     }
 
-    /// The serial SpGEMM path (also what `FREEHGC_THREADS=1` runs).
-    /// Kept public as the reference the equivalence suite and
-    /// `bench_report` compare against.
-    pub fn spgemm_serial(&self, other: &CsrMatrix) -> CsrMatrix {
-        assert_eq!(self.ncols, other.nrows, "inner dimension mismatch");
-        let n = self.nrows;
-        let (row_lens, indices, values) = self.spgemm_rows(other, 0..n);
-        let mut indptr = Vec::with_capacity(n + 1);
+    /// Builds a matrix from per-row lengths plus flat column/value
+    /// buffers (the chunk-kernel output format).
+    fn assemble(
+        nrows: usize,
+        ncols: usize,
+        row_lens: &[usize],
+        indices: Vec<u32>,
+        values: Vec<f32>,
+    ) -> CsrMatrix {
+        let mut indptr = Vec::with_capacity(nrows + 1);
         indptr.push(0usize);
         let mut total = 0usize;
-        for &len in &row_lens {
+        for &len in row_lens {
             total += len;
             indptr.push(total);
         }
         CsrMatrix {
-            nrows: n,
-            ncols: other.ncols,
+            nrows,
+            ncols,
             indptr: indptr.into_boxed_slice(),
             indices: indices.into_boxed_slice(),
             values: values.into_boxed_slice(),
         }
     }
 
-    /// Gustavson's kernel over a contiguous row range, into fresh
-    /// buffers: returns (per-row nnz, column indices, values). Both the
-    /// serial path and every parallel worker run exactly this code, which
-    /// is what makes the two bitwise-interchangeable.
-    fn spgemm_rows(
+    /// The retained naive SpGEMM: Gustavson with a zero-probed `f32`
+    /// accumulator and growing output buffers — exactly the pre-rework
+    /// kernel. Kept public as the reference the equivalence suites and
+    /// the `bench_report` `micro` leg compare the optimized
+    /// [`CsrMatrix::spgemm`] against (bitwise and for throughput).
+    pub fn spgemm_serial(&self, other: &CsrMatrix) -> CsrMatrix {
+        assert_eq!(self.ncols, other.nrows, "inner dimension mismatch");
+        let n = self.nrows;
+        let (row_lens, indices, values) = self.spgemm_rows_naive(other, 0..n);
+        Self::assemble(n, other.ncols, &row_lens, indices, values)
+    }
+
+    /// The pre-rework per-row kernel behind [`CsrMatrix::spgemm_serial`].
+    fn spgemm_rows_naive(
         &self,
         other: &CsrMatrix,
         rows: Range<usize>,
@@ -740,6 +1194,160 @@ impl CsrMatrix {
                 acc[c as usize] = 0.0;
             }
             touched.clear();
+            row_lens.push(indices.len() - before);
+        }
+        (row_lens, indices, values)
+    }
+
+    /// The optimized per-row kernel: marker-based dense accumulator,
+    /// exact upper-bound prepass, pooled scratch, optional column
+    /// tiling. Both the serial path and every parallel worker run
+    /// exactly this code.
+    ///
+    /// Bitwise equality with [`CsrMatrix::spgemm_rows_naive`] rests on
+    /// three facts. (1) First-touch *set* vs add-to-zero differ only in
+    /// the sign of an exact-zero product, and exact zeros never reach
+    /// the output (`v != 0.0` filter, same as naive) while any nonzero
+    /// later sum is unaffected because `-0.0 + x == 0.0 + x` for
+    /// nonzero `x` — the same argument covers the dense-row mode,
+    /// which accumulates every product from an explicit `0.0` instead
+    /// of setting on first touch. (2) Per output column, contributions
+    /// accumulate in a-entry order — tiling only narrows which `B`
+    /// columns a pass looks at, never reorders a column's
+    /// contributions. (3) Emission visits surviving columns in
+    /// increasing order whether by sorted touched list, by marker
+    /// scan, or by the dense-row full scan.
+    fn spgemm_rows_opt(
+        &self,
+        other: &CsrMatrix,
+        tiles: Option<&[ColTile]>,
+        rows: Range<usize>,
+    ) -> (Vec<usize>, Vec<u32>, Vec<f32>) {
+        // Exact upper-bound prepass: every A entry contributes at most
+        // the full B row it selects, so Σ nnz(B[a_k,:]) bounds each
+        // output row. The flat buffers are sized once and never regrow.
+        let mut total_bound = 0usize;
+        let mut max_row_bound = 0usize;
+        for r in rows.clone() {
+            let mut b = 0usize;
+            for &ac in self.row_indices(r) {
+                b += other.row_nnz(ac as usize);
+            }
+            total_bound += b;
+            max_row_bound = max_row_bound.max(b);
+        }
+        let acc_width = match tiles {
+            None => other.ncols,
+            Some(ts) => ts.iter().map(|t| t.width).max().unwrap_or(0),
+        };
+        let mut acc = ws::take_f32(acc_width); // marker-guarded, contents unspecified
+        let mut marker = ws::take_u32_zeroed(acc_width);
+        let mut touched = ws::take_u32(0);
+        touched.reserve(max_row_bound.min(acc_width));
+        let mut row_lens = Vec::with_capacity(rows.len());
+        let mut indices: Vec<u32> = Vec::with_capacity(total_bound);
+        let mut values: Vec<f32> = Vec::with_capacity(total_bound);
+        let mut gen = 0u32;
+        for r in rows {
+            let before = indices.len();
+            let (acols, avals) = self.row(r);
+            if let (&[ac], &[av]) = (acols, avals) {
+                // Single-entry fast path: the output row is the selected
+                // B row scaled by `av` — same products, same (sorted)
+                // order, same `!= 0.0` filter; no accumulator needed.
+                let (bcols, bvals) = other.row(ac as usize);
+                for (&bc, &bv) in bcols.iter().zip(bvals) {
+                    let v = av * bv;
+                    if v != 0.0 {
+                        indices.push(bc);
+                        values.push(v);
+                    }
+                }
+            } else if !acols.is_empty() {
+                match tiles {
+                    None => {
+                        // Dense-row mode: once the product bound reaches
+                        // half the output width, the per-product
+                        // marker branch and touched bookkeeping cost
+                        // more than a width-long zero + scan, so the
+                        // inner loop degenerates to a branch-free
+                        // scattered FMA. The mode is chosen per row
+                        // from the (thread-independent) bound, so every
+                        // partition makes the same choice.
+                        let bound: usize = acols.iter().map(|&ac| other.row_nnz(ac as usize)).sum();
+                        if 2 * bound >= other.ncols {
+                            acc.fill(0.0);
+                            for (&ac, &av) in acols.iter().zip(avals) {
+                                let (bcols, bvals) = other.row(ac as usize);
+                                for (&bc, &bv) in bcols.iter().zip(bvals) {
+                                    // In-bounds: `from_parts` validated
+                                    // cols < ncols == acc len.
+                                    unsafe {
+                                        *acc.get_unchecked_mut(bc as usize) += av * bv;
+                                    }
+                                }
+                            }
+                            for (c, &v) in acc.iter().enumerate() {
+                                if v != 0.0 {
+                                    indices.push(c as u32);
+                                    values.push(v);
+                                }
+                            }
+                        } else {
+                            gen = next_gen(gen, &mut marker);
+                            for (&ac, &av) in acols.iter().zip(avals) {
+                                let (bcols, bvals) = other.row(ac as usize);
+                                accumulate_run(
+                                    bcols,
+                                    bvals,
+                                    av,
+                                    gen,
+                                    &mut acc,
+                                    &mut marker,
+                                    &mut touched,
+                                );
+                            }
+                            emit_row(
+                                &acc,
+                                &marker,
+                                gen,
+                                &mut touched,
+                                0,
+                                other.ncols,
+                                &mut indices,
+                                &mut values,
+                            );
+                        }
+                    }
+                    Some(ts) => {
+                        for t in ts {
+                            gen = next_gen(gen, &mut marker);
+                            for (&ac, &av) in acols.iter().zip(avals) {
+                                let (bcols, bvals) = t.row(ac as usize);
+                                accumulate_run(
+                                    bcols,
+                                    bvals,
+                                    av,
+                                    gen,
+                                    &mut acc,
+                                    &mut marker,
+                                    &mut touched,
+                                );
+                            }
+                            emit_row(
+                                &acc,
+                                &marker,
+                                gen,
+                                &mut touched,
+                                t.start as u32,
+                                t.width,
+                                &mut indices,
+                                &mut values,
+                            );
+                        }
+                    }
+                }
+            }
             row_lens.push(indices.len() - before);
         }
         (row_lens, indices, values)

@@ -26,3 +26,4 @@ pub use bitset::Bitset;
 pub use coo::CooMatrix;
 pub use csr::CsrMatrix;
 pub use fx::{FxHashMap, FxHashSet};
+pub use ppr::{ppr_push, ppr_push_into, PprConfig};

@@ -10,6 +10,7 @@
 //! `n`) as a test oracle.
 
 use crate::csr::CsrMatrix;
+use freehgc_parallel::workspace as ws;
 
 /// Configuration for the truncated-series PPR computation.
 #[derive(Clone, Copy, Debug)]
@@ -53,27 +54,39 @@ impl PprConfig {
 /// the iteration multiplies by `Mᵀ` via [`CsrMatrix::spmv_t`], i.e. seeds
 /// diffuse forward along edges).
 pub fn ppr_push(m: &CsrMatrix, seed: &[f32], cfg: &PprConfig) -> Vec<f32> {
+    let mut acc = ws::take_f32(seed.len());
+    ppr_push_into(m, seed, cfg, &mut acc);
+    acc.detach()
+}
+
+/// [`ppr_push`] writing into a caller-provided accumulator (length
+/// `m.nrows()`, prior contents ignored). The ping-pong state buffers
+/// come from the workspace pool, so a sweep that calls this repeatedly
+/// — the per-relation influence loops of `condense_target` — performs
+/// zero allocations per call once the pool is warm.
+pub fn ppr_push_into(m: &CsrMatrix, seed: &[f32], cfg: &PprConfig, acc: &mut [f32]) {
     assert_eq!(m.nrows(), m.ncols(), "ppr_push needs a square operator");
     assert_eq!(seed.len(), m.nrows(), "seed length mismatch");
+    assert_eq!(acc.len(), m.nrows(), "accumulator length mismatch");
     let terms = cfg.num_terms();
     // Two ping-pong state buffers instead of one allocation per term,
     // and no advance after the last accumulated term (its result would
     // be discarded — one whole SpMVᵀ saved).
-    let mut x: Vec<f32> = seed.to_vec();
-    let mut next: Vec<f32> = vec![0.0; seed.len()];
-    let mut acc: Vec<f32> = vec![0.0; seed.len()];
+    let mut x = ws::take_f32(seed.len());
+    x.copy_from_slice(seed);
+    let mut next = ws::take_f32(seed.len()); // overwritten by spmv_t_into
+    acc.fill(0.0);
     let mut coeff = cfg.alpha;
     for k in 0..terms {
-        for (a, &xi) in acc.iter_mut().zip(&x) {
+        for (a, &xi) in acc.iter_mut().zip(x.iter()) {
             *a += coeff * xi;
         }
         if k + 1 < terms {
             m.spmv_t_into(&x, &mut next);
-            std::mem::swap(&mut x, &mut next);
+            std::mem::swap(&mut *x, &mut *next);
             coeff *= 1.0 - cfg.alpha;
         }
     }
-    acc
 }
 
 /// Influence of source-type nodes on target-type nodes through one
@@ -105,7 +118,7 @@ pub fn bipartite_influence_seeded(
     // Symmetric normalization of the bipartite block matrix: degrees of a
     // target node are its row sums; of a source node, its column sums.
     let row_sum = a.row_sums();
-    let mut col_sum = vec![0f32; m];
+    let mut col_sum = ws::take_f32_zeroed(m);
     for r in 0..n {
         let (cols, vals) = a.row(r);
         for (&c, &v) in cols.iter().zip(vals) {
@@ -126,22 +139,24 @@ pub fn bipartite_influence_seeded(
     // alternates the state x_k = seedᵀ Mᵏ between the target block (even
     // k) and the source block (odd k); only source-block states contribute
     // to Eq. (13).
-    let mut tgt: Vec<f32> = match seed_rows {
-        None => vec![1.0 / n as f32; n],
+    let mut tgt = ws::take_f32(n);
+    match seed_rows {
+        None => tgt.fill(1.0 / n as f32),
         Some(rows) => {
-            let mut t = vec![0f32; n];
             if rows.is_empty() {
                 return vec![0.0; m];
             }
+            tgt.fill(0.0);
             let w = 1.0 / rows.len() as f32;
             for &r in rows {
-                t[r as usize] = w;
+                tgt[r as usize] = w;
             }
-            t
         }
     };
-    let mut src: Vec<f32> = vec![0.0; m];
-    let mut acc_src = vec![0.0f32; m];
+    // `src` is fully overwritten by the first (target-block) advance
+    // before any read, so its pooled contents never leak into results.
+    let mut src = ws::take_f32(m);
+    let mut acc_src = ws::take_f32_zeroed(m);
     // coeff = α (1−α)^k, the series weight of the state x_k.
     let mut coeff = cfg.alpha;
     let mut state_on_target = true;
@@ -152,7 +167,7 @@ pub fn bipartite_influence_seeded(
     let last_src_k = terms - usize::from(terms.is_multiple_of(2));
     for k in 0..=last_src_k {
         if !state_on_target {
-            for (aa, &s) in acc_src.iter_mut().zip(&src) {
+            for (aa, &s) in acc_src.iter_mut().zip(src.iter()) {
                 *aa += coeff * s;
             }
             if k == last_src_k {
@@ -187,7 +202,7 @@ pub fn bipartite_influence_seeded(
         state_on_target = !state_on_target;
         coeff *= 1.0 - cfg.alpha;
     }
-    acc_src
+    acc_src.detach()
 }
 
 /// Dense PPR resolvent `α (I − (1−α) M)⁻¹` by Gauss–Jordan elimination.
