@@ -4,7 +4,7 @@
 //! to regress against.
 //!
 //! ```bash
-//! cargo run --release -p freehgc_bench --bin bench_report            # full scales → BENCH_PR8.json
+//! cargo run --release -p freehgc_bench --bin bench_report            # full scales → BENCH_PR9.json
 //! cargo run --release -p freehgc_bench --bin bench_report -- --quick # smoke scales
 //! cargo run --release -p freehgc_bench --bin bench_report -- --threads=8 --out=path.json
 //! ```
@@ -63,6 +63,21 @@
 //! hash/sort-based reference by ≥ 1.5× and the register-blocked
 //! sparse × dense product must beat its predecessor by ≥ 1.2×.
 //!
+//! The *memory* leg (PR 9) drills the unified cache accountant: one
+//! workload (a condensation grid plus feature propagation at several
+//! hop depths, so all four cache families — composed, influence,
+//! diversity, propagated — hold bytes) runs unbounded to measure its
+//! footprint, then reruns under a budget of half that footprint. The
+//! leg asserts the peak resident bytes never exceed the budget at any
+//! `stats()` sample, that the propagated family (cheapest recompute
+//! cost per byte) absorbed evictions, and that the outputs — condensed
+//! graphs AND propagated blocks — stay bitwise-equal; the slowdown
+//! column prices what half the memory costs in recompute time. A
+//! second half persists the warm context under a disk ceiling of half
+//! its full snapshot size: the capped file must fit the cap, must have
+//! dropped at least one cheap tier, and must load as a valid partial
+//! context that still serves the reference bits.
+//!
 //! The *chaos* leg (PR 7) drills the failure-hardened serving layer:
 //! concurrent clients resolve one registry key and condense through it
 //! while deterministic faults fire underneath (compiled in with
@@ -83,7 +98,9 @@ use freehgc_hetgraph::{
     CacheCounters, CondenseContext, CondenseSpec, CondensedGraph, Condenser, ContextRegistry,
     GraphDelta, HeteroGraph,
 };
-use freehgc_hgnn::propagation::{propagate, propagate_ctx, PropagatedFeaturesCodec};
+use freehgc_hgnn::propagation::{
+    propagate, propagate_ctx, PropagatedFeatures, PropagatedFeaturesCodec,
+};
 use freehgc_parallel as par;
 use freehgc_parallel::workspace as ws;
 use freehgc_sparse::ppr::{ppr_push, ppr_push_into, PprConfig};
@@ -185,6 +202,27 @@ fn condensed_equal(a: &CondensedGraph, b: &CondensedGraph) -> bool {
     a.orig_ids == b.orig_ids && graphs_equal(&a.graph, &b.graph)
 }
 
+/// Bitwise equality of two propagated block sets (`f32` payloads
+/// compared bit-for-bit via `==` on the raw data).
+fn pf_equal(a: &PropagatedFeatures, b: &PropagatedFeatures) -> bool {
+    a.path_names == b.path_names
+        && a.blocks.len() == b.blocks.len()
+        && a.blocks
+            .iter()
+            .zip(&b.blocks)
+            .all(|(x, y)| x.rows == y.rows && x.cols == y.cols && x.data == y.data)
+}
+
+/// Evictions summed across all four accountant families.
+fn total_evictions(c: &CacheCounters) -> u64 {
+    c.composed_evictions + c.influence_evictions + c.diversity_evictions + c.propagated_evictions
+}
+
+/// Admission rejections summed across all four accountant families.
+fn total_rejected(c: &CacheCounters) -> u64 {
+    c.composed_rejected + c.influence_rejected + c.diversity_rejected + c.propagated_rejected
+}
+
 struct SweepReport {
     dataset: String,
     ratios: Vec<f64>,
@@ -265,10 +303,10 @@ fn run_sweep(quick: bool) -> SweepReport {
     let registry_equal = matches_cold(&through_registry);
     let (registry_hits, registry_misses) = registry.lookup_stats();
 
-    // Evicting leg: budget the composed cache to half its unbounded
+    // Evicting leg: budget the unified accountant to half its unbounded
     // footprint, forcing cost-aware eviction while outputs stay fixed.
-    let evict_budget_bytes = (ctx.composed_bytes() / 2).max(1);
-    let evicting = CondenseContext::new(&g).with_composed_budget(Some(evict_budget_bytes));
+    let evict_budget_bytes = (ctx.cache_bytes() / 2).max(1);
+    let evicting = CondenseContext::new(&g).with_cache_budget(Some(evict_budget_bytes));
     let (evicted, evict_ms) = run_grid(&|m, r| m.condense_in(&evicting, &spec_for(r)));
     let evict_equal = matches_cold(&evicted);
 
@@ -281,7 +319,7 @@ fn run_sweep(quick: bool) -> SweepReport {
     let snap_path = snap_dir.join(snapshot_file_name(
         g.fingerprint(),
         knobs.max_row_nnz,
-        knobs.composed_cache_bytes,
+        knobs.cache_budget(),
     ));
     let t = Instant::now();
     ctx.save_snapshot_with(&snap_path, Some(&PropagatedFeaturesCodec))
@@ -370,9 +408,9 @@ fn run_sweep(quick: bool) -> SweepReport {
          bitwise_equal={}",
         report.evict_ms,
         report.evict_budget_bytes,
-        report.evict_cache.composed_peak_bytes,
-        report.evict_cache.composed_evictions,
-        report.evict_cache.composed_rejected,
+        report.evict_cache.cache_peak_bytes,
+        total_evictions(&report.evict_cache),
+        total_rejected(&report.evict_cache),
         report.evict_equal
     );
     eprintln!(
@@ -578,6 +616,175 @@ fn run_delta_leg(quick: bool) -> DeltaReport {
     report
 }
 
+struct MemoryReport {
+    footprint_bytes: u64,
+    budget_bytes: usize,
+    unbounded_ms: f64,
+    budgeted_ms: f64,
+    peak_bytes: u64,
+    composed_evictions: u64,
+    influence_evictions: u64,
+    diversity_evictions: u64,
+    propagated_evictions: u64,
+    rejected: u64,
+    bitwise_equal: bool,
+    snapshot_full_bytes: u64,
+    snapshot_cap_bytes: usize,
+    snapshot_file_bytes: u64,
+    snapshot_dropped_sections: usize,
+    capped_installed: usize,
+    capped_equal: bool,
+}
+
+impl MemoryReport {
+    /// What half the memory costs in wall time: budgeted / unbounded.
+    fn slowdown(&self) -> f64 {
+        self.budgeted_ms / self.unbounded_ms.max(1e-9)
+    }
+}
+
+/// Memory-governance leg (PR 9): one workload that puts bytes in all
+/// four accountant families runs unbounded to measure its footprint,
+/// then again under a budget of half that footprint — peak resident
+/// bytes must stay under the budget at every `stats()` sample, the
+/// propagated family (cheapest recompute flops per byte) must absorb
+/// evictions, and every output must match the unbounded run bitwise.
+/// The disk half persists the warm context capped at half its full
+/// snapshot size and proves the capped file fits, dropped at least one
+/// tier, and still loads into a working partial context.
+fn run_memory_leg(quick: bool) -> MemoryReport {
+    let scale = if quick { 0.1 } else { 0.3 };
+    let g = generate(DatasetKind::Acm, scale, 45);
+    let ratios = [0.05f64, 0.1, 0.2];
+    let methods: Vec<Box<dyn Condenser>> = vec![Box::new(FreeHgc::default()), Box::new(HerdingHg)];
+    let spec_for = |r: f64| CondenseSpec::new(r).with_max_hops(3).with_seed(7);
+    // Two hop depths, with the first re-requested at the end: under
+    // pressure the budget cannot hold both block sets, so the re-request
+    // finds its entry evicted and recomputes — the ping-pong that
+    // guarantees the propagated family actually exercises eviction.
+    let prop_keys = [(2usize, 12usize), (3, 12), (2, 12)];
+
+    let run_workload = |ctx: &CondenseContext<'_>| {
+        let t = Instant::now();
+        let mut grids: Vec<CondensedGraph> = Vec::new();
+        let mut peak = 0u64;
+        for m in &methods {
+            for &r in &ratios {
+                grids.push(m.condense_in(ctx, &spec_for(r)));
+                peak = peak.max(ctx.stats().cache_peak_bytes);
+            }
+        }
+        let mut props = Vec::new();
+        for &(h, p) in &prop_keys {
+            props.push(propagate_ctx(ctx, h, p));
+            peak = peak.max(ctx.stats().cache_peak_bytes);
+        }
+        (grids, props, peak, t.elapsed().as_secs_f64() * 1e3)
+    };
+
+    let unbounded = CondenseContext::new(&g);
+    let (grid_u, props_u, _, unbounded_ms) = run_workload(&unbounded);
+    let footprint_bytes = unbounded.stats().cache_bytes;
+    let budget_bytes = (footprint_bytes as usize / 2).max(1);
+
+    let budgeted = CondenseContext::new(&g).with_cache_budget(Some(budget_bytes));
+    let (grid_b, props_b, peak_bytes, budgeted_ms) = run_workload(&budgeted);
+    let bc = budgeted.stats();
+    let bitwise_equal = grid_u.len() == grid_b.len()
+        && grid_u
+            .iter()
+            .zip(&grid_b)
+            .all(|(a, b)| condensed_equal(a, b))
+        && props_u.iter().zip(&props_b).all(|(a, b)| pf_equal(a, b));
+
+    // Disk half: the capped snapshot keeps whole sections in descending
+    // recompute-cost-per-byte order while the file fits the cap.
+    let dir = std::env::temp_dir().join(format!("fhgc-bench-memory-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create memory snapshot dir");
+    let full_path = dir.join("full.fhgc");
+    unbounded
+        .save_snapshot_with(&full_path, Some(&PropagatedFeaturesCodec))
+        .expect("save full snapshot");
+    let snapshot_full_bytes = std::fs::metadata(&full_path).map_or(0, |m| m.len());
+    let snapshot_cap_bytes = (snapshot_full_bytes as usize / 2).max(64);
+    let capped_path = dir.join("capped.fhgc");
+    let snapshot_dropped_sections = unbounded
+        .save_snapshot_capped(
+            &capped_path,
+            Some(&PropagatedFeaturesCodec),
+            snapshot_cap_bytes,
+        )
+        .expect("save capped snapshot");
+    let snapshot_file_bytes = std::fs::metadata(&capped_path).map_or(0, |m| m.len());
+
+    // A capped file is a *valid* snapshot of a partial context: loading
+    // must succeed, and the workload must recompute the dropped tiers
+    // as ordinary cold misses while serving the reference bits.
+    let loaded = CondenseContext::new(&g);
+    let load_report = loaded
+        .load_snapshot_with(&capped_path, Some(&PropagatedFeaturesCodec))
+        .expect("capped snapshot must load as a valid partial context");
+    let capped_installed = load_report.installed();
+    let (grid_l, props_l, _, _) = run_workload(&loaded);
+    let capped_equal = grid_u.len() == grid_l.len()
+        && grid_u
+            .iter()
+            .zip(&grid_l)
+            .all(|(a, b)| condensed_equal(a, b))
+        && props_u.iter().zip(&props_l).all(|(a, b)| pf_equal(a, b));
+    std::fs::remove_dir_all(&dir).ok();
+
+    let report = MemoryReport {
+        footprint_bytes,
+        budget_bytes,
+        unbounded_ms,
+        budgeted_ms,
+        peak_bytes,
+        composed_evictions: bc.composed_evictions,
+        influence_evictions: bc.influence_evictions,
+        diversity_evictions: bc.diversity_evictions,
+        propagated_evictions: bc.propagated_evictions,
+        rejected: total_rejected(&bc),
+        bitwise_equal,
+        snapshot_full_bytes,
+        snapshot_cap_bytes,
+        snapshot_file_bytes,
+        snapshot_dropped_sections,
+        capped_installed,
+        capped_equal,
+    };
+    eprintln!(
+        "memory leg                   footprint {} B   budget {} B   peak {} B   \
+         unbounded {:>9.3} ms   budgeted {:>9.3} ms   slowdown {:>5.2}x   bitwise_equal={}",
+        report.footprint_bytes,
+        report.budget_bytes,
+        report.peak_bytes,
+        report.unbounded_ms,
+        report.budgeted_ms,
+        report.slowdown(),
+        report.bitwise_equal
+    );
+    eprintln!(
+        "  evictions composed {} influence {} diversity {} propagated {}   rejected {}",
+        report.composed_evictions,
+        report.influence_evictions,
+        report.diversity_evictions,
+        report.propagated_evictions,
+        report.rejected
+    );
+    eprintln!(
+        "  capped snapshot {} B (cap {} B, full {} B)   dropped {} sections   installed {}   \
+         bitwise_equal={}",
+        report.snapshot_file_bytes,
+        report.snapshot_cap_bytes,
+        report.snapshot_full_bytes,
+        report.snapshot_dropped_sections,
+        report.capped_installed,
+        report.capped_equal
+    );
+    report
+}
+
 struct ChaosReport {
     clients: usize,
     requests_per_client: usize,
@@ -599,8 +806,8 @@ struct ChaosReport {
 /// registry key through `resolve_or_load` + `condense_shared` while
 /// deterministic faults fire underneath — injected snapshot-read I/O
 /// errors, a panicking leader build, panicking condensations, a torn
-/// snapshot write, composed-cache pressure spikes, and an orphaned temp
-/// file from a "crashed" earlier writer. The contract being measured:
+/// snapshot write, composed-cache and whole-accountant pressure
+/// spikes, and an orphaned temp file from a "crashed" earlier writer. The contract being measured:
 /// every client completes (no hangs, no deaths), every response is
 /// bitwise-identical to the fault-free reference, no cold compute is
 /// duplicated, and every recovery is counted. Without the `failpoints`
@@ -651,6 +858,7 @@ fn run_chaos_leg(quick: bool) -> ChaosReport {
         build_panics: 1,
         build_delay: true,
         composed_pressure_one_in: Some(4),
+        accountant_pressure_one_in: Some(5),
     }
     .arm();
 
@@ -1013,7 +1221,7 @@ fn fmt_ms(v: f64) -> String {
 fn main() {
     let mut quick = false;
     let mut threads = 4usize;
-    let mut out_path = "BENCH_PR8.json".to_string();
+    let mut out_path = "BENCH_PR9.json".to_string();
     // The effective FREEHGC_THREADS / machine default, captured before
     // the measurement loops start flipping the runtime override.
     let freehgc_threads = par::max_threads();
@@ -1158,11 +1366,14 @@ fn main() {
     // Kernel-rework leg (PR 8).
     let micro = run_micro(quick);
 
+    // Memory-governance leg (PR 9).
+    let memory = run_memory_leg(quick);
+
     // Emit the JSON report.
     let avail = std::thread::available_parallelism().map_or(1, |n| n.get());
     let mut out = String::new();
     out.push_str("{\n");
-    out.push_str("  \"pr\": 8,\n");
+    out.push_str("  \"pr\": 9,\n");
     out.push_str("  \"created_by\": \"bench_report\",\n");
     out.push_str(&format!("  \"quick\": {quick},\n"));
     out.push_str("  \"machine\": {\n");
@@ -1208,7 +1419,7 @@ fn main() {
          CondenseContext (the pre-context behaviour); warm_ms runs the identical sweep through \
          one shared context. bitwise_equal asserts every condensed graph matches across the two \
          runs. The registry leg resolves contexts through a keyed ContextRegistry (cross-request \
-         sharing); the evicting leg budgets the composed cache to half its unbounded footprint \
+         sharing); the evicting leg budgets the unified cache accountant to half its unbounded footprint \
          and must stay within it (peak_bytes <= budget_bytes) while matching the cold outputs \
          bitwise. The speedup is algorithmic cache reuse, visible even at \
          available_parallelism=1.\",\n",
@@ -1263,6 +1474,10 @@ fn main() {
         c.influence_bytes, c.diversity_bytes, c.propagated_bytes
     ));
     out.push_str(&format!(
+        "      \"cache_bytes\": {},\n      \"cache_peak_bytes\": {},\n",
+        c.cache_bytes, c.cache_peak_bytes
+    ));
+    out.push_str(&format!(
         "      \"total_hits\": {},\n      \"total_misses\": {}\n",
         c.total_hits(),
         c.total_misses()
@@ -1287,11 +1502,12 @@ fn main() {
     let ec = &sweep.evict_cache;
     out.push_str(&format!(
         "      \"peak_bytes\": {},\n      \"resident_bytes\": {},\n",
-        ec.composed_peak_bytes, ec.composed_bytes
+        ec.cache_peak_bytes, ec.cache_bytes
     ));
     out.push_str(&format!(
         "      \"evictions\": {},\n      \"rejected\": {},\n",
-        ec.composed_evictions, ec.composed_rejected
+        total_evictions(ec),
+        total_rejected(ec)
     ));
     out.push_str(&format!(
         "      \"bitwise_equal\": {}\n    }},\n",
@@ -1366,7 +1582,8 @@ fn main() {
         "    \"note\": \"N concurrent clients resolve one registry key and condense through it \
          while deterministic faults fire underneath (injected snapshot-read I/O errors, a \
          panicking single-flight leader, panicking condensations, one torn snapshot write, \
-         composed-cache pressure spikes, an orphaned temp file from a crashed writer). \
+         composed-cache and whole-accountant pressure spikes, an orphaned temp file from a \
+         crashed writer). \
          bitwise_equal asserts every response matched the fault-free reference; \
          duplicate_computes must stay 0 (single-flight); the counters record each recovery. \
          With failpoints_compiled=false the same traffic ran fault-free.\",\n",
@@ -1441,6 +1658,54 @@ fn main() {
         ));
     }
     out.push_str("    }\n");
+    out.push_str("  },\n");
+    out.push_str("  \"memory\": {\n");
+    out.push_str(
+        "    \"note\": \"One workload (condensation grid + feature propagation at several hop \
+         depths, so all four accountant families hold bytes) runs unbounded to measure \
+         footprint_bytes, then under budget_bytes = footprint/2. peak_bytes is the max \
+         cache_peak_bytes over every per-cell stats() sample and must stay <= budget_bytes; the \
+         propagated family (cheapest recompute flops per byte) must absorb evictions; \
+         bitwise_equal covers condensed graphs AND propagated blocks; slowdown prices half the \
+         memory in recompute time. capped_snapshot persists the warm context under \
+         cap_bytes = full_file/2: the file must fit, drop >= 1 cheap tier, and still load as a \
+         working partial context serving identical bits.\",\n",
+    );
+    out.push_str(&format!(
+        "    \"footprint_bytes\": {},\n    \"budget_bytes\": {},\n    \"peak_bytes\": {},\n",
+        memory.footprint_bytes, memory.budget_bytes, memory.peak_bytes
+    ));
+    out.push_str(&format!(
+        "    \"unbounded_ms\": {},\n    \"budgeted_ms\": {},\n    \"slowdown\": {},\n",
+        fmt_ms(memory.unbounded_ms),
+        fmt_ms(memory.budgeted_ms),
+        fmt_ms(memory.slowdown())
+    ));
+    out.push_str(&format!(
+        "    \"evictions\": {{ \"composed\": {}, \"influence\": {}, \"diversity\": {}, \
+         \"propagated\": {} }},\n",
+        memory.composed_evictions,
+        memory.influence_evictions,
+        memory.diversity_evictions,
+        memory.propagated_evictions
+    ));
+    out.push_str(&format!("    \"rejected\": {},\n", memory.rejected));
+    out.push_str(&format!(
+        "    \"bitwise_equal\": {},\n",
+        memory.bitwise_equal
+    ));
+    out.push_str("    \"capped_snapshot\": {\n");
+    out.push_str(&format!(
+        "      \"full_file_bytes\": {},\n      \"cap_bytes\": {},\n      \
+         \"snapshot_bytes\": {},\n",
+        memory.snapshot_full_bytes, memory.snapshot_cap_bytes, memory.snapshot_file_bytes
+    ));
+    out.push_str(&format!(
+        "      \"dropped_sections\": {},\n      \"installed_entries\": {},\n      \
+         \"bitwise_equal\": {}\n",
+        memory.snapshot_dropped_sections, memory.capped_installed, memory.capped_equal
+    ));
+    out.push_str("    }\n");
     out.push_str("  }\n");
     out.push_str("}\n");
     std::fs::write(&out_path, &out).expect("write bench report");
@@ -1467,14 +1732,14 @@ fn main() {
         std::process::exit(1);
     }
     let ec = &sweep.evict_cache;
-    if ec.composed_peak_bytes > sweep.evict_budget_bytes as u64 {
+    if ec.cache_peak_bytes > sweep.evict_budget_bytes as u64 {
         eprintln!(
             "FATAL: the evicting sweep exceeded its byte budget ({} > {})",
-            ec.composed_peak_bytes, sweep.evict_budget_bytes
+            ec.cache_peak_bytes, sweep.evict_budget_bytes
         );
         std::process::exit(1);
     }
-    if ec.composed_evictions + ec.composed_rejected == 0 {
+    if total_evictions(ec) + total_rejected(ec) == 0 {
         eprintln!("FATAL: the evicting sweep never exercised the budget — eviction is untested");
         std::process::exit(1);
     }
@@ -1610,5 +1875,43 @@ fn main() {
             );
             std::process::exit(1);
         }
+    }
+    // PR-9 memory-governance gates. Bitwise first, as always.
+    if !memory.bitwise_equal {
+        eprintln!("FATAL: the budgeted memory-leg workload diverged from the unbounded run");
+        std::process::exit(1);
+    }
+    if memory.peak_bytes > memory.budget_bytes as u64 {
+        eprintln!(
+            "FATAL: the memory leg exceeded its unified byte budget ({} > {})",
+            memory.peak_bytes, memory.budget_bytes
+        );
+        std::process::exit(1);
+    }
+    if memory.propagated_evictions == 0 {
+        eprintln!(
+            "FATAL: the memory leg evicted no propagated blocks — the cheapest-per-byte family \
+             is not absorbing pressure first"
+        );
+        std::process::exit(1);
+    }
+    if memory.snapshot_file_bytes > memory.snapshot_cap_bytes as u64 {
+        eprintln!(
+            "FATAL: the capped snapshot overflowed its disk ceiling ({} > {})",
+            memory.snapshot_file_bytes, memory.snapshot_cap_bytes
+        );
+        std::process::exit(1);
+    }
+    if memory.snapshot_dropped_sections == 0 || memory.capped_installed == 0 {
+        eprintln!(
+            "FATAL: the capped snapshot dropped {} sections and installed {} entries — the \
+             tiered layout is not trading disk for recompute",
+            memory.snapshot_dropped_sections, memory.capped_installed
+        );
+        std::process::exit(1);
+    }
+    if !memory.capped_equal {
+        eprintln!("FATAL: a workload served from the capped snapshot diverged from the reference");
+        std::process::exit(1);
     }
 }

@@ -101,6 +101,11 @@ pub struct ChaosKnobs {
     /// Reject roughly one in this many composed-cache inserts, as a
     /// stand-in for a memory-pressure spike.
     pub composed_pressure_one_in: Option<u64>,
+    /// Reject roughly one in this many admissions across *all four*
+    /// accountant families (composed, influence, diversity,
+    /// propagated), as a stand-in for a whole-accountant
+    /// memory-pressure spike.
+    pub accountant_pressure_one_in: Option<u64>,
 }
 
 impl ChaosKnobs {
@@ -131,6 +136,9 @@ impl ChaosKnobs {
         }
         if let Some(one_in) = self.composed_pressure_one_in {
             fp::arm_seeded(fp::COMPOSED_PRESSURE, self.seed.wrapping_add(1), one_in);
+        }
+        if let Some(one_in) = self.accountant_pressure_one_in {
+            fp::arm_seeded(fp::ACCOUNTANT_PRESSURE, self.seed.wrapping_add(2), one_in);
         }
     }
 

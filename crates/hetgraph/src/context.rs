@@ -18,8 +18,7 @@
 //! * the enumerated meta-path sets, keyed by `(root, max_hops, max_paths)`;
 //! * the meta-path engine's single-step *factor* and composed *prefix*
 //!   caches (the Eq. 1 products), keyed by the step sequence — the
-//!   composed cache is optionally *size-bounded* with cost-aware eviction
-//!   (see below);
+//!   composed products live in the byte-budgeted accountant (see below);
 //! * oriented per-relation adjacencies (`from → to`, transposing stored
 //!   reverse relations), used by the leaf synthesis — including the
 //!   *negative* answer when the schema has no relation between two types;
@@ -41,22 +40,31 @@
 //! counters ([`CondenseContext::stats`]) make reuse observable; the
 //! `bench_report` sweep section records them per PR.
 //!
-//! # Composed-cache eviction
+//! # The cache accountant (one byte ceiling across four families)
 //!
-//! Large schemas at high hop counts accumulate many composed adjacencies;
-//! a serving process cannot keep them all. The composed cache accepts a
-//! byte budget ([`CondenseContext::with_composed_budget`], surfaced as
-//! `CondenseSpec::composed_cache_bytes`) and, when inserting would exceed
-//! it, evicts the entries that are *cheapest to recompute* first: each
-//! entry carries a deterministic recompute-cost estimate (the SpGEMM
-//! multiply-add count that produced it), ties broken toward the least
-//! recently used. Single-step paths never occupy composed budget at
-//! all — they are served by the unbounded factor cache, whose buffers
-//! would stay pinned regardless. Expensive deep compositions stay
-//! resident. An entry larger than the whole budget is never
-//! admitted, so the cache's resident bytes *never* exceed the budget.
-//! Eviction only ever forces a recompute of a pure function, so a
-//! budgeted context remains bitwise-identical to an unbounded one.
+//! Large schemas at high hop counts accumulate many composed
+//! adjacencies, influence vectors, diversity bonuses and — dominating
+//! everything — dense propagated-feature blocks; a serving process
+//! cannot keep them all. All four families live in one cost-aware
+//! [`CacheAccountant`] under a single byte budget
+//! ([`CondenseContext::with_cache_budget`], surfaced as
+//! `CondenseSpec::context_cache_bytes`). When inserting would exceed the
+//! budget, the accountant evicts the entries that are *cheapest to
+//! recompute per resident byte* first: each entry carries a
+//! deterministic recompute-cost estimate in one shared currency —
+//! scalar flops (the SpGEMM multiply-add count for composed products,
+//! iteration-proportional estimates for the vector families, the
+//! owning layer's reported flops for propagated blocks) — and the
+//! victim is the minimum cost/byte density, ties broken toward the
+//! least recently used, then by key order. Propagated blocks have the
+//! lowest density (dense `f32` payloads, one SpMM to rebuild), so they
+//! evict first in practice; expensive deep compositions stay resident.
+//! Single-step paths never occupy budget at all — they are served by
+//! the unbounded factor cache, whose buffers would stay pinned
+//! regardless. An entry larger than the whole budget is never
+//! admitted, so the accountant's resident bytes *never* exceed the
+//! budget. Eviction only ever forces a recompute of a pure function, so
+//! a budgeted context remains bitwise-identical to an unbounded one.
 //!
 //! The context borrows its graph by default ([`CondenseContext::new`]);
 //! [`CondenseContext::shared`] instead takes `Arc<HeteroGraph>` ownership
@@ -111,7 +119,7 @@ impl Counter {
 }
 
 /// A point-in-time snapshot of every cache's hit/miss counts, plus the
-/// composed cache's eviction accounting.
+/// accountant's byte and eviction ledger.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct CacheCounters {
     /// Meta-path enumerations.
@@ -130,26 +138,49 @@ pub struct CacheCounters {
     pub propagated: (u64, u64),
     /// Composed entries evicted to stay within the byte budget.
     pub composed_evictions: u64,
-    /// Composed entries never admitted (larger than the whole budget).
+    /// Composed entries never admitted (larger than the whole budget,
+    /// or rejected by an injected pressure spike).
     pub composed_rejected: u64,
-    /// Resident bytes of the composed cache right now.
+    /// Resident bytes of the composed family right now.
     pub composed_bytes: u64,
     /// High-water mark of resident composed bytes since the budget was
     /// last applied (≤ budget when one is set — the invariant
     /// `bench_report` and CI assert; budgeting a warm context restarts
     /// the mark at its post-eviction resident size).
     pub composed_peak_bytes: u64,
-    /// Resident payload bytes of the influence cache (the `f64` score
+    /// Resident payload bytes of the influence family (the `f64` score
     /// vectors).
     pub influence_bytes: u64,
-    /// Resident payload bytes of the diversity cache (the `f64` bonus
+    /// Resident payload bytes of the diversity family (the `f64` bonus
     /// vectors).
     pub diversity_bytes: u64,
-    /// Resident bytes of the propagated cache, as reported by the layer
-    /// that owns the concrete block type (via
+    /// Resident bytes of the propagated family, as reported by the
+    /// layer that owns the concrete block type (via
     /// [`CondenseContext::propagated_sized`] or a snapshot codec's
     /// `resident_bytes`); 0 for entries whose owner reports none.
     pub propagated_bytes: u64,
+    /// Influence entries evicted to stay within the byte budget.
+    pub influence_evictions: u64,
+    /// Diversity entries evicted to stay within the byte budget.
+    pub diversity_evictions: u64,
+    /// Propagated block sets evicted to stay within the byte budget
+    /// (under pressure these go first — lowest recompute cost per byte).
+    pub propagated_evictions: u64,
+    /// Influence entries never admitted.
+    pub influence_rejected: u64,
+    /// Diversity entries never admitted.
+    pub diversity_rejected: u64,
+    /// Propagated block sets never admitted.
+    pub propagated_rejected: u64,
+    /// Resident bytes across all four accountant families right now —
+    /// the unified ledger the byte budget bounds. Always equals
+    /// [`CacheCounters::resident_bytes_total`] (a debug assertion in
+    /// [`CondenseContext::stats`] cross-checks the two on every call).
+    pub cache_bytes: u64,
+    /// High-water mark of the unified resident bytes since the budget
+    /// was last applied (≤ budget when one is set; re-budgeting a warm
+    /// context restarts the mark, for `Some` and `None` alike).
+    pub cache_peak_bytes: u64,
 }
 
 impl CacheCounters {
@@ -181,6 +212,17 @@ impl CacheCounters {
         self.caches()
             .iter()
             .fold(0u64, |acc, &(_, m)| acc.saturating_add(m))
+    }
+
+    /// Sum of the four per-family resident-byte fields — by
+    /// construction the same quantity as [`CacheCounters::cache_bytes`],
+    /// recomputed from the per-family breakdown so the two ledgers can
+    /// be cross-checked (saturating, like the totals).
+    pub fn resident_bytes_total(&self) -> u64 {
+        self.composed_bytes
+            .saturating_add(self.influence_bytes)
+            .saturating_add(self.diversity_bytes)
+            .saturating_add(self.propagated_bytes)
     }
 }
 
@@ -391,119 +433,245 @@ impl GraphHandle<'_> {
     }
 }
 
-/// One resident composed adjacency plus the bookkeeping eviction needs.
-struct ComposedEntry {
-    matrix: Arc<CsrMatrix>,
+/// The four budget-governed cache families, in reporting order. The
+/// discriminant doubles as the index into the accountant's per-family
+/// ledgers.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+enum Family {
+    Composed = 0,
+    Influence = 1,
+    Diversity = 2,
+    Propagated = 3,
+}
+
+const NUM_FAMILIES: usize = 4;
+
+/// One key across every accountant family. Derives `Ord` so the
+/// eviction tiebreak has a total order that never depends on hash-map
+/// iteration order; the variant order matches [`Family`].
+#[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+enum FamilyKey {
+    Composed(Vec<MetaPathStep>),
+    Influence(InfluenceKey),
+    Diversity(DiversityKey),
+    Propagated((usize, usize)),
+}
+
+impl FamilyKey {
+    fn family(&self) -> Family {
+        match self {
+            FamilyKey::Composed(_) => Family::Composed,
+            FamilyKey::Influence(_) => Family::Influence,
+            FamilyKey::Diversity(_) => Family::Diversity,
+            FamilyKey::Propagated(_) => Family::Propagated,
+        }
+    }
+}
+
+/// The value behind a [`FamilyKey`]; the variant always matches the
+/// key's (the accountant's API is only reachable through typed context
+/// methods).
+#[derive(Clone)]
+enum FamilyValue {
+    Composed(Arc<CsrMatrix>),
+    Influence(Arc<Vec<f64>>),
+    Diversity(Arc<Vec<f64>>),
+    Propagated(AnyArc),
+}
+
+impl FamilyValue {
+    fn into_composed(self) -> Arc<CsrMatrix> {
+        match self {
+            FamilyValue::Composed(m) => m,
+            _ => unreachable!("composed key holds a composed value"),
+        }
+    }
+
+    fn into_vector(self) -> Arc<Vec<f64>> {
+        match self {
+            FamilyValue::Influence(v) | FamilyValue::Diversity(v) => v,
+            _ => unreachable!("vector key holds a vector value"),
+        }
+    }
+
+    fn into_propagated(self) -> AnyArc {
+        match self {
+            FamilyValue::Propagated(v) => v,
+            _ => unreachable!("propagated key holds a propagated value"),
+        }
+    }
+}
+
+/// Deterministic recompute-cost estimate for an influence vector, in
+/// the accountant's shared flop currency: aggregating Eq. 10–13 scores
+/// runs a truncated PPR series over every family path, a few dozen
+/// passes over the output length.
+fn influence_cost(len: usize) -> u64 {
+    (len as u64).saturating_mul(64).max(1)
+}
+
+/// Deterministic recompute-cost estimate for a diversity-bonus vector:
+/// the Eq. 5–7 Jaccard pass over the sibling paths' composed rows —
+/// cheaper per element than influence, dearer than a propagated SpMM.
+fn diversity_cost(len: usize) -> u64 {
+    (len as u64).saturating_mul(16).max(1)
+}
+
+/// One resident cache entry plus the bookkeeping eviction needs.
+struct AccountedEntry {
+    value: FamilyValue,
     bytes: usize,
-    /// Deterministic recompute-cost estimate (SpGEMM multiply-adds, or
-    /// nnz for a single-step normalization). Cheap entries evict first.
+    /// Deterministic recompute-cost estimate in scalar flops (SpGEMM
+    /// multiply-adds for composed products; see the per-family cost
+    /// functions). Entries with the cheapest cost *per byte* evict
+    /// first.
     cost: u64,
-    /// Logical insert/touch time; breaks cost ties toward the least
+    /// Logical insert/touch time; breaks density ties toward the least
     /// recently used entry.
     touch: u64,
 }
 
-/// The composed-adjacency cache: a map plus byte accounting and the
-/// cost-aware eviction policy. Lives behind the context's mutex.
+/// The unified memory accountant: one map over all four budget-governed
+/// cache families (composed, influence, diversity, propagated), one
+/// byte ceiling, one eviction policy. Lives behind the context's mutex.
+/// The per-family ledgers (`family_bytes`, `family_peak`, `evictions`,
+/// `rejected`) are indexed by [`Family`] and always sum to the unified
+/// ones — [`CondenseContext::stats`] debug-asserts it.
 #[derive(Default)]
-struct ComposedCache {
-    map: FxHashMap<Vec<MetaPathStep>, ComposedEntry>,
+struct CacheAccountant {
+    map: FxHashMap<FamilyKey, AccountedEntry>,
     budget: Option<usize>,
     bytes: usize,
     peak_bytes: usize,
     clock: u64,
-    evictions: u64,
-    rejected: u64,
+    family_bytes: [usize; NUM_FAMILIES],
+    family_peak: [usize; NUM_FAMILIES],
+    evictions: [u64; NUM_FAMILIES],
+    rejected: [u64; NUM_FAMILIES],
 }
 
-impl ComposedCache {
-    fn get(&mut self, steps: &[MetaPathStep]) -> Option<Arc<CsrMatrix>> {
+impl CacheAccountant {
+    fn get(&mut self, key: &FamilyKey) -> Option<FamilyValue> {
         self.clock += 1;
         let now = self.clock;
-        self.map.get_mut(steps).map(|e| {
+        self.map.get_mut(key).map(|e| {
             e.touch = now;
-            Arc::clone(&e.matrix)
+            e.value.clone()
         })
     }
 
-    /// Admits `matrix` under the budget, evicting cheapest-first until it
-    /// fits. Returns the resident value (the already-cached one if a
-    /// concurrent compute of the same key landed first — identical bits
-    /// either way, so whichever wins is correct).
+    /// Admits `value` under the budget, evicting cheapest-per-byte
+    /// first until it fits. Returns the resident value (the
+    /// already-cached one if a concurrent compute of the same key
+    /// landed first — identical bits either way, so whichever wins is
+    /// correct).
     fn insert(
         &mut self,
-        steps: &[MetaPathStep],
-        matrix: Arc<CsrMatrix>,
+        key: FamilyKey,
+        value: FamilyValue,
+        bytes: usize,
         cost: u64,
-    ) -> Arc<CsrMatrix> {
-        if let Some(e) = self.map.get(steps) {
-            return Arc::clone(&e.matrix);
+    ) -> FamilyValue {
+        if let Some(e) = self.map.get(&key) {
+            return e.value.clone();
         }
-        if crate::failpoints::should_fire(crate::failpoints::COMPOSED_PRESSURE) {
-            // Injected budget-pressure spike: behave exactly like an
-            // entry that exceeds the whole budget — a counted rejection,
-            // the caller keeps its freshly computed (bit-identical)
-            // matrix, and resident bytes never move.
-            self.rejected += 1;
-            return matrix;
+        let fam = key.family() as usize;
+        // Injected budget-pressure spikes: behave exactly like an entry
+        // that exceeds the whole budget — a counted rejection, the
+        // caller keeps its freshly computed (bit-identical) value, and
+        // resident bytes never move. `accountant.pressure` covers every
+        // family; `composed.pressure` is retained for the composed
+        // family alone (the pre-accountant drill).
+        if crate::failpoints::should_fire(crate::failpoints::ACCOUNTANT_PRESSURE)
+            || (key.family() == Family::Composed
+                && crate::failpoints::should_fire(crate::failpoints::COMPOSED_PRESSURE))
+        {
+            self.rejected[fam] += 1;
+            return value;
         }
-        let bytes = matrix.storage_bytes();
         if let Some(budget) = self.budget {
             if bytes > budget {
                 // Never admitted: resident bytes must not exceed the
                 // budget even transiently. The caller still gets its
-                // freshly computed matrix.
-                self.rejected += 1;
-                return matrix;
+                // freshly computed value.
+                self.rejected[fam] += 1;
+                return value;
             }
             while self.bytes + bytes > budget && self.evict_one() {}
         }
         self.clock += 1;
         self.bytes += bytes;
         self.peak_bytes = self.peak_bytes.max(self.bytes);
+        self.family_bytes[fam] += bytes;
+        self.family_peak[fam] = self.family_peak[fam].max(self.family_bytes[fam]);
         self.map.insert(
-            steps.to_vec(),
-            ComposedEntry {
-                matrix: Arc::clone(&matrix),
+            key,
+            AccountedEntry {
+                value: value.clone(),
                 bytes,
                 cost,
                 touch: self.clock,
             },
         );
-        matrix
+        value
     }
 
-    /// Evicts the entry that is cheapest to recompute (ties broken toward
-    /// the least recently touched, then by key order). Returns false when
-    /// the cache is empty.
+    /// Evicts the entry that is cheapest to recompute per resident byte
+    /// (ties broken toward the least recently touched, then by key
+    /// order). Returns false when the accountant is empty.
     ///
-    /// The victim choice must be a pure function of the cache *contents*,
-    /// never of hash-map iteration order: eviction decides which entries
-    /// get recomputed, and while recomputes are bitwise-transparent, the
-    /// bench legs and equivalence suites pin eviction *counters* too — a
-    /// map-order-dependent victim would make those nondeterministic. The
-    /// `(cost, touch)` pair is unique under normal operation (the logical
-    /// clock ticks per touch), so the key-order tiebreak only matters for
-    /// states reconstructed wholesale (e.g. a snapshot load, where every
-    /// installed entry shares one batch) — exactly where determinism must
-    /// still hold.
+    /// The victim choice must be a pure function of the cache
+    /// *contents*, never of hash-map iteration order: eviction decides
+    /// which entries get recomputed, and while recomputes are
+    /// bitwise-transparent, the bench legs and equivalence suites pin
+    /// eviction *counters* too — a map-order-dependent victim would
+    /// make those nondeterministic. Density is compared exactly by
+    /// `u128` cross-multiplication (no float rounding); zero-byte
+    /// entries are clamped to one byte so they still order by cost. The
+    /// `(density, touch)` pair is unique under normal operation (the
+    /// logical clock ticks per touch), so the key-order tiebreak only
+    /// matters for states reconstructed wholesale (e.g. a snapshot
+    /// load, where every installed entry shares one batch) — exactly
+    /// where determinism must still hold.
     fn evict_one(&mut self) -> bool {
         let victim = self
             .map
             .iter()
             .min_by(|(ka, ea), (kb, eb)| {
-                (ea.cost, ea.touch, ka.as_slice()).cmp(&(eb.cost, eb.touch, kb.as_slice()))
+                let da = ea.cost as u128 * eb.bytes.max(1) as u128;
+                let db = eb.cost as u128 * ea.bytes.max(1) as u128;
+                da.cmp(&db)
+                    .then_with(|| ea.touch.cmp(&eb.touch))
+                    .then_with(|| ka.cmp(kb))
             })
             .map(|(k, _)| k.clone());
         match victim {
             Some(k) => {
                 let e = self.map.remove(&k).expect("victim key just observed");
                 self.bytes -= e.bytes;
-                self.evictions += 1;
+                self.family_bytes[k.family() as usize] -= e.bytes;
+                self.evictions[k.family() as usize] += 1;
                 true
             }
             None => false,
         }
+    }
+
+    /// Applies a new budget: evicts until resident bytes fit, then
+    /// restarts the unified and per-family high-water marks at the
+    /// resident sizes — for `Some` and `None` alike — so `bytes ≤ peak`
+    /// and `peak ≤ budget` hold from this point on.
+    fn set_budget(&mut self, bytes: Option<usize>) {
+        self.budget = bytes;
+        if let Some(b) = bytes {
+            while self.bytes > b && self.evict_one() {}
+        }
+        self.peak_bytes = self.bytes;
+        self.family_peak = self.family_bytes;
+    }
+
+    fn family_len(&self, fam: Family) -> usize {
+        self.map.keys().filter(|k| k.family() == fam).count()
     }
 }
 
@@ -534,13 +702,13 @@ pub struct CondenseContext<'g> {
     max_row_nnz: Option<usize>,
     paths: Mutex<FxHashMap<PathKey, Arc<Vec<MetaPath>>>>,
     factors: Mutex<FxHashMap<MetaPathStep, Arc<CsrMatrix>>>,
-    composed: Mutex<ComposedCache>,
     oriented: Mutex<OrientedMap>,
-    influence: Mutex<FxHashMap<InfluenceKey, Arc<Vec<f64>>>>,
-    diversity: Mutex<FxHashMap<DiversityKey, Arc<Vec<f64>>>>,
-    /// Type-erased propagated blocks plus the resident-byte count their
-    /// owning layer reported for them (0 = unreported).
-    propagated: Mutex<FxHashMap<(usize, usize), (AnyArc, usize)>>,
+    /// The four budget-governed families — composed, influence,
+    /// diversity, propagated — live together here under one byte
+    /// ceiling; paths/factors/oriented stay in their own unbounded
+    /// maps (schema-sized, and the factor buffers are pinned by the
+    /// engine regardless).
+    accountant: Mutex<CacheAccountant>,
     paths_stats: Counter,
     factors_stats: Counter,
     composed_stats: Counter,
@@ -557,11 +725,8 @@ impl<'g> CondenseContext<'g> {
             max_row_nnz: Some(DEFAULT_MAX_ROW_NNZ),
             paths: Mutex::default(),
             factors: Mutex::default(),
-            composed: Mutex::default(),
             oriented: Mutex::default(),
-            influence: Mutex::default(),
-            diversity: Mutex::default(),
-            propagated: Mutex::default(),
+            accountant: Mutex::default(),
             paths_stats: Counter::default(),
             factors_stats: Counter::default(),
             composed_stats: Counter::default(),
@@ -579,13 +744,13 @@ impl<'g> CondenseContext<'g> {
         Self::with_handle(GraphHandle::Borrowed(graph))
     }
 
-    /// A context whose fill-in cap and composed-cache budget come from
+    /// A context whose fill-in cap and unified cache budget come from
     /// the spec — the knobs both condensation and propagation obey
     /// (there is deliberately no per-call cap anywhere downstream).
     pub fn for_spec(graph: &'g HeteroGraph, spec: &CondenseSpec) -> Self {
         Self::new(graph)
             .with_max_row_nnz(spec.max_row_nnz)
-            .with_composed_budget(spec.composed_cache_bytes)
+            .with_cache_budget(spec.cache_budget())
     }
 
     /// Overrides the per-row fill-in cap of composed adjacencies.
@@ -595,31 +760,39 @@ impl<'g> CondenseContext<'g> {
     /// incompatible entries.
     pub fn with_max_row_nnz(mut self, k: Option<usize>) -> Self {
         assert!(
-            self.composed.get_mut().unwrap().map.is_empty(),
+            self.accountant
+                .get_mut()
+                .unwrap()
+                .family_len(Family::Composed)
+                == 0,
             "cannot change max_row_nnz on a context with cached compositions"
         );
         self.max_row_nnz = k;
         self
     }
 
-    /// Sets the composed-cache byte budget (`None` = unbounded, the
-    /// default). Unlike the fill-in cap this never changes any output —
-    /// eviction only forces pure recomputes — so it may be set on a warm
-    /// context; resident entries are evicted immediately to fit, and the
-    /// `composed_peak_bytes` high-water mark restarts at the resident
-    /// size — for `Some` and `None` alike — so the pair stays mutually
+    /// Sets the unified byte budget over all four accountant families
+    /// (`None` = unbounded, the default). Unlike the fill-in cap this
+    /// never changes any output — eviction only forces pure recomputes —
+    /// so it may be set on a warm context; resident entries are evicted
+    /// immediately to fit, and the `cache_peak_bytes` high-water mark
+    /// (with its per-family breakdown) restarts at the resident size —
+    /// for `Some` and `None` alike — so the pair stays mutually
     /// consistent (`bytes ≤ peak`, and `peak ≤ budget` when one is set)
     /// from this point on: pre-budget history would trivially exceed any
     /// new budget, and a stale mark after *removing* a budget would
     /// misreport the unbudgeted era.
-    pub fn with_composed_budget(mut self, bytes: Option<usize>) -> Self {
-        let cache = self.composed.get_mut().unwrap();
-        cache.budget = bytes;
-        if let Some(b) = bytes {
-            while cache.bytes > b && cache.evict_one() {}
-        }
-        cache.peak_bytes = cache.bytes;
+    pub fn with_cache_budget(mut self, bytes: Option<usize>) -> Self {
+        self.accountant.get_mut().unwrap().set_budget(bytes);
         self
+    }
+
+    /// Deprecated spelling of [`CondenseContext::with_cache_budget`],
+    /// kept so pre-accountant callers compile unchanged. The budget was
+    /// never per-family: this sets the *unified* ceiling, which the
+    /// composed family shares with influence, diversity and propagated.
+    pub fn with_composed_budget(self, bytes: Option<usize>) -> Self {
+        self.with_cache_budget(bytes)
     }
 }
 
@@ -653,14 +826,26 @@ impl CondenseContext<'_> {
         self.max_row_nnz
     }
 
-    /// The composed-cache byte budget (`None` = unbounded).
-    pub fn composed_budget(&self) -> Option<usize> {
-        relock(&self.composed).budget
+    /// The unified accountant byte budget (`None` = unbounded).
+    pub fn cache_budget(&self) -> Option<usize> {
+        relock(&self.accountant).budget
     }
 
-    /// Resident bytes of the composed cache right now.
+    /// Deprecated spelling of [`CondenseContext::cache_budget`] — there
+    /// is one budget, shared by all four families; this returns it.
+    pub fn composed_budget(&self) -> Option<usize> {
+        self.cache_budget()
+    }
+
+    /// Resident bytes across all four accountant families right now —
+    /// the quantity the budget bounds.
+    pub fn cache_bytes(&self) -> usize {
+        relock(&self.accountant).bytes
+    }
+
+    /// Resident bytes of the composed family alone right now.
     pub fn composed_bytes(&self) -> usize {
-        relock(&self.composed).bytes
+        relock(&self.accountant).family_bytes[Family::Composed as usize]
     }
 
     /// Asserts that condensing `spec` through this context cannot
@@ -669,8 +854,8 @@ impl CondenseContext<'_> {
     /// composed matrices and a silent mismatch would break the
     /// bitwise-transparency contract of `Condenser::condense_in`.
     /// Context-aware condensers call this before touching the caches.
-    /// (The composed-cache budget is deliberately *not* checked: it
-    /// affects memory, never outputs.)
+    /// (The cache budget is deliberately *not* checked: it affects
+    /// memory, never outputs.)
     pub fn check_spec(&self, spec: &CondenseSpec) {
         assert_eq!(
             spec.max_row_nnz, self.max_row_nnz,
@@ -680,35 +865,27 @@ impl CondenseContext<'_> {
         );
     }
 
-    /// A point-in-time snapshot of all cache counters. The per-family
-    /// resident-byte fields are computed here from the live maps (the
-    /// vectors' payload bytes; the propagated family reports whatever
-    /// its owning layer declared), so they are exact at the moment of
-    /// the call rather than a running estimate.
+    /// A point-in-time snapshot of all cache counters, read under one
+    /// accountant lock so the per-family byte fields, the unified
+    /// ledger, and the eviction/rejection counters are mutually
+    /// consistent. In debug builds the call cross-checks the three
+    /// views of resident bytes against each other — the map's entry
+    /// sum, the accountant's running total, and the per-family
+    /// breakdown the counters expose — so any bookkeeping drift fails
+    /// loudly in tests rather than silently mis-budgeting.
     pub fn stats(&self) -> CacheCounters {
-        let composed = relock(&self.composed);
-        let influence_bytes: u64 = self
-            .influence
-            .lock()
-            .unwrap()
-            .values()
-            .map(|v| (v.len() * std::mem::size_of::<f64>()) as u64)
-            .sum();
-        let diversity_bytes: u64 = self
-            .diversity
-            .lock()
-            .unwrap()
-            .values()
-            .map(|v| (v.len() * std::mem::size_of::<f64>()) as u64)
-            .sum();
-        let propagated_bytes: u64 = self
-            .propagated
-            .lock()
-            .unwrap()
-            .values()
-            .map(|(_, bytes)| *bytes as u64)
-            .sum();
-        CacheCounters {
+        let acct = relock(&self.accountant);
+        debug_assert_eq!(
+            acct.map.values().map(|e| e.bytes).sum::<usize>(),
+            acct.bytes,
+            "accountant entry bytes must sum to the running total"
+        );
+        debug_assert_eq!(
+            acct.family_bytes.iter().sum::<usize>(),
+            acct.bytes,
+            "per-family bytes must sum to the unified ledger"
+        );
+        let counters = CacheCounters {
             paths: self.paths_stats.snapshot(),
             factors: self.factors_stats.snapshot(),
             composed: self.composed_stats.snapshot(),
@@ -716,19 +893,33 @@ impl CondenseContext<'_> {
             influence: self.influence_stats.snapshot(),
             diversity: self.diversity_stats.snapshot(),
             propagated: self.propagated_stats.snapshot(),
-            composed_evictions: composed.evictions,
-            composed_rejected: composed.rejected,
-            composed_bytes: composed.bytes as u64,
-            composed_peak_bytes: composed.peak_bytes as u64,
-            influence_bytes,
-            diversity_bytes,
-            propagated_bytes,
-        }
+            composed_evictions: acct.evictions[Family::Composed as usize],
+            composed_rejected: acct.rejected[Family::Composed as usize],
+            composed_bytes: acct.family_bytes[Family::Composed as usize] as u64,
+            composed_peak_bytes: acct.family_peak[Family::Composed as usize] as u64,
+            influence_bytes: acct.family_bytes[Family::Influence as usize] as u64,
+            diversity_bytes: acct.family_bytes[Family::Diversity as usize] as u64,
+            propagated_bytes: acct.family_bytes[Family::Propagated as usize] as u64,
+            influence_evictions: acct.evictions[Family::Influence as usize],
+            diversity_evictions: acct.evictions[Family::Diversity as usize],
+            propagated_evictions: acct.evictions[Family::Propagated as usize],
+            influence_rejected: acct.rejected[Family::Influence as usize],
+            diversity_rejected: acct.rejected[Family::Diversity as usize],
+            propagated_rejected: acct.rejected[Family::Propagated as usize],
+            cache_bytes: acct.bytes as u64,
+            cache_peak_bytes: acct.peak_bytes as u64,
+        };
+        debug_assert_eq!(
+            counters.resident_bytes_total(),
+            counters.cache_bytes,
+            "per-family counter sum must equal the accountant's ledger"
+        );
+        counters
     }
 
     /// Number of cached composed adjacencies (for tests/benches).
     pub fn composed_len(&self) -> usize {
-        relock(&self.composed).map.len()
+        relock(&self.accountant).family_len(Family::Composed)
     }
 
     /// Cached [`enumerate_metapaths`]: every proper meta-path rooted at
@@ -810,9 +1001,10 @@ impl CondenseContext<'_> {
         if steps.len() == 1 {
             return self.factor(steps[0]);
         }
-        if let Some(m) = relock(&self.composed).get(steps) {
+        let key = FamilyKey::Composed(steps.to_vec());
+        if let Some(m) = relock(&self.accountant).get(&key) {
             self.composed_stats.hit();
-            return m;
+            return m.into_composed();
         }
         self.composed_stats.miss();
         // Compute outside the lock: compositions recurse into their
@@ -833,10 +1025,10 @@ impl CondenseContext<'_> {
                 prod = prod.top_k_per_row(k);
             }
         }
-        self.composed
-            .lock()
-            .unwrap()
-            .insert(steps, Arc::new(prod), cost)
+        let bytes = prod.storage_bytes();
+        relock(&self.accountant)
+            .insert(key, FamilyValue::Composed(Arc::new(prod)), bytes, cost)
+            .into_composed()
     }
 
     /// Cached [`HeteroGraph::adjacency_between`]: the `from → to`
@@ -869,13 +1061,18 @@ impl CondenseContext<'_> {
         key: InfluenceKey,
         compute: impl FnOnce() -> Vec<f64>,
     ) -> Arc<Vec<f64>> {
-        if let Some(v) = relock(&self.influence).get(&key) {
+        let fkey = FamilyKey::Influence(key);
+        if let Some(v) = relock(&self.accountant).get(&fkey) {
             self.influence_stats.hit();
-            return Arc::clone(v);
+            return v.into_vector();
         }
         self.influence_stats.miss();
         let v = Arc::new(compute());
-        Arc::clone(relock(&self.influence).entry(key).or_insert(v))
+        let bytes = v.len() * std::mem::size_of::<f64>();
+        let cost = influence_cost(v.len());
+        relock(&self.accountant)
+            .insert(fkey, FamilyValue::Influence(v), bytes, cost)
+            .into_vector()
     }
 
     /// Returns the cached diversity-bonus vector for `key` (one entry per
@@ -888,13 +1085,18 @@ impl CondenseContext<'_> {
         key: DiversityKey,
         compute: impl FnOnce() -> Vec<f64>,
     ) -> Arc<Vec<f64>> {
-        if let Some(v) = relock(&self.diversity).get(&key) {
+        let fkey = FamilyKey::Diversity(key);
+        if let Some(v) = relock(&self.accountant).get(&fkey) {
             self.diversity_stats.hit();
-            return Arc::clone(v);
+            return v.into_vector();
         }
         self.diversity_stats.miss();
         let v = Arc::new(compute());
-        Arc::clone(relock(&self.diversity).entry(key).or_insert(v))
+        let bytes = v.len() * std::mem::size_of::<f64>();
+        let cost = diversity_cost(v.len());
+        relock(&self.accountant)
+            .insert(fkey, FamilyValue::Diversity(v), bytes, cost)
+            .into_vector()
     }
 
     // ---- delta seeding ----------------------------------------------
@@ -1010,9 +1212,9 @@ impl CondenseContext<'_> {
             }
         }
 
-        for (key, v, bytes) in old.dump_propagated() {
+        for (key, v, bytes, cost) in old.dump_propagated() {
             if rules.propagated_clean(key.0, key.1) {
-                self.install_propagated(key, v, bytes);
+                self.install_propagated(key, v, bytes, cost);
                 report.propagated += 1;
             } else {
                 report.dropped += 1;
@@ -1044,51 +1246,70 @@ impl CondenseContext<'_> {
     }
 
     pub(crate) fn dump_composed(&self) -> Vec<(Vec<MetaPathStep>, Arc<CsrMatrix>, u64)> {
-        let mut v: Vec<_> = self
-            .composed
-            .lock()
-            .unwrap()
+        let acct = relock(&self.accountant);
+        let mut v: Vec<_> = acct
             .map
             .iter()
-            .map(|(k, e)| (k.clone(), Arc::clone(&e.matrix), e.cost))
+            .filter_map(|(k, e)| match (k, &e.value) {
+                (FamilyKey::Composed(steps), FamilyValue::Composed(m)) => {
+                    Some((steps.clone(), Arc::clone(m), e.cost))
+                }
+                _ => None,
+            })
             .collect();
+        drop(acct);
         v.sort_unstable_by(|a, b| a.0.cmp(&b.0));
         v
     }
 
     pub(crate) fn dump_influence(&self) -> Vec<(InfluenceKey, Arc<Vec<f64>>)> {
-        let mut v: Vec<_> = self
-            .influence
-            .lock()
-            .unwrap()
+        let acct = relock(&self.accountant);
+        let mut v: Vec<_> = acct
+            .map
             .iter()
-            .map(|(k, x)| (k.clone(), Arc::clone(x)))
+            .filter_map(|(k, e)| match (k, &e.value) {
+                (FamilyKey::Influence(key), FamilyValue::Influence(x)) => {
+                    Some((key.clone(), Arc::clone(x)))
+                }
+                _ => None,
+            })
             .collect();
+        drop(acct);
         v.sort_unstable_by(|a, b| a.0.cmp(&b.0));
         v
     }
 
     pub(crate) fn dump_diversity(&self) -> Vec<(DiversityKey, Arc<Vec<f64>>)> {
-        let mut v: Vec<_> = self
-            .diversity
-            .lock()
-            .unwrap()
+        let acct = relock(&self.accountant);
+        let mut v: Vec<_> = acct
+            .map
             .iter()
-            .map(|(k, x)| (*k, Arc::clone(x)))
+            .filter_map(|(k, e)| match (k, &e.value) {
+                (FamilyKey::Diversity(key), FamilyValue::Diversity(x)) => {
+                    Some((*key, Arc::clone(x)))
+                }
+                _ => None,
+            })
             .collect();
+        drop(acct);
         v.sort_unstable_by_key(|(k, _)| *k);
         v
     }
 
-    pub(crate) fn dump_propagated(&self) -> Vec<((usize, usize), AnyArc, usize)> {
-        let mut v: Vec<_> = self
-            .propagated
-            .lock()
-            .unwrap()
+    pub(crate) fn dump_propagated(&self) -> Vec<((usize, usize), AnyArc, usize, u64)> {
+        let acct = relock(&self.accountant);
+        let mut v: Vec<_> = acct
+            .map
             .iter()
-            .map(|(k, (x, bytes))| (*k, Arc::clone(x), *bytes))
+            .filter_map(|(k, e)| match (k, &e.value) {
+                (FamilyKey::Propagated(key), FamilyValue::Propagated(x)) => {
+                    Some((*key, Arc::clone(x), e.bytes, e.cost))
+                }
+                _ => None,
+            })
             .collect();
-        v.sort_unstable_by_key(|(k, _, _)| *k);
+        drop(acct);
+        v.sort_unstable_by_key(|(k, _, _, _)| *k);
         v
     }
 
@@ -1120,27 +1341,56 @@ impl CondenseContext<'_> {
         relock(&self.factors).entry(step).or_insert(m);
     }
 
-    /// Installs a composed adjacency through the cache's normal admission
-    /// path, so a byte budget (and its eviction policy) applies to loaded
-    /// entries exactly as to computed ones.
+    /// Installs a composed adjacency through the accountant's normal
+    /// admission path, so the byte budget (and its eviction policy)
+    /// applies to loaded entries exactly as to computed ones. The same
+    /// holds for every install below: a budget set before a snapshot
+    /// load bounds the load too.
     pub(crate) fn install_composed(&self, steps: Vec<MetaPathStep>, m: Arc<CsrMatrix>, cost: u64) {
-        relock(&self.composed).insert(&steps, m, cost);
+        let bytes = m.storage_bytes();
+        relock(&self.accountant).insert(
+            FamilyKey::Composed(steps),
+            FamilyValue::Composed(m),
+            bytes,
+            cost,
+        );
     }
 
     pub(crate) fn install_influence(&self, key: InfluenceKey, v: Arc<Vec<f64>>) {
-        relock(&self.influence).entry(key).or_insert(v);
+        let bytes = v.len() * std::mem::size_of::<f64>();
+        let cost = influence_cost(v.len());
+        relock(&self.accountant).insert(
+            FamilyKey::Influence(key),
+            FamilyValue::Influence(v),
+            bytes,
+            cost,
+        );
     }
 
     pub(crate) fn install_diversity(&self, key: DiversityKey, v: Arc<Vec<f64>>) {
-        relock(&self.diversity).entry(key).or_insert(v);
+        let bytes = v.len() * std::mem::size_of::<f64>();
+        let cost = diversity_cost(v.len());
+        relock(&self.accountant).insert(
+            FamilyKey::Diversity(key),
+            FamilyValue::Diversity(v),
+            bytes,
+            cost,
+        );
     }
 
-    pub(crate) fn install_propagated(&self, key: (usize, usize), v: AnyArc, bytes: usize) {
-        self.propagated
-            .lock()
-            .unwrap()
-            .entry(key)
-            .or_insert((v, bytes));
+    pub(crate) fn install_propagated(
+        &self,
+        key: (usize, usize),
+        v: AnyArc,
+        bytes: usize,
+        cost: u64,
+    ) {
+        relock(&self.accountant).insert(
+            FamilyKey::Propagated(key),
+            FamilyValue::Propagated(v),
+            bytes,
+            cost,
+        );
     }
 
     pub(crate) fn install_paths(&self, key: PathKey, v: Arc<Vec<MetaPath>>) {
@@ -1170,35 +1420,51 @@ impl CondenseContext<'_> {
 
     /// [`CondenseContext::propagated`] whose caller also reports the
     /// value's resident heap bytes, surfaced through
-    /// [`CacheCounters::propagated_bytes`]. `bytes_of` runs once, only
-    /// on the miss that actually stores the value.
+    /// [`CacheCounters::propagated_bytes`] and charged against the
+    /// budget. `bytes_of` runs once, only on the miss that actually
+    /// computes the value.
     pub fn propagated_sized<T: Any + Send + Sync>(
         &self,
         key: (usize, usize),
         compute: impl FnOnce() -> T,
         bytes_of: impl FnOnce(&T) -> usize,
     ) -> Arc<T> {
-        if let Some((v, _)) = relock(&self.propagated).get(&key) {
+        self.propagated_costed(key, compute, bytes_of, |_| 0)
+    }
+
+    /// [`CondenseContext::propagated_sized`] whose caller also reports
+    /// the value's recompute-cost estimate in the accountant's shared
+    /// flop currency, so cross-family eviction can weigh a propagated
+    /// block against a composed product. An unreported cost (the
+    /// `propagated`/`propagated_sized` default of 0) makes the block
+    /// the accountant's first victim — safe, since eviction only forces
+    /// a pure recompute. Both closures run once, only on the miss that
+    /// actually computes the value.
+    pub fn propagated_costed<T: Any + Send + Sync>(
+        &self,
+        key: (usize, usize),
+        compute: impl FnOnce() -> T,
+        bytes_of: impl FnOnce(&T) -> usize,
+        cost_of: impl FnOnce(&T) -> u64,
+    ) -> Arc<T> {
+        let fkey = FamilyKey::Propagated(key);
+        if let Some(v) = relock(&self.accountant).get(&fkey) {
             self.propagated_stats.hit();
-            return Arc::clone(v)
+            return v
+                .into_propagated()
                 .downcast::<T>()
                 .expect("propagated cache holds one concrete type per context");
         }
         self.propagated_stats.miss();
         let v = Arc::new(compute());
         let bytes = bytes_of(&v);
+        let cost = cost_of(&v);
         let any: AnyArc = v;
-        Arc::clone(
-            &self
-                .propagated
-                .lock()
-                .unwrap()
-                .entry(key)
-                .or_insert((any, bytes))
-                .0,
-        )
-        .downcast::<T>()
-        .expect("propagated cache holds one concrete type per context")
+        relock(&self.accountant)
+            .insert(fkey, FamilyValue::Propagated(any), bytes, cost)
+            .into_propagated()
+            .downcast::<T>()
+            .expect("propagated cache holds one concrete type per context")
     }
 }
 
@@ -1206,7 +1472,7 @@ impl std::fmt::Debug for CondenseContext<'_> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("CondenseContext")
             .field("max_row_nnz", &self.max_row_nnz)
-            .field("composed_budget", &self.composed_budget())
+            .field("cache_budget", &self.cache_budget())
             .field("composed_len", &self.composed_len())
             .field("stats", &self.stats())
             .finish()
@@ -1553,43 +1819,134 @@ mod tests {
 
     #[test]
     fn eviction_removes_cheapest_entries_first() {
-        // Deterministic policy check straight on the cache: cost
-        // ascending decides the victim, logical touch time breaks ties.
+        // Deterministic policy check straight on the accountant: cost
+        // per byte ascending decides the victim (equal sizes here, so
+        // cost order), logical touch time breaks ties.
         let step = |e: u16| MetaPathStep {
             edge: crate::schema::EdgeTypeId(e),
             forward: true,
         };
-        let m = |seed: u32| Arc::new(CsrMatrix::from_edges(2, 2, &[(0, seed % 2), (1, 1)]));
-        let bytes_each = m(0).storage_bytes();
-        let mut cache = ComposedCache {
+        let key = |e: u16| FamilyKey::Composed(vec![step(0), step(e)]);
+        let m = |seed: u32| {
+            FamilyValue::Composed(Arc::new(CsrMatrix::from_edges(
+                2,
+                2,
+                &[(0, seed % 2), (1, 1)],
+            )))
+        };
+        let bytes_each = CsrMatrix::from_edges(2, 2, &[(0, 0), (1, 1)]).storage_bytes();
+        let mut cache = CacheAccountant {
             budget: Some(bytes_each * 3),
             ..Default::default()
         };
-        cache.insert(&[step(0), step(1)], m(0), 10); // cheap
-        cache.insert(&[step(0), step(2)], m(1), 10); // cheap, same cost
-        cache.insert(&[step(0), step(3)], m(0), 50); // expensive
-        assert_eq!(cache.evictions, 0);
+        cache.insert(key(1), m(0), bytes_each, 10); // cheap
+        cache.insert(key(2), m(1), bytes_each, 10); // cheap, same cost
+        cache.insert(key(3), m(0), bytes_each, 50); // expensive
+        assert_eq!(cache.evictions[Family::Composed as usize], 0);
         // Touch the first cheap entry so the second becomes the
         // least-recently-used one of the cheapest tier.
-        assert!(cache.get([step(0), step(1)].as_slice()).is_some());
-        cache.insert(&[step(0), step(4)], m(1), 30);
-        assert_eq!(cache.evictions, 1);
+        assert!(cache.get(&key(1)).is_some());
+        cache.insert(key(4), m(1), bytes_each, 30);
+        assert_eq!(cache.evictions[Family::Composed as usize], 1);
         assert!(
-            cache.map.contains_key([step(0), step(1)].as_slice()),
+            cache.map.contains_key(&key(1)),
             "recently touched equal-cost entry must survive"
         );
         assert!(
-            !cache.map.contains_key([step(0), step(2)].as_slice()),
+            !cache.map.contains_key(&key(2)),
             "the untouched cheapest entry is the victim"
         );
-        assert!(cache.map.contains_key([step(0), step(3)].as_slice()));
+        assert!(cache.map.contains_key(&key(3)));
         // Across cost tiers, cheapest-first beats recency: the freshly
         // touched cost-10 entry still goes before cost-30/50 ones.
-        cache.insert(&[step(0), step(5)], m(0), 40);
-        assert_eq!(cache.evictions, 2);
-        assert!(!cache.map.contains_key([step(0), step(1)].as_slice()));
-        assert!(cache.map.contains_key([step(0), step(3)].as_slice()));
+        cache.insert(key(5), m(0), bytes_each, 40);
+        assert_eq!(cache.evictions[Family::Composed as usize], 2);
+        assert!(!cache.map.contains_key(&key(1)));
+        assert!(cache.map.contains_key(&key(3)));
         assert!(cache.bytes <= bytes_each * 3);
+    }
+
+    #[test]
+    fn cross_family_eviction_prefers_the_lowest_cost_density() {
+        // Four families resident, equal byte sizes, costs chosen so the
+        // densities order propagated < diversity < influence < composed.
+        // Pressure must evict in exactly that order, regardless of
+        // insertion or touch order.
+        let step = |e: u16| MetaPathStep {
+            edge: crate::schema::EdgeTypeId(e),
+            forward: true,
+        };
+        let ikey = InfluenceKey {
+            father: crate::schema::NodeTypeId(1),
+            max_hops: 2,
+            max_paths: 8,
+            method: (0, [0, 0, 0, 0]),
+            seed_targets: None,
+            seed: 0,
+        };
+        let bytes = 64usize;
+        let mut cache = CacheAccountant {
+            budget: Some(bytes * 4),
+            ..Default::default()
+        };
+        let vec_val = |fam: Family| {
+            let v = Arc::new(vec![0.0f64; 8]);
+            match fam {
+                Family::Influence => FamilyValue::Influence(v),
+                Family::Diversity => FamilyValue::Diversity(v),
+                _ => unreachable!(),
+            }
+        };
+        let prop: AnyArc = Arc::new(vec![0u8; bytes]);
+        cache.insert(
+            FamilyKey::Composed(vec![step(0), step(1)]),
+            FamilyValue::Composed(Arc::new(CsrMatrix::from_edges(2, 2, &[(0, 0)]))),
+            bytes,
+            4096,
+        );
+        cache.insert(
+            FamilyKey::Influence(ikey),
+            vec_val(Family::Influence),
+            bytes,
+            influence_cost(8), // 512 → density 8
+        );
+        cache.insert(
+            FamilyKey::Diversity((crate::schema::NodeTypeId(0), 2, 8, 0)),
+            vec_val(Family::Diversity),
+            bytes,
+            diversity_cost(8), // 128 → density 2
+        );
+        cache.insert(
+            FamilyKey::Propagated((2, 8)),
+            FamilyValue::Propagated(prop),
+            bytes,
+            32, // density 0.5 — the cheapest to rebuild per byte
+        );
+        assert_eq!(cache.bytes, bytes * 4);
+        let order: Vec<Family> = std::iter::from_fn(|| {
+            let before: Vec<FamilyKey> = cache.map.keys().cloned().collect();
+            if !cache.evict_one() {
+                return None;
+            }
+            before
+                .into_iter()
+                .find(|k| !cache.map.contains_key(k))
+                .map(|k| k.family())
+        })
+        .collect();
+        assert_eq!(
+            order,
+            vec![
+                Family::Propagated,
+                Family::Diversity,
+                Family::Influence,
+                Family::Composed
+            ],
+            "eviction must walk the cost-per-byte ladder from the bottom"
+        );
+        assert_eq!(cache.bytes, 0);
+        assert_eq!(cache.family_bytes, [0; NUM_FAMILIES]);
+        assert_eq!(cache.evictions, [1, 1, 1, 1]);
     }
 
     #[test]
@@ -1660,18 +2017,21 @@ mod tests {
             edge: crate::schema::EdgeTypeId(e),
             forward: true,
         };
-        let m = || Arc::new(CsrMatrix::from_edges(2, 2, &[(0, 0), (1, 1)]));
+        let m = || FamilyValue::Composed(Arc::new(CsrMatrix::from_edges(2, 2, &[(0, 0), (1, 1)])));
+        let bytes = CsrMatrix::from_edges(2, 2, &[(0, 0), (1, 1)]).storage_bytes();
         for order in [[3u16, 1, 2], [1, 2, 3], [2, 3, 1]] {
-            let mut cache = ComposedCache::default();
+            let mut cache = CacheAccountant::default();
             for e in order {
-                cache.insert(&[step(0), step(e)], m(), 10);
+                cache.insert(FamilyKey::Composed(vec![step(0), step(e)]), m(), bytes, 10);
             }
             for entry in cache.map.values_mut() {
                 entry.touch = 7; // erase the per-insert clock
             }
             assert!(cache.evict_one());
             assert!(
-                !cache.map.contains_key([step(0), step(1)].as_slice()),
+                !cache
+                    .map
+                    .contains_key(&FamilyKey::Composed(vec![step(0), step(1)])),
                 "the smallest key must be the victim regardless of \
                  insertion order {order:?}"
             );
@@ -1693,5 +2053,55 @@ mod tests {
         assert_eq!(st.composed_bytes, 0, "nothing fits a 1-byte budget");
         assert!(st.composed_rejected >= 2);
         assert_eq!(st.composed_peak_bytes, 0);
+    }
+
+    #[test]
+    fn unified_budget_governs_every_family_and_ledgers_agree() {
+        let g = fixture();
+        let ctx = CondenseContext::new(&g);
+        let root = g.schema().target();
+        // Populate all four families.
+        let paths = ctx.metapaths(root, 3, 100);
+        for p in paths.iter() {
+            ctx.adjacency(p);
+        }
+        let f = g.schema().node_type_by_name("field").unwrap();
+        ctx.influence(
+            InfluenceKey {
+                father: f,
+                max_hops: 2,
+                max_paths: 8,
+                method: (0, [0, 0, 0, 0]),
+                seed_targets: None,
+                seed: 0,
+            },
+            || vec![1.0; 32],
+        );
+        ctx.diversity((root, 2, 24, 0), || vec![0.5; 32]);
+        ctx.propagated_costed((2, 12), || vec![0u64; 64], |v| v.len() * 8, |_| 8);
+        let st = ctx.stats();
+        assert!(st.composed_bytes > 0);
+        assert_eq!(st.influence_bytes, 32 * 8);
+        assert_eq!(st.diversity_bytes, 32 * 8);
+        assert_eq!(st.propagated_bytes, 64 * 8);
+        assert_eq!(st.cache_bytes, st.resident_bytes_total());
+        assert_eq!(st.cache_bytes as usize, ctx.cache_bytes());
+        assert!(st.cache_peak_bytes >= st.cache_bytes);
+
+        // Shrink the unified budget below the current footprint: the
+        // propagated block (lowest cost/byte) must be the first victim,
+        // resident bytes must fit, and the unified peak restarts.
+        let budget = ctx.cache_bytes() - 1;
+        let ctx = ctx.with_cache_budget(Some(budget));
+        let st = ctx.stats();
+        assert!(st.propagated_evictions >= 1, "propagated evicts first");
+        assert!(st.cache_bytes <= budget as u64);
+        assert_eq!(st.cache_peak_bytes, st.cache_bytes, "peak restarts");
+        assert_eq!(st.cache_bytes, st.resident_bytes_total());
+
+        // Removing the budget restarts the unified peak too.
+        let ctx = ctx.with_cache_budget(None);
+        let st = ctx.stats();
+        assert_eq!(st.cache_peak_bytes, st.cache_bytes);
     }
 }

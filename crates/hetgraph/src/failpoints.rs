@@ -45,6 +45,12 @@ pub const REGISTRY_BUILD_DELAY: &str = "registry.build.delay";
 /// the cache as full and rejects the insert (a counted rejection — the
 /// caller keeps its freshly computed matrix, bits unchanged).
 pub const COMPOSED_PRESSURE: &str = "composed.pressure";
+/// Simulated memory-pressure spike across the *whole* accountant: every
+/// cache family's admission path (composed, influence, diversity,
+/// propagated) treats the budget as exhausted and rejects the insert —
+/// a counted rejection per family; the caller keeps its freshly
+/// computed (bit-identical) value.
+pub const ACCOUNTANT_PRESSURE: &str = "accountant.pressure";
 
 #[cfg(feature = "failpoints")]
 mod imp {

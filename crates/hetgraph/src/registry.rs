@@ -332,7 +332,7 @@ impl ContextRegistry {
         graph: &Arc<HeteroGraph>,
         spec: &CondenseSpec,
     ) -> Arc<CondenseContext<'static>> {
-        self.context_with(graph, spec.max_row_nnz, spec.composed_cache_bytes)
+        self.context_with(graph, spec.max_row_nnz, spec.cache_budget())
     }
 
     /// [`ContextRegistry::context_for`] with explicit knobs.
@@ -340,9 +340,9 @@ impl ContextRegistry {
         &self,
         graph: &Arc<HeteroGraph>,
         max_row_nnz: Option<usize>,
-        composed_cache_bytes: Option<usize>,
+        cache_budget: Option<usize>,
     ) -> Arc<CondenseContext<'static>> {
-        self.resolve(graph, max_row_nnz, composed_cache_bytes, None, None)
+        self.resolve(graph, max_row_nnz, cache_budget, None, None)
     }
 
     /// [`ContextRegistry::context_for`], warm-starting from disk: on an
@@ -380,7 +380,7 @@ impl ContextRegistry {
         self.resolve(
             graph,
             spec.max_row_nnz,
-            spec.composed_cache_bytes,
+            spec.cache_budget(),
             Some(dir),
             codec,
         )
@@ -480,7 +480,7 @@ impl ContextRegistry {
                         let ctx = Arc::new(
                             CondenseContext::shared(Arc::clone(graph))
                                 .with_max_row_nnz(key.1)
-                                .with_composed_budget(key.2),
+                                .with_cache_budget(key.2),
                         );
                         let (load_outcome, report) = build(&ctx);
                         (ctx, load_outcome, report)
@@ -529,14 +529,14 @@ impl ContextRegistry {
         &self,
         graph: &Arc<HeteroGraph>,
         max_row_nnz: Option<usize>,
-        composed_cache_bytes: Option<usize>,
+        cache_budget: Option<usize>,
         snapshot_dir: Option<&Path>,
         codec: Option<&dyn PropagatedCodec>,
     ) -> Arc<CondenseContext<'static>> {
         if let Some(dir) = snapshot_dir {
             self.sweep_once(dir);
         }
-        let key = (graph.fingerprint(), max_row_nnz, composed_cache_bytes);
+        let key = (graph.fingerprint(), max_row_nnz, cache_budget);
         let (ctx, ()) = self.resolve_single_flight(key, graph, |ctx| {
             // Some(true) = snapshot loaded into `ctx`, Some(false) = a
             // file was found but rejected, None = no file. Counted by
@@ -544,7 +544,7 @@ impl ContextRegistry {
             // the registry actually serves.
             let mut load_outcome = None;
             if let Some(dir) = snapshot_dir {
-                let path = dir.join(snapshot_file_name(key.0, max_row_nnz, composed_cache_bytes));
+                let path = dir.join(snapshot_file_name(key.0, max_row_nnz, cache_budget));
                 load_outcome = match crate::snapshot::read_snapshot_bytes(&path) {
                     Ok(bytes) => match crate::snapshot::decode_snapshot_into(ctx, &bytes, codec) {
                         Ok(_) => Some(true),
@@ -623,7 +623,7 @@ impl ContextRegistry {
         if let Some(dir) = snapshot_dir {
             self.sweep_once(dir);
         }
-        let (mrn, ccb) = (spec.max_row_nnz, spec.composed_cache_bytes);
+        let (mrn, ccb) = (spec.max_row_nnz, spec.cache_budget());
         let key = (graph.fingerprint(), mrn, ccb);
         let old_key = (old_fp, mrn, ccb);
         self.resolve_single_flight(key, graph, |ctx| {
@@ -748,9 +748,39 @@ impl ContextRegistry {
         let path = dir.join(snapshot_file_name(
             graph.fingerprint(),
             spec.max_row_nnz,
-            spec.composed_cache_bytes,
+            spec.cache_budget(),
         ));
         ctx.save_snapshot_merged(&path, codec)?;
+        Ok(path)
+    }
+
+    /// [`ContextRegistry::persist_with`] under a disk byte ceiling: the
+    /// snapshot keeps whole sections in priority-tier order (most
+    /// recompute-cost per byte first) while the file fits `cap_bytes`
+    /// and drops the rest — the dense propagated blocks first. The
+    /// written file is always ≤ the cap and always a valid snapshot; a
+    /// later [`ContextRegistry::resolve_or_load`] of it yields a
+    /// partial context whose missing sections degrade to counted cold
+    /// misses, never wrong bytes. Unlike [`ContextRegistry::persist`]
+    /// this does not merge an existing file first — merging could only
+    /// grow the payload back over the ceiling the caller asked for.
+    pub fn persist_capped(
+        &self,
+        dir: &Path,
+        graph: &Arc<HeteroGraph>,
+        spec: &CondenseSpec,
+        codec: Option<&dyn PropagatedCodec>,
+        cap_bytes: usize,
+    ) -> Result<PathBuf, SnapshotError> {
+        let ctx = self.context_for(graph, spec);
+        std::fs::create_dir_all(dir)?;
+        self.sweep_once(dir);
+        let path = dir.join(snapshot_file_name(
+            graph.fingerprint(),
+            spec.max_row_nnz,
+            spec.cache_budget(),
+        ));
+        ctx.save_snapshot_capped(&path, codec, cap_bytes)?;
         Ok(path)
     }
 

@@ -18,7 +18,7 @@
 //! version  u32       SNAPSHOT_VERSION
 //! fp       u64 × 2   GraphFingerprint of the source graph
 //! cap      opt       max_row_nnz knob   (u8 tag, then u64 when Some)
-//! budget   opt       composed-cache byte budget knob
+//! budget   opt       unified cache byte budget knob
 //! nsect    u32       number of sections
 //! section* id u8 | payload_len u64 | checksum u64 | payload bytes
 //! ```
@@ -29,6 +29,21 @@
 //! when a [`PropagatedCodec`] is supplied — the type-erased propagated
 //! blocks. Map contents are written in key order, so identical cache
 //! contents produce identical bytes.
+//!
+//! # Priority-tiered layout
+//!
+//! Sections are written in descending recompute-cost-per-byte order —
+//! influence, diversity, composed, factors, propagated — i.e. most
+//! valuable per stored byte first, so a byte ceiling
+//! ([`encode_snapshot_capped`] /
+//! [`CondenseContext::save_snapshot_capped`]) can drop whole trailing
+//! tiers (the dense propagated blocks first — cheapest to rebuild, and
+//! they dominate the file) while keeping the file a perfectly valid
+//! snapshot. A capped snapshot loads as a *partial* context: absent
+//! sections simply become counted cold misses on first use, never wrong
+//! bytes. Decoding dispatches on each section's id, so the tier order
+//! needed no format-version bump — old readers and old files both keep
+//! working.
 //!
 //! # Trust model
 //!
@@ -184,6 +199,15 @@ pub trait PropagatedCodec {
     fn resident_bytes(&self, _value: &dyn Any) -> usize {
         0
     }
+
+    /// Recompute-cost estimate of a decoded value in the accountant's
+    /// shared flop currency, so a loaded entry competes for budget
+    /// exactly like a computed one. The default reports 0 (unknown —
+    /// the entry becomes the accountant's first eviction victim, which
+    /// is safe: eviction only forces a pure recompute).
+    fn recompute_cost(&self, _value: &dyn Any) -> u64 {
+        0
+    }
 }
 
 /// Canonical file name for a snapshot: the registry key — fingerprint
@@ -193,7 +217,7 @@ pub trait PropagatedCodec {
 pub fn snapshot_file_name(
     fp: GraphFingerprint,
     max_row_nnz: Option<usize>,
-    composed_budget: Option<usize>,
+    cache_budget: Option<usize>,
 ) -> String {
     fn knob(o: Option<usize>) -> String {
         o.map_or_else(|| "none".to_string(), |v| v.to_string())
@@ -201,7 +225,7 @@ pub fn snapshot_file_name(
     format!(
         "ctx-{fp}-k{}-b{}.fhgc",
         knob(max_row_nnz),
-        knob(composed_budget)
+        knob(cache_budget)
     )
 }
 
@@ -684,7 +708,7 @@ fn encode_diversity(ctx: &CondenseContext<'_>) -> Vec<u8> {
 
 fn encode_propagated(ctx: &CondenseContext<'_>, codec: &dyn PropagatedCodec) -> Vec<u8> {
     let mut encoded: Vec<((usize, usize), Vec<u8>)> = Vec::new();
-    for (key, value, _) in ctx.dump_propagated() {
+    for (key, value, _, _) in ctx.dump_propagated() {
         if let Some(bytes) = codec.encode(value.as_ref()) {
             encoded.push((key, bytes));
         }
@@ -700,35 +724,87 @@ fn encode_propagated(ctx: &CondenseContext<'_>, codec: &dyn PropagatedCodec) -> 
     w.into_bytes()
 }
 
-/// Serializes `ctx`'s caches to snapshot bytes. Pure in-memory encoding;
-/// see [`CondenseContext::save_snapshot`] for the file wrapper.
-pub fn encode_snapshot(ctx: &CondenseContext<'_>, codec: Option<&dyn PropagatedCodec>) -> Vec<u8> {
-    let fp = ctx.graph().fingerprint();
+/// Encodes every section payload in *tier order*: descending
+/// recompute-cost-per-byte, so a byte cap truncates from the cheap end.
+/// Influence and diversity vectors are tiny and dear (dozens of passes
+/// per element to rebuild); composed products cost a full SpGEMM chain;
+/// factors are one normalization each but the engine would pin their
+/// buffers anyway; the dense propagated blocks are one SpMM per block
+/// and dominate the file, so they go last and drop first.
+fn encode_sections(
+    ctx: &CondenseContext<'_>,
+    codec: Option<&dyn PropagatedCodec>,
+) -> Vec<(u8, Vec<u8>)> {
     let mut sections: Vec<(u8, Vec<u8>)> = vec![
-        (SECTION_FACTORS, encode_factors(ctx)),
-        (SECTION_COMPOSED, encode_composed(ctx)),
         (SECTION_INFLUENCE, encode_influence(ctx)),
         (SECTION_DIVERSITY, encode_diversity(ctx)),
+        (SECTION_COMPOSED, encode_composed(ctx)),
+        (SECTION_FACTORS, encode_factors(ctx)),
     ];
     if let Some(codec) = codec {
         sections.push((SECTION_PROPAGATED, encode_propagated(ctx, codec)));
     }
+    sections
+}
 
+/// Bytes one section contributes beyond its payload: id (u8) +
+/// payload length (u64) + checksum (u64).
+const SECTION_OVERHEAD: usize = 1 + 8 + 8;
+
+/// Assembles the snapshot header plus `sections` into file bytes.
+fn assemble_snapshot(ctx: &CondenseContext<'_>, sections: &[(u8, Vec<u8>)]) -> Vec<u8> {
+    let fp = ctx.graph().fingerprint();
     let mut w = ByteWriter::new();
     w.put_bytes(&SNAPSHOT_MAGIC);
     w.put_u32(SNAPSHOT_VERSION);
     w.put_u64(fp.0);
     w.put_u64(fp.1);
     w.put_opt_usize(ctx.max_row_nnz());
-    w.put_opt_usize(ctx.composed_budget());
+    w.put_opt_usize(ctx.cache_budget());
     w.put_u32(sections.len() as u32);
     for (id, payload) in sections {
-        w.put_u8(id);
+        w.put_u8(*id);
         w.put_usize(payload.len());
-        w.put_u64(section_checksum(id, &payload));
-        w.put_bytes(&payload);
+        w.put_u64(section_checksum(*id, payload));
+        w.put_bytes(payload);
     }
     w.into_bytes()
+}
+
+/// Serializes `ctx`'s caches to snapshot bytes. Pure in-memory encoding;
+/// see [`CondenseContext::save_snapshot`] for the file wrapper.
+pub fn encode_snapshot(ctx: &CondenseContext<'_>, codec: Option<&dyn PropagatedCodec>) -> Vec<u8> {
+    assemble_snapshot(ctx, &encode_sections(ctx, codec))
+}
+
+/// [`encode_snapshot`] under a byte ceiling: includes whole sections in
+/// tier order (most recompute-cost per byte first) while the assembled
+/// file stays ≤ `cap_bytes`, and drops the rest. Returns the file bytes
+/// plus how many sections were dropped. The result is always a valid
+/// snapshot — a cap smaller than even the header yields a
+/// zero-section file, which loads as an entirely cold (but well-formed)
+/// context. Dropped tiers degrade to counted cold misses on first use;
+/// they can never produce wrong bytes.
+pub fn encode_snapshot_capped(
+    ctx: &CondenseContext<'_>,
+    codec: Option<&dyn PropagatedCodec>,
+    cap_bytes: usize,
+) -> (Vec<u8>, usize) {
+    let all = encode_sections(ctx, codec);
+    let header_bytes = assemble_snapshot(ctx, &[]).len();
+    let mut total = header_bytes;
+    let mut kept: Vec<(u8, Vec<u8>)> = Vec::new();
+    let mut dropped = 0usize;
+    for (id, payload) in all {
+        let with = total + SECTION_OVERHEAD + payload.len();
+        if with <= cap_bytes {
+            total = with;
+            kept.push((id, payload));
+        } else {
+            dropped += 1;
+        }
+    }
+    (assemble_snapshot(ctx, &kept), dropped)
 }
 
 /// Fully decoded snapshot contents, staged before installation so a
@@ -1058,7 +1134,7 @@ fn decode_snapshot_core(
     }
     let cap = r.opt_usize()?;
     let budget = r.opt_usize()?;
-    if cap != ctx.max_row_nnz() || budget != ctx.composed_budget() {
+    if cap != ctx.max_row_nnz() || budget != ctx.cache_budget() {
         return Err(SnapshotError::WrongKnobs);
     }
 
@@ -1133,7 +1209,8 @@ fn decode_snapshot_core(
     }
     for (k, v) in staging.propagated {
         let bytes = codec.map_or(0, |c| c.resident_bytes(v.as_ref()));
-        ctx.install_propagated(k, v, bytes);
+        let cost = codec.map_or(0, |c| c.recompute_cost(v.as_ref()));
+        ctx.install_propagated(k, v, bytes, cost);
     }
     Ok(report)
 }
@@ -1171,6 +1248,30 @@ impl CondenseContext<'_> {
             write_atomic(&std::path::PathBuf::from(tmp), path, &bytes)
         })?;
         Ok(())
+    }
+
+    /// [`CondenseContext::save_snapshot_with`] under a disk byte
+    /// ceiling: whole sections are kept in tier order (see
+    /// [`encode_snapshot_capped`]) while the file fits `cap_bytes`, and
+    /// the cheap-to-recompute rest is dropped. Returns how many
+    /// sections were dropped. The written file is always a valid
+    /// snapshot ≤ the cap; loading it yields a partial context whose
+    /// missing entries degrade to counted cold misses.
+    pub fn save_snapshot_capped(
+        &self,
+        path: &Path,
+        codec: Option<&dyn PropagatedCodec>,
+        cap_bytes: usize,
+    ) -> Result<usize, SnapshotError> {
+        static SAVE_SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+        let (bytes, dropped) = encode_snapshot_capped(self, codec, cap_bytes);
+        retry_io(|| {
+            let seq = SAVE_SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            let mut tmp = path.as_os_str().to_owned();
+            tmp.push(format!(".tmp-{}-{seq}", std::process::id()));
+            write_atomic(&std::path::PathBuf::from(tmp), path, &bytes)
+        })?;
+        Ok(dropped)
     }
 
     /// [`CondenseContext::save_snapshot_with`], made *monotone*: any

@@ -221,6 +221,57 @@ fn torn_write_retries_and_the_orphan_is_swept_on_restart() {
 }
 
 #[test]
+fn accountant_pressure_spike_never_changes_output_bits() {
+    drill(|| {
+        let g = Arc::new(tiny(48));
+        let spec = CondenseSpec::new(0.25).with_max_hops(2).with_seed(5);
+        let want = FreeHgc::default().condense_shared(&ContextRegistry::new(), &g, &spec);
+
+        // Reject roughly half of ALL cache admissions — every family of
+        // the unified accountant (composed, influence, diversity,
+        // propagated) sees the spike, not just the composed one.
+        let knobs = ChaosKnobs {
+            seed: 13,
+            accountant_pressure_one_in: Some(2),
+            ..Default::default()
+        };
+        assert!(ChaosKnobs::active(), "suite runs with failpoints on");
+        knobs.arm();
+        let reg = ContextRegistry::new();
+        let got = FreeHgc::default().condense_shared(&reg, &g, &spec);
+        let ctx = reg.context_for(&g, &spec);
+        freehgc::hgnn::propagation::propagate_ctx(&ctx, 2, 8);
+        assert!(
+            ChaosKnobs::faults_fired() > 0,
+            "the pressure site must actually fire"
+        );
+        assert_eq!(got.orig_ids, want.orig_ids, "rejections only cost reuse");
+        let st = ctx.stats();
+        assert!(
+            st.composed_rejected
+                + st.influence_rejected
+                + st.diversity_rejected
+                + st.propagated_rejected
+                > 0,
+            "rejections are counted against the accountant's families"
+        );
+
+        // The spike must stay invisible in the bits even when it lands
+        // on the propagated family: a second propagation request under
+        // pressure recomputes or serves warm, but never diverges.
+        let calm = ContextRegistry::new().context_for(&g, &spec);
+        fp::reset();
+        let want_pf = freehgc::hgnn::propagation::propagate_ctx(&calm, 2, 8);
+        knobs.arm();
+        let got_pf = freehgc::hgnn::propagation::propagate_ctx(&ctx, 2, 8);
+        assert_eq!(want_pf.path_names, got_pf.path_names, "block names");
+        for (a, b) in want_pf.blocks.iter().zip(&got_pf.blocks) {
+            assert_eq!(a.data, b.data, "propagated bits survive the spike");
+        }
+    });
+}
+
+#[test]
 fn composed_pressure_spike_never_changes_output_bits() {
     drill(|| {
         let g = Arc::new(tiny(47));
