@@ -4,7 +4,7 @@
 //! to regress against.
 //!
 //! ```bash
-//! cargo run --release -p freehgc_bench --bin bench_report            # full scales → BENCH_PR9.json
+//! cargo run --release -p freehgc_bench --bin bench_report            # full scales → BENCH_PR10.json
 //! cargo run --release -p freehgc_bench --bin bench_report -- --quick # smoke scales
 //! cargo run --release -p freehgc_bench --bin bench_report -- --threads=8 --out=path.json
 //! ```
@@ -86,6 +86,22 @@
 //! asserts every response is bitwise-equal to the fault-free
 //! reference, that single-flight allowed zero duplicate cold computes,
 //! and that each recovery was counted.
+//!
+//! The *serve* leg (PR 10) drives the condensation service end to end:
+//! eight concurrent clients run a method × ratio grid through
+//! [`ServeHandle`]'s request path (validate → single-flight → registry
+//! fast-path peek → bounded worker pool), first cold and then warm,
+//! asserting every `Condensed` reply is bitwise-equal to a direct
+//! `condense_shared` on a fresh registry and that the warm p95 latency
+//! beats the cold p95 (the fast path answers from the registry without
+//! touching the pool). Two deterministic probes pin down the
+//! concurrency contracts: a blocked single-worker pool forces eight
+//! identical in-flight requests to coalesce onto one leader
+//! (`duplicate_computes` must stay 0), and a saturated depth-1 queue
+//! must answer with typed `Overloaded` backpressure, then serve the
+//! identical bits once the queue drains. A TCP smoke runs one
+//! ping + condense through the framed wire protocol and checks the
+//! socket path returns the same bytes as the in-process path.
 
 use freehgc_baselines::{
     CoarseningHg, GCondBaseline, GradMatchConfig, HGCondBaseline, HerdingHg, KCenterHg, RandomHg,
@@ -93,6 +109,7 @@ use freehgc_baselines::{
 use freehgc_core::selection::{condense_target, SelectionConfig};
 use freehgc_core::FreeHgc;
 use freehgc_datasets::{generate, DatasetKind};
+use freehgc_eval::{drive_clients, percentile_ms, InProcess};
 use freehgc_hetgraph::snapshot::snapshot_file_name;
 use freehgc_hetgraph::{
     CacheCounters, CondenseContext, CondenseSpec, CondensedGraph, Condenser, ContextRegistry,
@@ -103,6 +120,11 @@ use freehgc_hgnn::propagation::{
 };
 use freehgc_parallel as par;
 use freehgc_parallel::workspace as ws;
+use freehgc_parallel::WorkerPool;
+use freehgc_serve::{
+    default_methods, wire, ErrorCode, GraphRef, Reply, Request, ServeClient, ServeConfig,
+    ServeHandle, TcpServer,
+};
 use freehgc_sparse::ppr::{ppr_push, ppr_push_into, PprConfig};
 use freehgc_sparse::CsrMatrix;
 use rand::rngs::StdRng;
@@ -859,6 +881,8 @@ fn run_chaos_leg(quick: bool) -> ChaosReport {
         build_delay: true,
         composed_pressure_one_in: Some(4),
         accountant_pressure_one_in: Some(5),
+        serve_worker_panics: 0,
+        serve_queue_full: 0,
     }
     .arm();
 
@@ -939,6 +963,235 @@ fn run_chaos_leg(quick: bool) -> ChaosReport {
         report.singleflight_coalesced,
         report.io_retries,
         report.tmp_files_swept,
+        report.duplicate_computes,
+        report.bitwise_equal
+    );
+    report
+}
+
+struct ServeReport {
+    clients: usize,
+    grid_cells: usize,
+    cold_ms: f64,
+    warm_ms: f64,
+    cold_p50_ms: f64,
+    cold_p95_ms: f64,
+    warm_p50_ms: f64,
+    warm_p95_ms: f64,
+    bitwise_equal: bool,
+    fast_path_hits: u64,
+    grid_coalesced: u64,
+    coalesce_clients: usize,
+    coalesce_coalesced: u64,
+    coalesce_equal: bool,
+    overload_replies: u64,
+    overload_recovered: bool,
+    tcp_equal: bool,
+    duplicate_computes: u64,
+    pool_executed: u64,
+    resident_bytes: u64,
+}
+
+/// Spins until `cond` holds, bounded at ~4 s; the caller's gates catch
+/// a timeout (the observed counters simply stay short).
+fn spin_until(cond: impl Fn() -> bool) {
+    for _ in 0..4000 {
+        if cond() {
+            return;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(1));
+    }
+}
+
+/// The exact spec [`ServeHandle`] derives from a grid request, and its
+/// fault-free reply bytes via a direct `condense_shared` on a fresh
+/// registry — the unit the serve leg's bitwise gate compares.
+fn serve_reference(g: &Arc<HeteroGraph>, method: &str, ratio: f64, seed: u64) -> (u8, Vec<u8>) {
+    let spec = CondenseSpec::new(ratio)
+        .with_seed(seed)
+        .with_max_hops(2)
+        .with_max_paths(64);
+    let lib = default_methods();
+    let c = lib
+        .iter()
+        .find(|c| c.name() == method)
+        .expect("grid methods are all registered defaults");
+    let condensed = c.condense_shared(&ContextRegistry::new(), g, &spec);
+    wire::encode_reply_payload(&Reply::Condensed(wire::CondensedSummary::from(&condensed)))
+}
+
+fn serve_request(method: &str, ratio: f64, seed: u64) -> Request {
+    Request::Condense {
+        graph: GraphRef::Id("acm".into()),
+        method: method.to_string(),
+        ratio,
+        seed,
+        max_hops: 2,
+        max_paths: 64,
+        deadline_ms: 0,
+    }
+}
+
+fn run_serve_leg(quick: bool) -> ServeReport {
+    let scale = if quick { 0.08 } else { 0.15 };
+    let g = Arc::new(generate(DatasetKind::Acm, scale, 47));
+    let methods: &[&str] = if quick {
+        &["FreeHGC", "Random-HG", "Herding-HG"]
+    } else {
+        &["FreeHGC", "Random-HG", "Herding-HG", "K-Center-HG"]
+    };
+    let ratios = [0.25f64, 0.5];
+    let seed = 11u64;
+    let clients = 8usize;
+
+    let mut script = Vec::new();
+    let mut refs = Vec::new();
+    for m in methods {
+        for &ratio in &ratios {
+            script.push(serve_request(m, ratio, seed));
+            refs.push(serve_reference(&g, m, ratio, seed));
+        }
+    }
+    let cells = script.len();
+
+    let handle = ServeHandle::new(ServeConfig::default());
+    handle.register_graph("acm", Arc::clone(&g));
+
+    // One pass = eight concurrent clients each running the whole grid
+    // in order. Identical in-flight requests coalesce, so each cell is
+    // computed once; repeats answer from the registry fast path.
+    let run_pass = |handle: &ServeHandle| {
+        let drivers = (0..clients)
+            .map(|_| (InProcess(handle.clone()), script.clone()))
+            .collect();
+        let t0 = Instant::now();
+        let outcomes = drive_clients(drivers);
+        let ms = t0.elapsed().as_secs_f64() * 1e3;
+        let mut lat = Vec::with_capacity(clients * cells);
+        let mut equal = outcomes.len() == clients;
+        for outcome in &outcomes {
+            equal &= outcome.len() == cells;
+            for (i, t) in outcome.iter().enumerate() {
+                equal &= wire::encode_reply_payload(&t.reply) == refs[i];
+                lat.push(t.latency);
+            }
+        }
+        (ms, lat, equal)
+    };
+    let (cold_ms, cold_lat, cold_equal) = run_pass(&handle);
+    let (warm_ms, warm_lat, warm_equal) = run_pass(&handle);
+
+    // TCP smoke on the warm handle: the framed socket path must return
+    // byte-identical replies to the in-process path.
+    let mut server = TcpServer::bind(handle.clone(), "127.0.0.1:0").expect("bind loopback");
+    let mut client = ServeClient::connect(server.addr()).expect("connect loopback");
+    let ping_ok = matches!(client.call(&Request::Ping), Ok(Reply::Pong));
+    let tcp_reply = client.call(&script[0]).expect("tcp condense");
+    let tcp_equal = ping_ok && wire::encode_reply_payload(&tcp_reply) == refs[0];
+    drop(client);
+    let grid_stats = handle.stats();
+    server.shutdown(); // also shuts down `handle`
+
+    // Deterministic coalesce probe: the only worker is held at a
+    // barrier, so all eight identical cold requests are in flight
+    // together before anything executes — one leader, seven coalesced
+    // followers, exactly one compute.
+    let pool = WorkerPool::new(1, 8);
+    let gate = Arc::new(std::sync::Barrier::new(2));
+    let blocker = Arc::clone(&gate);
+    pool.submit(Box::new(move || {
+        blocker.wait();
+    }))
+    .expect("submit blocker");
+    spin_until(|| pool.queued() == 0);
+    let coalesce = ServeHandle::with_pool(ServeConfig::default(), pool);
+    coalesce.register_graph("acm", Arc::clone(&g));
+    let creq = serve_request("Random-HG", 0.5, 99);
+    let cref = serve_reference(&g, "Random-HG", 0.5, 99);
+    let waiters: Vec<_> = (0..clients)
+        .map(|_| {
+            let h = coalesce.clone();
+            let r = creq.clone();
+            std::thread::spawn(move || h.call(&r))
+        })
+        .collect();
+    spin_until(|| coalesce.stats().coalesced == clients as u64 - 1);
+    let coalesce_coalesced = coalesce.stats().coalesced;
+    gate.wait();
+    let replies: Vec<Reply> = waiters
+        .into_iter()
+        .map(|t| t.join().expect("coalesce client panicked"))
+        .collect();
+    let coalesce_equal = replies
+        .iter()
+        .all(|r| wire::encode_reply_payload(r) == cref);
+    let coalesce_stats = coalesce.stats();
+    coalesce.shutdown();
+
+    // Deterministic overload probe: a depth-1 queue saturated by a
+    // barrier-held worker plus one queued no-op, so cold requests must
+    // bounce with typed backpressure — and serve the reference bits
+    // once the queue drains.
+    let pool = WorkerPool::new(1, 1);
+    let gate = Arc::new(std::sync::Barrier::new(2));
+    let blocker = Arc::clone(&gate);
+    pool.submit(Box::new(move || {
+        blocker.wait();
+    }))
+    .expect("submit blocker");
+    spin_until(|| pool.queued() == 0);
+    pool.submit(Box::new(|| {})).expect("fill the queue slot");
+    let overload = ServeHandle::with_pool(ServeConfig::default(), pool);
+    overload.register_graph("acm", Arc::clone(&g));
+    let oreq = serve_request("Random-HG", 0.5, 77);
+    let oref = serve_reference(&g, "Random-HG", 0.5, 77);
+    let bounced = [overload.call(&oreq), overload.call(&oreq)];
+    let overload_replies = overload.stats().overloaded;
+    gate.wait();
+    spin_until(|| overload.pool().queued() == 0);
+    let served = overload.call(&oreq);
+    let overload_recovered = bounced
+        .iter()
+        .all(|r| r.error_code() == Some(ErrorCode::Overloaded))
+        && wire::encode_reply_payload(&served) == oref;
+    overload.shutdown();
+
+    let report = ServeReport {
+        clients,
+        grid_cells: cells,
+        cold_ms,
+        warm_ms,
+        cold_p50_ms: percentile_ms(&cold_lat, 50.0),
+        cold_p95_ms: percentile_ms(&cold_lat, 95.0),
+        warm_p50_ms: percentile_ms(&warm_lat, 50.0),
+        warm_p95_ms: percentile_ms(&warm_lat, 95.0),
+        bitwise_equal: cold_equal && warm_equal && coalesce_equal,
+        fast_path_hits: grid_stats.fast_path_hits,
+        grid_coalesced: grid_stats.coalesced,
+        coalesce_clients: clients,
+        coalesce_coalesced,
+        coalesce_equal,
+        overload_replies,
+        overload_recovered,
+        tcp_equal,
+        duplicate_computes: grid_stats.duplicate_computes + coalesce_stats.duplicate_computes,
+        pool_executed: grid_stats.pool_executed,
+        resident_bytes: grid_stats.resident_bytes,
+    };
+    eprintln!(
+        "serve leg                    {} clients x {} cells   cold {:>9.3} ms (p95 {:.3})   \
+         warm {:>9.3} ms (p95 {:.3})   fast_path {}   coalesced {}+{}   overloads {}   \
+         dup_computes {}   bitwise_equal={}",
+        report.clients,
+        report.grid_cells,
+        report.cold_ms,
+        report.cold_p95_ms,
+        report.warm_ms,
+        report.warm_p95_ms,
+        report.fast_path_hits,
+        report.grid_coalesced,
+        report.coalesce_coalesced,
+        report.overload_replies,
         report.duplicate_computes,
         report.bitwise_equal
     );
@@ -1221,7 +1474,7 @@ fn fmt_ms(v: f64) -> String {
 fn main() {
     let mut quick = false;
     let mut threads = 4usize;
-    let mut out_path = "BENCH_PR9.json".to_string();
+    let mut out_path = "BENCH_PR10.json".to_string();
     // The effective FREEHGC_THREADS / machine default, captured before
     // the measurement loops start flipping the runtime override.
     let freehgc_threads = par::max_threads();
@@ -1369,11 +1622,14 @@ fn main() {
     // Memory-governance leg (PR 9).
     let memory = run_memory_leg(quick);
 
+    // Condensation-as-a-service leg (PR 10).
+    let serve = run_serve_leg(quick);
+
     // Emit the JSON report.
     let avail = std::thread::available_parallelism().map_or(1, |n| n.get());
     let mut out = String::new();
     out.push_str("{\n");
-    out.push_str("  \"pr\": 9,\n");
+    out.push_str("  \"pr\": 10,\n");
     out.push_str("  \"created_by\": \"bench_report\",\n");
     out.push_str(&format!("  \"quick\": {quick},\n"));
     out.push_str("  \"machine\": {\n");
@@ -1706,6 +1962,58 @@ fn main() {
         memory.snapshot_dropped_sections, memory.capped_installed, memory.capped_equal
     ));
     out.push_str("    }\n");
+    out.push_str("  },\n");
+    out.push_str("  \"serve\": {\n");
+    out.push_str(
+        "    \"note\": \"Eight concurrent clients run a method x ratio grid through the serving \
+         request path (validate -> single-flight -> registry fast-path peek -> bounded worker \
+         pool), cold then warm. bitwise_equal asserts every Condensed reply matched a direct \
+         condense_shared on a fresh registry, byte for byte, across both passes and the \
+         coalesce probe; warm_p95_ms must beat cold_p95_ms (repeats answer from the reply \
+         memo / registry fast path without touching the pool). The coalesce probe holds the \
+         only worker at a \
+         barrier so eight identical in-flight requests elect one leader (duplicate_computes \
+         must stay 0); the overload probe saturates a depth-1 queue and must get typed \
+         Overloaded backpressure, then identical bits once the queue drains. tcp_bitwise_equal \
+         is one framed ping + condense over a loopback socket matching the in-process \
+         bytes.\",\n",
+    );
+    out.push_str(&format!(
+        "    \"clients\": {},\n    \"grid_cells\": {},\n",
+        serve.clients, serve.grid_cells
+    ));
+    out.push_str(&format!(
+        "    \"cold_ms\": {},\n    \"warm_ms\": {},\n",
+        fmt_ms(serve.cold_ms),
+        fmt_ms(serve.warm_ms)
+    ));
+    out.push_str(&format!(
+        "    \"cold_p50_ms\": {},\n    \"cold_p95_ms\": {},\n    \"warm_p50_ms\": {},\n    \
+         \"warm_p95_ms\": {},\n",
+        fmt_ms(serve.cold_p50_ms),
+        fmt_ms(serve.cold_p95_ms),
+        fmt_ms(serve.warm_p50_ms),
+        fmt_ms(serve.warm_p95_ms)
+    ));
+    out.push_str(&format!(
+        "    \"fast_path_hits\": {},\n    \"grid_coalesced\": {},\n    \"pool_executed\": {},\n",
+        serve.fast_path_hits, serve.grid_coalesced, serve.pool_executed
+    ));
+    out.push_str(&format!(
+        "    \"coalesce_probe\": {{ \"clients\": {}, \"coalesced\": {}, \"bitwise_equal\": {} \
+         }},\n",
+        serve.coalesce_clients, serve.coalesce_coalesced, serve.coalesce_equal
+    ));
+    out.push_str(&format!(
+        "    \"overload_probe\": {{ \"replies\": {}, \"recovered\": {} }},\n",
+        serve.overload_replies, serve.overload_recovered
+    ));
+    out.push_str(&format!(
+        "    \"tcp_bitwise_equal\": {},\n    \"duplicate_computes\": {},\n    \
+         \"resident_bytes\": {},\n",
+        serve.tcp_equal, serve.duplicate_computes, serve.resident_bytes
+    ));
+    out.push_str(&format!("    \"bitwise_equal\": {}\n", serve.bitwise_equal));
     out.push_str("  }\n");
     out.push_str("}\n");
     std::fs::write(&out_path, &out).expect("write bench report");
@@ -1912,6 +2220,52 @@ fn main() {
     }
     if !memory.capped_equal {
         eprintln!("FATAL: a workload served from the capped snapshot diverged from the reference");
+        std::process::exit(1);
+    }
+    // PR-10 serving gates. Bitwise first, as always.
+    if !serve.bitwise_equal {
+        eprintln!("FATAL: a served condensation diverged bitwise from direct condense_shared");
+        std::process::exit(1);
+    }
+    if serve.duplicate_computes != 0 {
+        eprintln!(
+            "FATAL: the serve leg recorded {} duplicate cold computes — request coalescing is \
+             broken",
+            serve.duplicate_computes
+        );
+        std::process::exit(1);
+    }
+    if serve.coalesce_coalesced != serve.coalesce_clients as u64 - 1 {
+        eprintln!(
+            "FATAL: the coalesce probe merged {} of {} identical in-flight requests — \
+             single-flight serving is broken",
+            serve.coalesce_coalesced,
+            serve.coalesce_clients - 1
+        );
+        std::process::exit(1);
+    }
+    if serve.overload_replies == 0 || !serve.overload_recovered {
+        eprintln!(
+            "FATAL: the overload probe got {} typed backpressure replies (recovered: {}) — a \
+             full queue must bounce with Overloaded and then serve identical bits",
+            serve.overload_replies, serve.overload_recovered
+        );
+        std::process::exit(1);
+    }
+    if serve.fast_path_hits == 0 {
+        eprintln!("FATAL: the warm serve pass never hit the registry fast path");
+        std::process::exit(1);
+    }
+    if serve.warm_p95_ms >= serve.cold_p95_ms {
+        eprintln!(
+            "FATAL: warm serving p95 did not beat cold p95 ({:.3} ms >= {:.3} ms) — the \
+             fast-path peek is not skipping the pool",
+            serve.warm_p95_ms, serve.cold_p95_ms
+        );
+        std::process::exit(1);
+    }
+    if !serve.tcp_equal {
+        eprintln!("FATAL: the TCP transport returned different bytes than the in-process path");
         std::process::exit(1);
     }
 }

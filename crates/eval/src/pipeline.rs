@@ -106,6 +106,15 @@ pub struct ChaosKnobs {
     /// propagated), as a stand-in for a whole-accountant
     /// memory-pressure spike.
     pub accountant_pressure_one_in: Option<u64>,
+    /// Panic the next N serving-worker request executions (between
+    /// dequeue and the condensation). Each fires as a typed
+    /// `WorkerPanic` error reply to exactly one client; the pool and
+    /// registry keep serving.
+    pub serve_worker_panics: u64,
+    /// Treat the next N serving enqueues as if the bounded queue were
+    /// full: the client gets a typed `Overloaded` backpressure reply
+    /// even though depth remains.
+    pub serve_queue_full: u64,
 }
 
 impl ChaosKnobs {
@@ -139,6 +148,12 @@ impl ChaosKnobs {
         }
         if let Some(one_in) = self.accountant_pressure_one_in {
             fp::arm_seeded(fp::ACCOUNTANT_PRESSURE, self.seed.wrapping_add(2), one_in);
+        }
+        if self.serve_worker_panics > 0 {
+            fp::arm(fp::SERVE_WORKER_PANIC, self.serve_worker_panics);
+        }
+        if self.serve_queue_full > 0 {
+            fp::arm(fp::SERVE_QUEUE_FULL, self.serve_queue_full);
         }
     }
 

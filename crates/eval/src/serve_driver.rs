@@ -1,0 +1,131 @@
+//! Concurrent client driver for the serving layer.
+//!
+//! Abstracts the transport — in-process [`ServeHandle`] or a TCP
+//! [`ServeClient`] — behind one [`Transport`] trait, drives N scripted
+//! clients concurrently, and reduces per-request latencies to the
+//! percentile summaries the bench's serve leg gates on (cold vs warm
+//! tails, overload rates, bitwise-equality inputs).
+
+use freehgc_serve::{Reply, Request, ServeClient, ServeHandle};
+use std::time::{Duration, Instant};
+
+/// One request/reply transport a driven client speaks over. `call`
+/// blocks for the reply; transport-level failures surface as
+/// `io::Error` (protocol-level failures are typed [`Reply::Error`]s).
+pub trait Transport: Send {
+    fn call(&mut self, req: &Request) -> std::io::Result<Reply>;
+}
+
+/// The zero-copy transport: requests go straight into the server's
+/// `call` path, no sockets, no frames. What the bench uses so latency
+/// measures serving, not loopback.
+pub struct InProcess(pub ServeHandle);
+
+impl Transport for InProcess {
+    fn call(&mut self, req: &Request) -> std::io::Result<Reply> {
+        Ok(self.0.call(req))
+    }
+}
+
+impl Transport for ServeClient {
+    fn call(&mut self, req: &Request) -> std::io::Result<Reply> {
+        ServeClient::call(self, req)
+    }
+}
+
+/// One reply with its observed latency.
+#[derive(Clone, Debug)]
+pub struct Timed {
+    pub reply: Reply,
+    pub latency: Duration,
+}
+
+/// Runs every scripted client concurrently (one thread each; requests
+/// within a client run in order) and returns per-client outcomes in
+/// input order. A transport error aborts only that client's remaining
+/// script; its partial outcome is returned.
+pub fn drive_clients<T: Transport + 'static>(clients: Vec<(T, Vec<Request>)>) -> Vec<Vec<Timed>> {
+    let threads: Vec<_> = clients
+        .into_iter()
+        .map(|(mut transport, script)| {
+            std::thread::spawn(move || {
+                let mut out = Vec::with_capacity(script.len());
+                for req in &script {
+                    let start = Instant::now();
+                    match transport.call(req) {
+                        Ok(reply) => out.push(Timed {
+                            reply,
+                            latency: start.elapsed(),
+                        }),
+                        Err(_) => break,
+                    }
+                }
+                out
+            })
+        })
+        .collect();
+    threads
+        .into_iter()
+        .map(|t| t.join().expect("client thread panicked"))
+        .collect()
+}
+
+/// Nearest-rank percentile (`p` in `[0, 100]`) in milliseconds.
+/// Returns 0 for an empty set.
+pub fn percentile_ms(latencies: &[Duration], p: f64) -> f64 {
+    if latencies.is_empty() {
+        return 0.0;
+    }
+    let mut ms: Vec<f64> = latencies.iter().map(|d| d.as_secs_f64() * 1e3).collect();
+    ms.sort_by(|a, b| a.total_cmp(b));
+    let rank = ((p / 100.0) * ms.len() as f64).ceil() as usize;
+    ms[rank.saturating_sub(1).min(ms.len() - 1)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use freehgc_serve::{GraphRef, ServeConfig};
+    use std::sync::Arc;
+
+    #[test]
+    fn drives_concurrent_clients_in_script_order() {
+        let handle = ServeHandle::new(ServeConfig::default());
+        handle.register_graph("acm", Arc::new(freehgc_datasets::tiny(1)));
+        let script = vec![
+            Request::Ping,
+            Request::Condense {
+                graph: GraphRef::Id("acm".into()),
+                method: "Random-HG".into(),
+                ratio: 0.5,
+                seed: 1,
+                max_hops: 2,
+                max_paths: 32,
+                deadline_ms: 0,
+            },
+            Request::Stats,
+        ];
+        let clients = (0..3)
+            .map(|_| (InProcess(handle.clone()), script.clone()))
+            .collect();
+        let outcomes = drive_clients(clients);
+        assert_eq!(outcomes.len(), 3);
+        for outcome in &outcomes {
+            assert_eq!(outcome.len(), 3);
+            assert_eq!(outcome[0].reply, Reply::Pong);
+            assert!(outcome[1].reply.error_code().is_none());
+            assert!(matches!(outcome[2].reply, Reply::Stats(_)));
+        }
+        handle.shutdown();
+    }
+
+    #[test]
+    fn percentile_is_nearest_rank() {
+        let lat: Vec<Duration> = (1..=100).map(Duration::from_millis).collect();
+        assert_eq!(percentile_ms(&lat, 50.0), 50.0);
+        assert_eq!(percentile_ms(&lat, 95.0), 95.0);
+        assert_eq!(percentile_ms(&lat, 100.0), 100.0);
+        assert_eq!(percentile_ms(&[], 50.0), 0.0);
+        assert_eq!(percentile_ms(&[Duration::from_millis(7)], 95.0), 7.0);
+    }
+}

@@ -51,6 +51,16 @@ pub const COMPOSED_PRESSURE: &str = "composed.pressure";
 /// a counted rejection per family; the caller keeps its freshly
 /// computed (bit-identical) value.
 pub const ACCOUNTANT_PRESSURE: &str = "accountant.pressure";
+/// Injected panic inside a serving worker's request execution (between
+/// dequeue and the condensation itself). Degrades to a typed error
+/// reply for exactly that request; the worker, pool and registry keep
+/// serving.
+pub const SERVE_WORKER_PANIC: &str = "serve.worker.panic";
+/// Simulated full serving queue: the enqueue path treats the bounded
+/// queue as at capacity and replies with typed backpressure
+/// (`Overloaded`) even when depth remains — a stand-in for an overload
+/// spike.
+pub const SERVE_QUEUE_FULL: &str = "serve.queue.full";
 
 #[cfg(feature = "failpoints")]
 mod imp {

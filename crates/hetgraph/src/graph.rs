@@ -18,7 +18,7 @@ use std::sync::OnceLock;
 /// keeps every cached entry whose inputs a delta provably leaves alone.
 /// Node counts and the schema are fixed — a delta rewires and re-weights,
 /// it does not grow the graph.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct GraphDelta {
     edge_adds: BTreeMap<EdgeTypeId, Vec<(u32, u32, f32)>>,
     edge_removes: BTreeMap<EdgeTypeId, Vec<(u32, u32)>>,
@@ -83,6 +83,26 @@ impl GraphDelta {
     /// The node types whose features this delta rewrites, sorted.
     pub fn touched_features(&self) -> Vec<NodeTypeId> {
         self.feature_updates.keys().copied().collect()
+    }
+
+    /// Queued edge adds, keyed by edge type in sorted order. Ops within
+    /// a type keep insertion order — replaying them through
+    /// [`GraphDelta::add_weighted_edge`] reconstructs an equivalent
+    /// delta, which is what the serving wire codec does.
+    pub fn edge_add_ops(&self) -> impl Iterator<Item = (EdgeTypeId, &[(u32, u32, f32)])> {
+        self.edge_adds.iter().map(|(e, v)| (*e, v.as_slice()))
+    }
+
+    /// Queued edge removes, keyed by edge type in sorted order.
+    pub fn edge_remove_ops(&self) -> impl Iterator<Item = (EdgeTypeId, &[(u32, u32)])> {
+        self.edge_removes.iter().map(|(e, v)| (*e, v.as_slice()))
+    }
+
+    /// Queued whole-row feature overwrites, keyed by node type in sorted
+    /// order. Within a type, later rows win on replay — preserved order
+    /// keeps that semantics.
+    pub fn feature_update_ops(&self) -> impl Iterator<Item = (NodeTypeId, &[(u32, Vec<f32>)])> {
+        self.feature_updates.iter().map(|(t, v)| (*t, v.as_slice()))
     }
 }
 

@@ -36,7 +36,7 @@ pub use metapath::{enumerate_metapaths, metapaths_to, MetaPath, MetaPathEngine, 
 pub use registry::{ContextRegistry, FaultStats, GraphFingerprint};
 pub use schema::{EdgeTypeId, NodeTypeId, Role, Schema};
 pub use snapshot::{
-    decode_snapshot_delta_into, snapshot_file_name, PropagatedCodec, SnapshotError,
-    SnapshotLoadReport, SNAPSHOT_VERSION,
+    decode_snapshot_delta_into, snapshot_file_name, ByteReader, ByteWriter, PropagatedCodec,
+    SnapshotError, SnapshotLoadReport, SNAPSHOT_VERSION,
 };
 pub use split::Split;

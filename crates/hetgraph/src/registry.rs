@@ -60,13 +60,14 @@
 //! # Memory lifecycle
 //!
 //! A registered context lives (with its graph `Arc`) until
-//! [`ContextRegistry::evict`]/[`ContextRegistry::clear`] drop it, and
-//! only its *composed* cache is byte-budgeted — the influence,
-//! diversity and propagated caches are unbounded, and the propagated
-//! blocks are dense (usually the largest per-graph artifact). A
-//! long-running service should budget the composed cache via the spec
-//! knob, evict datasets it no longer serves, and treat per-cache
-//! budgets for the remaining caches as future work (see ROADMAP).
+//! [`ContextRegistry::evict`]/[`ContextRegistry::clear`] drop it. Each
+//! context's four cache families share one byte-budgeted accountant
+//! (`CondenseSpec::context_cache_bytes`), and the registry rolls the
+//! per-context ledgers up: [`ContextRegistry::resident_bytes`] is the
+//! cross-context total, and [`ContextRegistry::evict_idle`] sheds whole
+//! least-recently-resolved contexts until that total fits a deployment
+//! ceiling — the coarse knob a multi-dataset serving process turns when
+//! per-context budgets alone still sum past its memory.
 
 use crate::condense::CondenseSpec;
 use crate::context::{relock, CondenseContext, DeltaSeedReport};
@@ -200,9 +201,16 @@ fn same_shape(a: &HeteroGraph, b: &HeteroGraph) -> bool {
 type RegistryKey = (GraphFingerprint, Option<usize>, Option<usize>);
 
 /// One registry map slot: either a served context or an in-flight build
-/// other resolvers of the same key coalesce onto.
+/// other resolvers of the same key coalesce onto. Ready slots carry the
+/// logical timestamp of their most recent resolution (a tick of the
+/// registry's `touch_clock`), which orders
+/// [`ContextRegistry::evict_idle`]'s least-recently-resolved-first
+/// eviction.
 enum Slot {
-    Ready(Arc<CondenseContext<'static>>),
+    Ready {
+        ctx: Arc<CondenseContext<'static>>,
+        touch: u64,
+    },
     Building(Arc<Flight>),
 }
 
@@ -306,6 +314,10 @@ pub struct ContextRegistry {
     singleflight_coalesced: AtomicU64,
     tmp_files_swept: AtomicU64,
     duplicate_computes: AtomicU64,
+    /// Logical clock stamping each resolution; orders
+    /// [`ContextRegistry::evict_idle`]'s LRU scan. Monotonic, never
+    /// wall-clock — determinism survives.
+    touch_clock: AtomicU64,
 }
 
 impl ContextRegistry {
@@ -343,6 +355,116 @@ impl ContextRegistry {
         cache_budget: Option<usize>,
     ) -> Arc<CondenseContext<'static>> {
         self.resolve(graph, max_row_nnz, cache_budget, None, None)
+    }
+
+    /// Next tick of the resolution clock.
+    fn tick(&self) -> u64 {
+        self.touch_clock.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Warm-only lookup: returns the registered context for `(graph,
+    /// spec)` if — and only if — a finished build is already resident.
+    /// Never builds, never blocks on an in-flight build (a `Building`
+    /// slot reports `None`), and counts in neither
+    /// [`ContextRegistry::lookup_stats`] bucket; it does refresh the
+    /// entry's recency for [`ContextRegistry::evict_idle`]. This is the
+    /// serving fast path: answer a warm request without ever touching a
+    /// worker pool, fall through to the queued
+    /// [`ContextRegistry::context_for`] path on `None`.
+    pub fn peek(
+        &self,
+        graph: &Arc<HeteroGraph>,
+        spec: &CondenseSpec,
+    ) -> Option<Arc<CondenseContext<'static>>> {
+        self.peek_with(graph, spec.max_row_nnz, spec.cache_budget())
+    }
+
+    /// [`ContextRegistry::peek`] with explicit knobs.
+    pub fn peek_with(
+        &self,
+        graph: &Arc<HeteroGraph>,
+        max_row_nnz: Option<usize>,
+        cache_budget: Option<usize>,
+    ) -> Option<Arc<CondenseContext<'static>>> {
+        let key = (graph.fingerprint(), max_row_nnz, cache_budget);
+        let mut entries = relock(&self.entries);
+        match entries.get_mut(&key) {
+            Some(Slot::Ready { ctx, touch }) => {
+                *touch = self.touch_clock.fetch_add(1, Ordering::Relaxed);
+                let ctx = Arc::clone(ctx);
+                drop(entries);
+                self.check_collision(graph, &ctx, &key);
+                Some(ctx)
+            }
+            _ => None,
+        }
+    }
+
+    /// Resident cache bytes across *every* registered context: the sum
+    /// of each ready context's unified [`CacheAccountant`] ledger
+    /// (`CondenseContext::cache_bytes` — composed + influence +
+    /// diversity + propagated). Per-context budgets bound each ledger
+    /// individually; this rollup is the number a multi-graph deployment
+    /// watches, and the input [`ContextRegistry::evict_idle`] shrinks.
+    /// In-flight builds contribute nothing (their caches are empty until
+    /// published).
+    ///
+    /// [`CacheAccountant`]: crate::context::CacheCounters
+    pub fn resident_bytes(&self) -> u64 {
+        relock(&self.entries)
+            .values()
+            .map(|slot| match slot {
+                Slot::Ready { ctx, .. } => ctx.cache_bytes() as u64,
+                Slot::Building(_) => 0,
+            })
+            .fold(0u64, u64::saturating_add)
+    }
+
+    /// Drops whole least-recently-resolved contexts until the rollup
+    /// ([`ContextRegistry::resident_bytes`]) is ≤ `keep_bytes`. Returns
+    /// how many contexts were dropped.
+    ///
+    /// Eviction is per *context*, not per cache entry — the coarse
+    /// registry-level complement to each context's own fine-grained
+    /// accountant: a serving process sheds whole idle datasets, and each
+    /// surviving context keeps governing its own families. Recency is
+    /// the registry's logical resolution clock (every
+    /// `context_for`/`peek` hit refreshes it), so the order is
+    /// deterministic for a deterministic request history. In-flight
+    /// builds are never dropped (their leaders re-insert on completion
+    /// anyway), and outstanding `Arc`s keep their contexts alive —
+    /// eviction here only forgets them, exactly like
+    /// [`ContextRegistry::evict`].
+    pub fn evict_idle(&self, keep_bytes: u64) -> usize {
+        let mut entries = relock(&self.entries);
+        let mut resident: u64 = entries
+            .values()
+            .map(|slot| match slot {
+                Slot::Ready { ctx, .. } => ctx.cache_bytes() as u64,
+                Slot::Building(_) => 0,
+            })
+            .fold(0u64, u64::saturating_add);
+        if resident <= keep_bytes {
+            return 0;
+        }
+        let mut ready: Vec<(RegistryKey, u64, u64)> = entries
+            .iter()
+            .filter_map(|(key, slot)| match slot {
+                Slot::Ready { ctx, touch } => Some((*key, *touch, ctx.cache_bytes() as u64)),
+                Slot::Building(_) => None,
+            })
+            .collect();
+        ready.sort_by_key(|&(_, touch, _)| touch);
+        let mut dropped = 0usize;
+        for (key, _, bytes) in ready {
+            if resident <= keep_bytes {
+                break;
+            }
+            entries.remove(&key);
+            resident = resident.saturating_sub(bytes);
+            dropped += 1;
+        }
+        dropped
     }
 
     /// [`ContextRegistry::context_for`], warm-starting from disk: on an
@@ -435,10 +557,12 @@ impl ContextRegistry {
             let role = {
                 let mut entries = relock(&self.entries);
                 match entries.entry(key) {
-                    std::collections::hash_map::Entry::Occupied(o) => match o.get() {
-                        Slot::Ready(ctx) => {
-                            self.check_collision(graph, ctx, &key);
-                            Role::Hit(Arc::clone(ctx))
+                    std::collections::hash_map::Entry::Occupied(mut o) => match o.get_mut() {
+                        Slot::Ready { ctx, touch } => {
+                            *touch = self.tick();
+                            let ctx = Arc::clone(ctx);
+                            self.check_collision(graph, &ctx, &key);
+                            Role::Hit(ctx)
                         }
                         Slot::Building(f) => Role::Wait(Arc::clone(f)),
                     },
@@ -498,9 +622,11 @@ impl ContextRegistry {
                                     }
                                     None => {}
                                 }
-                                if let Some(Slot::Ready(_)) =
-                                    entries.insert(key, Slot::Ready(Arc::clone(&ctx)))
-                                {
+                                let installed = Slot::Ready {
+                                    ctx: Arc::clone(&ctx),
+                                    touch: self.tick(),
+                                };
+                                if let Some(Slot::Ready { .. }) = entries.insert(key, installed) {
                                     // Unreachable while single-flight
                                     // holds: our Building slot kept
                                     // every other resolver waiting.
@@ -636,7 +762,7 @@ impl ContextRegistry {
             // on it from inside our own build could deadlock two deltas
             // chasing each other.
             let old_ctx = match relock(&self.entries).get(&old_key) {
-                Some(Slot::Ready(c)) => Some(Arc::clone(c)),
+                Some(Slot::Ready { ctx, .. }) => Some(Arc::clone(ctx)),
                 _ => None,
             };
             if let Some(old_ctx) = old_ctx {
@@ -1148,6 +1274,73 @@ mod tests {
             MAX_COMPUTE_ATTEMPTS - 1,
             "every protected attempt is counted"
         );
+    }
+
+    #[test]
+    fn peek_is_warm_only_and_refreshes_recency() {
+        let reg = ContextRegistry::new();
+        let g = Arc::new(graph(1.0));
+        let spec = CondenseSpec::new(0.5);
+        assert!(reg.peek(&g, &spec).is_none(), "cold peek must not build");
+        assert!(reg.is_empty(), "peek must not register anything");
+        assert_eq!(reg.lookup_stats(), (0, 0), "peek is not a lookup");
+        let ctx = reg.context_for(&g, &spec);
+        let peeked = reg.peek(&g, &spec).expect("warm peek");
+        assert!(Arc::ptr_eq(&ctx, &peeked));
+        assert_eq!(reg.lookup_stats(), (0, 1), "peek hits stay uncounted");
+    }
+
+    #[test]
+    fn resident_bytes_rolls_up_context_ledgers() {
+        let reg = ContextRegistry::new();
+        let g = Arc::new(graph(1.0));
+        let spec = CondenseSpec::new(0.5);
+        assert_eq!(reg.resident_bytes(), 0);
+        let ctx = reg.context_for(&g, &spec);
+        let root = g.schema().target();
+        for p in ctx.metapaths(root, 2, 100).iter() {
+            ctx.adjacency(p);
+        }
+        let one = reg.resident_bytes();
+        assert_eq!(one, ctx.cache_bytes() as u64, "one context, its ledger");
+        assert!(one > 0, "warming must grow the rollup");
+        let g2 = Arc::new(graph(2.0));
+        let ctx2 = reg.context_for(&g2, &spec);
+        for p in ctx2.metapaths(root, 2, 100).iter() {
+            ctx2.adjacency(p);
+        }
+        assert_eq!(
+            reg.resident_bytes(),
+            (ctx.cache_bytes() + ctx2.cache_bytes()) as u64,
+            "two contexts sum"
+        );
+    }
+
+    #[test]
+    fn evict_idle_drops_least_recently_resolved_first() {
+        let reg = ContextRegistry::new();
+        let ga = Arc::new(graph(1.0));
+        let gb = Arc::new(graph(2.0));
+        let spec = CondenseSpec::new(0.5);
+        let root = ga.schema().target();
+        for g in [&ga, &gb] {
+            let ctx = reg.context_for(g, &spec);
+            for p in ctx.metapaths(root, 2, 100).iter() {
+                ctx.adjacency(p);
+            }
+        }
+        // Touch A after B so B is the least recently resolved.
+        reg.context_for(&ga, &spec);
+        assert_eq!(reg.evict_idle(reg.resident_bytes()), 0, "already fits");
+        let a_bytes = reg.peek(&ga, &spec).unwrap().cache_bytes() as u64;
+        assert_eq!(reg.evict_idle(a_bytes), 1, "dropping B alone suffices");
+        assert!(
+            reg.peek(&ga, &spec).is_some(),
+            "recently-touched A survives"
+        );
+        assert!(reg.peek(&gb, &spec).is_none(), "idle B was dropped");
+        assert_eq!(reg.evict_idle(0), 1, "zero ceiling clears the rest");
+        assert!(reg.is_empty());
     }
 
     #[test]

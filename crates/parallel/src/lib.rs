@@ -28,7 +28,10 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::OnceLock;
 use std::thread;
 
+pub mod pool;
 pub mod workspace;
+
+pub use pool::{PoolStats, SubmitError, WorkerPool};
 
 /// Runtime override of the thread count (0 = no override). Takes
 /// precedence over `FREEHGC_THREADS`; used by benches and the
@@ -108,6 +111,13 @@ impl WorkerGuard {
         let prev = IN_WORKER.with(|w| w.replace(true));
         WorkerGuard { prev }
     }
+}
+
+/// Flags the current thread as a parallel worker for the returned
+/// guard's lifetime — long-lived pool workers ([`pool::WorkerPool`])
+/// enter this once so every nested kernel they run stays inline.
+pub(crate) fn enter_worker() -> WorkerGuard {
+    WorkerGuard::enter()
 }
 
 impl Drop for WorkerGuard {

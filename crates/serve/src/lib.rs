@@ -1,0 +1,28 @@
+//! Condensation-as-a-service for the FreeHGC reproduction.
+//!
+//! Three layers, strictly separated:
+//!
+//! * [`wire`] — the length-prefixed, checksummed binary protocol
+//!   (requests, replies, typed error codes). Pure data; decodes
+//!   malformed bytes to typed errors, never panics.
+//! * [`server`] — the transport-independent request path:
+//!   [`GraphCatalog`] → [`ContextRegistry`] warm fast path → request
+//!   single-flight → bounded [`WorkerPool`]. A served condensation is
+//!   bitwise-identical to `Condenser::condense_shared` against the same
+//!   registry.
+//! * [`tcp`] — a `std::net` frame pump over [`ServeHandle`]; all
+//!   protocol logic stays upstream so tests and the bench exercise it
+//!   without sockets.
+//!
+//! [`ContextRegistry`]: freehgc_hetgraph::ContextRegistry
+//! [`WorkerPool`]: freehgc_parallel::WorkerPool
+
+pub mod catalog;
+pub mod server;
+pub mod tcp;
+pub mod wire;
+
+pub use catalog::{dataset_kind_by_name, CatalogError, GraphCatalog};
+pub use server::{default_methods, CallOpts, CancelToken, ServeConfig, ServeHandle};
+pub use tcp::{ServeClient, TcpServer};
+pub use wire::{CondensedSummary, ErrorCode, GraphRef, Reply, Request, StatsReply, WireError};

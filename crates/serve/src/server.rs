@@ -1,0 +1,802 @@
+//! The request path: catalog → registry fast path → bounded pool.
+//!
+//! [`ServeHandle`] is the transport-independent server. The TCP front
+//! end ([`crate::tcp`]) and the in-process tests/bench drive the *same*
+//! `call` path, so every protocol rule — typed backpressure, request
+//! coalescing, deadlines, cancellation — is exercised without sockets.
+//!
+//! A `Condense` request travels:
+//!
+//! 1. **Catalog** — [`GraphRef`] resolves to an `Arc<HeteroGraph>`
+//!    (registered id or memoized inline spec).
+//! 2. **Fast path** — a repeat of an identical request answers from a
+//!    FIFO-capped reply memo (a condensation is a deterministic
+//!    function of its flight key, so the memoized bytes ARE the
+//!    recompute's bytes); otherwise [`ContextRegistry::peek`] lets a
+//!    warm context answer on the *caller's* thread. Neither touches
+//!    the worker pool — warm requests cannot be queued behind cold
+//!    ones.
+//! 3. **Request single-flight** — identical in-flight requests (same
+//!    graph, method, ratio, seed, hops, paths) coalesce onto one
+//!    computation; followers wait for the leader's reply. A leader that
+//!    fails hands followers a fresh election, so exactly one client
+//!    observes each injected worker panic.
+//! 4. **Bounded pool** — cold leaders enqueue on the fixed-size
+//!    [`WorkerPool`]; a full queue is a typed [`ErrorCode::Overloaded`]
+//!    reply, never unbounded buffering.
+//!
+//! Deadlines and cancellation (client disconnect) are checked at phase
+//! boundaries — before context resolution and before condensation — and
+//! while waiting on a flight, so abandoned work is shed early without
+//! ever interrupting a kernel mid-compute.
+//!
+//! The output contract is strict: a served condensation is
+//! bitwise-identical to calling `Condenser::condense_shared` directly
+//! against the same registry — serving reuses that exact code path
+//! (context resolution, panic isolation, failpoints included).
+
+use crate::catalog::{CatalogError, GraphCatalog};
+use crate::wire::{self, CondensedSummary, ErrorCode, GraphRef, Reply, Request, StatsReply};
+use freehgc_baselines::{
+    CoarseningHg, GCondBaseline, GradMatchConfig, HGCondBaseline, HerdingHg, KCenterHg, RandomHg,
+};
+use freehgc_core::FreeHgc;
+use freehgc_hetgraph::failpoints as fp;
+use freehgc_hetgraph::{CondenseSpec, Condenser, ContextRegistry, GraphFingerprint, HeteroGraph};
+use freehgc_parallel::{SubmitError, WorkerPool};
+use std::collections::{BTreeMap, VecDeque};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::time::{Duration, Instant};
+
+/// Hop/path caps a request may ask for. Generous against anything the
+/// paper grid uses; their job is to stop a hostile request from
+/// provoking a combinatorial meta-path enumeration.
+const MAX_REQUEST_HOPS: u32 = 8;
+const MAX_REQUEST_PATHS: u32 = 4096;
+/// How often a flight waiter wakes to check deadline / cancellation /
+/// the disconnect probe.
+const WAIT_SLICE: Duration = Duration::from_millis(5);
+/// A follower whose leader failed re-runs the resolution this many
+/// times before surrendering with the leader's error.
+const MAX_CALL_ATTEMPTS: u32 = 4;
+/// Completed condense replies kept for repeat requests (FIFO-capped).
+/// A condensation is a deterministic function of its flight key, so a
+/// memoized reply is exactly the bytes a recompute would produce.
+const REPLY_CACHE_CAP: usize = 256;
+
+/// Cooperative cancellation flag for one request. The transport sets it
+/// when the client disconnects; workers observe it at phase boundaries.
+#[derive(Clone, Debug, Default)]
+pub struct CancelToken(Arc<AtomicBool>);
+
+impl CancelToken {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn cancel(&self) {
+        self.0.store(true, Ordering::Relaxed);
+    }
+
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Per-call context a transport may attach.
+#[derive(Default)]
+pub struct CallOpts<'a> {
+    /// Cancellation flag shared with whoever owns the connection.
+    pub cancel: Option<CancelToken>,
+    /// Polled while the caller waits on a coalesced/pooled flight;
+    /// returning `true` means "the client is gone" — the call cancels
+    /// (and flips `cancel`, aborting the pooled job at its next phase
+    /// boundary).
+    pub disconnect_probe: Option<&'a (dyn Fn() -> bool + Sync)>,
+}
+
+/// Server construction knobs.
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Worker threads executing cold condensations.
+    pub workers: usize,
+    /// Bounded queue depth; the `workers + queue_depth + 1`-th
+    /// concurrent cold request gets a typed overload reply.
+    pub queue_depth: usize,
+    /// When set, `ApplyDelta` seeds contexts through the registry's
+    /// snapshot-aware delta path rooted here.
+    pub snapshot_dir: Option<PathBuf>,
+    /// When set, after every cold condensation the registry evicts
+    /// least-recently-resolved contexts until resident cache bytes fit —
+    /// the serving integration of `ContextRegistry::evict_idle`.
+    pub resident_budget: Option<u64>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            workers: 4,
+            queue_depth: 64,
+            snapshot_dir: None,
+            resident_budget: None,
+        }
+    }
+}
+
+/// The default method table: every condenser of the paper's comparison,
+/// with the gradient-matching baselines at the bench's quick settings
+/// so a served request and a direct `condense_shared` agree bit for
+/// bit.
+pub fn default_methods() -> Vec<Box<dyn Condenser + Send + Sync>> {
+    let quick_gm = GradMatchConfig {
+        outer: 3,
+        inner: 2,
+        relay_samples: 2,
+        ..Default::default()
+    };
+    vec![
+        Box::new(FreeHgc::default()),
+        Box::new(RandomHg),
+        Box::new(HerdingHg),
+        Box::new(KCenterHg),
+        Box::new(CoarseningHg),
+        Box::new(HGCondBaseline {
+            cfg: quick_gm.clone(),
+            kmeans_iters: 3,
+        }),
+        Box::new(GCondBaseline {
+            cfg: quick_gm,
+            ..Default::default()
+        }),
+    ]
+}
+
+/// Key under which identical in-flight condense requests coalesce:
+/// everything that determines the (deterministic) output.
+type FlightKey = (GraphFingerprint, String, u64, u64, u32, u32);
+
+enum FState {
+    Pending,
+    /// Successful reply; followers return it as-is.
+    Done(Reply),
+    /// The leader failed with this typed error. The leader returns it;
+    /// followers run a fresh election (bounded retries).
+    Failed(Reply),
+}
+
+struct ReqFlight {
+    state: Mutex<FState>,
+    cv: Condvar,
+}
+
+enum WaitOutcome {
+    Done(Reply),
+    Failed(Reply),
+    /// The waiter's own deadline/cancellation fired; the flight runs on.
+    Bail(Reply),
+}
+
+#[derive(Default)]
+struct Counters {
+    requests: AtomicU64,
+    condense_ok: AtomicU64,
+    fast_path_hits: AtomicU64,
+    coalesced: AtomicU64,
+    overloaded: AtomicU64,
+    shutdown_rejected: AtomicU64,
+    worker_panics: AtomicU64,
+    deadline_exceeded: AtomicU64,
+    cancelled: AtomicU64,
+    deltas_applied: AtomicU64,
+}
+
+/// Memoized successful condense replies, FIFO-evicted at
+/// [`REPLY_CACHE_CAP`]. Safe by construction: the flight key includes
+/// the graph *fingerprint*, so any mutation (delta, re-registration)
+/// changes the key and stale entries simply age out unread.
+#[derive(Default)]
+struct ReplyCache {
+    map: BTreeMap<FlightKey, Reply>,
+    order: VecDeque<FlightKey>,
+}
+
+struct ServerInner {
+    catalog: GraphCatalog,
+    registry: ContextRegistry,
+    pool: WorkerPool,
+    methods: Mutex<BTreeMap<String, Arc<dyn Condenser + Send + Sync>>>,
+    inflight: Mutex<BTreeMap<FlightKey, Arc<ReqFlight>>>,
+    replies: Mutex<ReplyCache>,
+    counters: Counters,
+    shutting_down: AtomicBool,
+    snapshot_dir: Option<PathBuf>,
+    resident_budget: Option<u64>,
+}
+
+fn relock<'a, T>(m: &'a Mutex<T>) -> MutexGuard<'a, T> {
+    // Same policy as the registry and pool: every critical section is a
+    // single complete map operation, so poison cannot expose torn state.
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+fn err(code: ErrorCode, message: impl Into<String>) -> Reply {
+    Reply::Error {
+        code,
+        message: message.into(),
+    }
+}
+
+/// The in-process condensation server. Cheap to clone (shared
+/// interior); [`ServeHandle::shutdown`] drains and joins everything.
+#[derive(Clone)]
+pub struct ServeHandle {
+    inner: Arc<ServerInner>,
+}
+
+impl ServeHandle {
+    /// A server with its own worker pool and the default method table.
+    pub fn new(config: ServeConfig) -> Self {
+        let pool = WorkerPool::new(config.workers, config.queue_depth);
+        Self::with_pool(config, pool)
+    }
+
+    /// A server over a caller-built pool — how the bench stages
+    /// deterministic overload (saturate the pool with blocked jobs
+    /// first, then submit requests).
+    pub fn with_pool(config: ServeConfig, pool: WorkerPool) -> Self {
+        let methods = default_methods()
+            .into_iter()
+            .map(|c| (c.name().to_string(), Arc::from(c)))
+            .collect();
+        ServeHandle {
+            inner: Arc::new(ServerInner {
+                catalog: GraphCatalog::new(),
+                registry: ContextRegistry::new(),
+                pool,
+                methods: Mutex::new(methods),
+                inflight: Mutex::new(BTreeMap::new()),
+                replies: Mutex::new(ReplyCache::default()),
+                counters: Counters::default(),
+                shutting_down: AtomicBool::new(false),
+                snapshot_dir: config.snapshot_dir,
+                resident_budget: config.resident_budget,
+            }),
+        }
+    }
+
+    /// Registers (or replaces) a graph under `id`.
+    pub fn register_graph(&self, id: impl Into<String>, graph: Arc<HeteroGraph>) {
+        self.inner.catalog.register(id, graph);
+    }
+
+    /// Registers (or replaces) a condensation method under its `name()`.
+    pub fn register_method(&self, method: Box<dyn Condenser + Send + Sync>) {
+        let name = method.name().to_string();
+        relock(&self.inner.methods).insert(name, Arc::from(method));
+    }
+
+    /// The registry backing this server — shared so tests and the bench
+    /// can run reference condensations against the *same* warm state.
+    pub fn registry(&self) -> &ContextRegistry {
+        &self.inner.registry
+    }
+
+    pub fn catalog(&self) -> &GraphCatalog {
+        &self.inner.catalog
+    }
+
+    pub fn pool(&self) -> &WorkerPool {
+        &self.inner.pool
+    }
+
+    /// Point-in-time serving counters (the payload of a `Stats` reply).
+    pub fn stats(&self) -> StatsReply {
+        let c = &self.inner.counters;
+        let (hits, misses) = self.inner.registry.lookup_stats();
+        let fs = self.inner.registry.fault_stats();
+        StatsReply {
+            requests: c.requests.load(Ordering::Relaxed),
+            condense_ok: c.condense_ok.load(Ordering::Relaxed),
+            fast_path_hits: c.fast_path_hits.load(Ordering::Relaxed),
+            coalesced: c.coalesced.load(Ordering::Relaxed),
+            overloaded: c.overloaded.load(Ordering::Relaxed),
+            shutdown_rejected: c.shutdown_rejected.load(Ordering::Relaxed),
+            worker_panics: c.worker_panics.load(Ordering::Relaxed),
+            deadline_exceeded: c.deadline_exceeded.load(Ordering::Relaxed),
+            cancelled: c.cancelled.load(Ordering::Relaxed),
+            deltas_applied: c.deltas_applied.load(Ordering::Relaxed),
+            pool_executed: self.inner.pool.stats().executed,
+            registry_contexts: self.inner.registry.len() as u64,
+            registry_hits: hits,
+            registry_misses: misses,
+            duplicate_computes: fs.duplicate_computes,
+            resident_bytes: self.inner.registry.resident_bytes(),
+        }
+    }
+
+    /// True once [`ServeHandle::shutdown`] has begun.
+    pub fn is_shutting_down(&self) -> bool {
+        self.inner.shutting_down.load(Ordering::Relaxed)
+    }
+
+    /// Graceful drain: new `Condense`/`ApplyDelta` requests get typed
+    /// [`ErrorCode::ShuttingDown`] replies from this point (`Ping` and
+    /// `Stats` still answer), every job already accepted runs to
+    /// completion and its waiters get real replies, and every pool
+    /// worker is joined before this returns. Idempotent.
+    pub fn shutdown(&self) {
+        self.inner.shutting_down.store(true, Ordering::SeqCst);
+        self.inner.pool.shutdown();
+    }
+
+    /// Handles one already-framed request, producing one reply frame.
+    /// Malformed frames get a typed [`ErrorCode::BadFrame`] reply
+    /// (echoing the request id when the header was readable).
+    pub fn handle_frame(&self, frame: &[u8]) -> Vec<u8> {
+        self.handle_frame_with(frame, &CallOpts::default())
+    }
+
+    /// [`ServeHandle::handle_frame`] with transport-supplied options.
+    pub fn handle_frame_with(&self, frame: &[u8], opts: &CallOpts<'_>) -> Vec<u8> {
+        match wire::decode_request(frame) {
+            Ok((req_id, req)) => wire::encode_reply(req_id, &self.call_with(&req, opts)),
+            Err(e) => {
+                let req_id = wire::decode_header(frame)
+                    .map(|(_, rid, _)| rid)
+                    .unwrap_or(0);
+                wire::encode_reply(req_id, &err(ErrorCode::BadFrame, e.to_string()))
+            }
+        }
+    }
+
+    /// Handles one typed request.
+    pub fn call(&self, req: &Request) -> Reply {
+        self.call_with(req, &CallOpts::default())
+    }
+
+    /// [`ServeHandle::call`] with transport-supplied options.
+    pub fn call_with(&self, req: &Request, opts: &CallOpts<'_>) -> Reply {
+        self.inner.counters.requests.fetch_add(1, Ordering::Relaxed);
+        match req {
+            Request::Ping => Reply::Pong,
+            Request::Stats => Reply::Stats(self.stats()),
+            Request::ApplyDelta { graph_id, delta } => self.apply_delta(graph_id, delta),
+            Request::Condense {
+                graph,
+                method,
+                ratio,
+                seed,
+                max_hops,
+                max_paths,
+                deadline_ms,
+            } => self.condense(
+                graph,
+                method,
+                *ratio,
+                *seed,
+                *max_hops,
+                *max_paths,
+                *deadline_ms,
+                opts,
+            ),
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn condense(
+        &self,
+        graph_ref: &GraphRef,
+        method: &str,
+        ratio: f64,
+        seed: u64,
+        max_hops: u32,
+        max_paths: u32,
+        deadline_ms: u64,
+        opts: &CallOpts<'_>,
+    ) -> Reply {
+        let inner = &self.inner;
+        if inner.shutting_down.load(Ordering::Relaxed) {
+            inner
+                .counters
+                .shutdown_rejected
+                .fetch_add(1, Ordering::Relaxed);
+            return err(ErrorCode::ShuttingDown, "server is draining");
+        }
+        // Validate before CondenseSpec::new — its contract is an assert.
+        if !ratio.is_finite() || ratio <= 0.0 || ratio > 1.0 {
+            return err(
+                ErrorCode::BadRequest,
+                format!("ratio {ratio} outside (0, 1]"),
+            );
+        }
+        if max_hops == 0 || max_hops > MAX_REQUEST_HOPS {
+            return err(
+                ErrorCode::BadRequest,
+                format!("max_hops {max_hops} outside 1..={MAX_REQUEST_HOPS}"),
+            );
+        }
+        if max_paths == 0 || max_paths > MAX_REQUEST_PATHS {
+            return err(
+                ErrorCode::BadRequest,
+                format!("max_paths {max_paths} outside 1..={MAX_REQUEST_PATHS}"),
+            );
+        }
+        let condenser = match relock(&inner.methods).get(method) {
+            Some(c) => Arc::clone(c),
+            None => {
+                return err(
+                    ErrorCode::UnknownMethod,
+                    format!("unknown method {method:?}"),
+                )
+            }
+        };
+        let graph = match inner.catalog.resolve(graph_ref) {
+            Ok(g) => g,
+            Err(CatalogError::UnknownGraph(id)) => {
+                return err(ErrorCode::UnknownGraph, format!("unknown graph id {id:?}"))
+            }
+            Err(e @ CatalogError::BadInlineSpec(_)) => {
+                return err(ErrorCode::BadRequest, e.to_string())
+            }
+        };
+        let spec = CondenseSpec::new(ratio)
+            .with_seed(seed)
+            .with_max_hops(max_hops as usize)
+            .with_max_paths(max_paths as usize);
+        let deadline =
+            (deadline_ms > 0).then(|| Instant::now() + Duration::from_millis(deadline_ms));
+        let cancel = opts.cancel.clone().unwrap_or_default();
+        let key: FlightKey = (
+            graph.fingerprint(),
+            method.to_string(),
+            ratio.to_bits(),
+            seed,
+            max_hops,
+            max_paths,
+        );
+
+        // Warmest path: an identical request already completed — its
+        // reply is the bytes a recompute would produce (the key pins
+        // every input), so answer from memory without touching the
+        // registry or the pool.
+        if let Some(reply) = relock(&inner.replies).map.get(&key).cloned() {
+            inner
+                .counters
+                .fast_path_hits
+                .fetch_add(1, Ordering::Relaxed);
+            return reply;
+        }
+
+        let mut last_failure = None;
+        for _attempt in 0..MAX_CALL_ATTEMPTS {
+            if let Some(reply) = self.gate(deadline, &cancel) {
+                return reply;
+            }
+            // Join an existing flight, or become the leader.
+            let (flight, leader) = {
+                let mut inflight = relock(&inner.inflight);
+                match inflight.get(&key) {
+                    Some(f) => (Arc::clone(f), false),
+                    None => {
+                        let f = Arc::new(ReqFlight {
+                            state: Mutex::new(FState::Pending),
+                            cv: Condvar::new(),
+                        });
+                        inflight.insert(key.clone(), Arc::clone(&f));
+                        (f, true)
+                    }
+                }
+            };
+            if !leader {
+                inner.counters.coalesced.fetch_add(1, Ordering::Relaxed);
+                match self.wait_on_flight(&flight, deadline, &cancel, opts) {
+                    WaitOutcome::Done(reply) | WaitOutcome::Bail(reply) => return reply,
+                    WaitOutcome::Failed(reply) => {
+                        // The leader took the error; run a fresh election.
+                        last_failure = Some(reply);
+                        continue;
+                    }
+                }
+            }
+            return self.lead(
+                &key, flight, &graph, condenser, spec, deadline, cancel, opts,
+            );
+        }
+        last_failure.unwrap_or_else(|| err(ErrorCode::Internal, "retries exhausted"))
+    }
+
+    /// The leader's path: warm fast path inline, cold via the pool.
+    #[allow(clippy::too_many_arguments)]
+    fn lead(
+        &self,
+        key: &FlightKey,
+        flight: Arc<ReqFlight>,
+        graph: &Arc<HeteroGraph>,
+        condenser: Arc<dyn Condenser + Send + Sync>,
+        spec: CondenseSpec,
+        deadline: Option<Instant>,
+        cancel: CancelToken,
+        opts: &CallOpts<'_>,
+    ) -> Reply {
+        let inner = &self.inner;
+        // Fast path: a warm context answers on this thread — the pool is
+        // for cold precompute, not for lookups.
+        if inner.registry.peek(graph, &spec).is_some() {
+            inner
+                .counters
+                .fast_path_hits
+                .fetch_add(1, Ordering::Relaxed);
+            let reply = run_condense(inner, graph, &*condenser, &spec, deadline, &cancel, false);
+            finish_flight(inner, key, &flight, reply.clone());
+            return reply;
+        }
+        // Cold: bounded enqueue. The failpoint simulates an overload
+        // spike (queue treated as full) for the chaos drill.
+        if fp::should_fire(fp::SERVE_QUEUE_FULL) {
+            let reply = err(ErrorCode::Overloaded, "queue full (injected)");
+            inner.counters.overloaded.fetch_add(1, Ordering::Relaxed);
+            finish_flight(inner, key, &flight, reply.clone());
+            return reply;
+        }
+        let job = {
+            let inner = Arc::clone(&self.inner);
+            let key = key.clone();
+            let flight = Arc::clone(&flight);
+            let graph = Arc::clone(graph);
+            let cancel = cancel.clone();
+            Box::new(move || {
+                let reply =
+                    run_condense(&inner, &graph, &*condenser, &spec, deadline, &cancel, true);
+                finish_flight(&inner, &key, &flight, reply);
+                if let Some(budget) = inner.resident_budget {
+                    inner.registry.evict_idle(budget);
+                }
+            })
+        };
+        match inner.pool.submit(job) {
+            Ok(()) => match self.wait_on_flight(&flight, deadline, &cancel, opts) {
+                // The leader owns its flight's outcome, error or not.
+                WaitOutcome::Done(reply)
+                | WaitOutcome::Failed(reply)
+                | WaitOutcome::Bail(reply) => reply,
+            },
+            Err(e) => {
+                let reply = match e {
+                    SubmitError::QueueFull(_) => {
+                        inner.counters.overloaded.fetch_add(1, Ordering::Relaxed);
+                        err(ErrorCode::Overloaded, "worker queue full; retry later")
+                    }
+                    SubmitError::ShuttingDown(_) => {
+                        inner
+                            .counters
+                            .shutdown_rejected
+                            .fetch_add(1, Ordering::Relaxed);
+                        err(ErrorCode::ShuttingDown, "server is draining")
+                    }
+                };
+                finish_flight(inner, key, &flight, reply.clone());
+                reply
+            }
+        }
+    }
+
+    /// Typed early exit if the request's deadline passed or its client
+    /// is gone.
+    fn gate(&self, deadline: Option<Instant>, cancel: &CancelToken) -> Option<Reply> {
+        if cancel.is_cancelled() {
+            self.inner
+                .counters
+                .cancelled
+                .fetch_add(1, Ordering::Relaxed);
+            return Some(err(ErrorCode::Cancelled, "request cancelled"));
+        }
+        if deadline.is_some_and(|d| Instant::now() >= d) {
+            self.inner
+                .counters
+                .deadline_exceeded
+                .fetch_add(1, Ordering::Relaxed);
+            return Some(err(ErrorCode::DeadlineExceeded, "deadline exceeded"));
+        }
+        None
+    }
+
+    fn wait_on_flight(
+        &self,
+        flight: &ReqFlight,
+        deadline: Option<Instant>,
+        cancel: &CancelToken,
+        opts: &CallOpts<'_>,
+    ) -> WaitOutcome {
+        let mut state = relock(&flight.state);
+        loop {
+            match &*state {
+                FState::Done(reply) => return WaitOutcome::Done(reply.clone()),
+                FState::Failed(reply) => return WaitOutcome::Failed(reply.clone()),
+                FState::Pending => {}
+            }
+            if opts.disconnect_probe.is_some_and(|probe| probe()) {
+                // Client gone: flip the shared token so the pooled job
+                // (which carries it) sheds the work at its next phase
+                // boundary, handing any followers a fresh election.
+                cancel.cancel();
+            }
+            drop(state);
+            if let Some(reply) = self.gate(deadline, cancel) {
+                return WaitOutcome::Bail(reply);
+            }
+            state = relock(&flight.state);
+            let (st, _timeout) = flight
+                .cv
+                .wait_timeout(state, WAIT_SLICE)
+                .unwrap_or_else(PoisonError::into_inner);
+            state = st;
+        }
+    }
+
+    fn apply_delta(&self, graph_id: &str, delta: &freehgc_hetgraph::GraphDelta) -> Reply {
+        let inner = &self.inner;
+        if inner.shutting_down.load(Ordering::Relaxed) {
+            inner
+                .counters
+                .shutdown_rejected
+                .fetch_add(1, Ordering::Relaxed);
+            return err(ErrorCode::ShuttingDown, "server is draining");
+        }
+        let Some(old) = inner.catalog.get(graph_id) else {
+            return err(
+                ErrorCode::UnknownGraph,
+                format!("unknown graph id {graph_id:?}"),
+            );
+        };
+        let old_fp = old.fingerprint();
+        // A delta naming out-of-range rows/edge types panics inside the
+        // graph kernels; surface that as a typed bad request, keeping
+        // the catalog entry untouched.
+        let applied = catch_unwind(AssertUnwindSafe(|| {
+            let mut g = (*old).clone();
+            g.apply_delta(delta);
+            Arc::new(g)
+        }));
+        let new_graph = match applied {
+            Ok(g) => g,
+            Err(_) => return err(ErrorCode::BadRequest, "delta failed to apply"),
+        };
+        // Seed the mutated graph's context from the old one: survivors
+        // carry over, only what the delta invalidated recomputes.
+        let spec = CondenseSpec::new(0.5);
+        let report = catch_unwind(AssertUnwindSafe(|| match &inner.snapshot_dir {
+            Some(dir) => {
+                inner
+                    .registry
+                    .resolve_delta_or_load(dir, old_fp, &new_graph, &spec, delta, None)
+                    .1
+            }
+            None => {
+                inner
+                    .registry
+                    .resolve_delta(old_fp, &new_graph, &spec, delta)
+                    .1
+            }
+        }));
+        let report = match report {
+            Ok(r) => r,
+            Err(_) => return err(ErrorCode::Internal, "delta context seeding panicked"),
+        };
+        if !inner.catalog.swap(graph_id, &old, Arc::clone(&new_graph)) {
+            // Someone swapped the entry mid-apply; their delta won and
+            // this one must be re-issued against the new base.
+            return err(
+                ErrorCode::BadRequest,
+                "graph changed while applying delta; re-fetch and retry",
+            );
+        }
+        inner
+            .counters
+            .deltas_applied
+            .fetch_add(1, Ordering::Relaxed);
+        let fp = new_graph.fingerprint();
+        Reply::DeltaApplied {
+            new_fingerprint: (fp.0, fp.1),
+            reused_entries: report.reused() as u64,
+            dropped_entries: report.dropped as u64,
+        }
+    }
+}
+
+/// Executes one condensation exactly as `Condenser::condense_shared`
+/// would — same context resolution, same panic isolation, same
+/// failpoints — plus serving's phase-boundary gates. `via_worker` adds
+/// the `serve.worker.panic` failpoint (the drill's injected worker
+/// death); the catch converts any escaped panic into a typed
+/// [`ErrorCode::WorkerPanic`] reply, so the worker thread, the pool and
+/// the registry all keep serving.
+fn run_condense(
+    inner: &ServerInner,
+    graph: &Arc<HeteroGraph>,
+    condenser: &(dyn Condenser + Send + Sync),
+    spec: &CondenseSpec,
+    deadline: Option<Instant>,
+    cancel: &CancelToken,
+    via_worker: bool,
+) -> Reply {
+    let gate = |counters: &Counters| -> Option<Reply> {
+        if cancel.is_cancelled() {
+            counters.cancelled.fetch_add(1, Ordering::Relaxed);
+            return Some(err(ErrorCode::Cancelled, "request cancelled"));
+        }
+        if deadline.is_some_and(|d| Instant::now() >= d) {
+            counters.deadline_exceeded.fetch_add(1, Ordering::Relaxed);
+            return Some(err(ErrorCode::DeadlineExceeded, "deadline exceeded"));
+        }
+        None
+    };
+    let outcome = catch_unwind(AssertUnwindSafe(
+        || -> Result<CondensedSummary, Box<Reply>> {
+            if via_worker {
+                fp::fire_panic(fp::SERVE_WORKER_PANIC);
+            }
+            if let Some(reply) = gate(&inner.counters) {
+                return Err(Box::new(reply));
+            }
+            let ctx = inner.registry.context_for(graph, spec);
+            if let Some(reply) = gate(&inner.counters) {
+                return Err(Box::new(reply));
+            }
+            let condensed = inner.registry.run_isolated(|| {
+                fp::fire_panic(fp::CONDENSE_PANIC);
+                condenser.condense_in(&ctx, spec)
+            });
+            Ok(CondensedSummary::from(&condensed))
+        },
+    ));
+    match outcome {
+        Ok(Ok(summary)) => {
+            inner.counters.condense_ok.fetch_add(1, Ordering::Relaxed);
+            Reply::Condensed(summary)
+        }
+        Ok(Err(reply)) => *reply,
+        Err(_) => {
+            inner.counters.worker_panics.fetch_add(1, Ordering::Relaxed);
+            err(ErrorCode::WorkerPanic, "worker panicked executing request")
+        }
+    }
+}
+
+/// Publishes a flight's outcome and retires it from the in-flight map,
+/// waking every waiter. Error replies park as `Failed`, which hands
+/// followers a fresh election while the leader keeps the error.
+fn finish_flight(inner: &ServerInner, key: &FlightKey, flight: &Arc<ReqFlight>, reply: Reply) {
+    {
+        let mut inflight = relock(&inner.inflight);
+        if inflight
+            .get(key)
+            .is_some_and(|cur| Arc::ptr_eq(cur, flight))
+        {
+            inflight.remove(key);
+        }
+    }
+    let failed = reply.error_code().is_some();
+    if !failed {
+        let mut cache = relock(&inner.replies);
+        if !cache.map.contains_key(key) {
+            if cache.order.len() >= REPLY_CACHE_CAP {
+                if let Some(evicted) = cache.order.pop_front() {
+                    cache.map.remove(&evicted);
+                }
+            }
+            cache.order.push_back(key.clone());
+        }
+        cache.map.insert(key.clone(), reply.clone());
+    }
+    let mut state = relock(&flight.state);
+    *state = if failed {
+        FState::Failed(reply)
+    } else {
+        FState::Done(reply)
+    };
+    drop(state);
+    flight.cv.notify_all();
+}

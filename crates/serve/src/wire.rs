@@ -1,0 +1,836 @@
+//! The length-prefixed binary wire protocol for condensation requests.
+//!
+//! Framing follows the snapshot file format's conventions
+//! ([`freehgc_hetgraph::snapshot`]): a fixed magic, an explicit
+//! version, little-endian payloads written through
+//! [`ByteWriter`]/[`ByteReader`], and an Fx checksum over every frame so
+//! corruption is detected before a single payload byte is trusted.
+//!
+//! ```text
+//! frame := magic[4]="FHGW" | version u16 | kind u8 | req_id u64
+//!        | payload_len u64 | checksum u64 | payload[payload_len]
+//! ```
+//!
+//! `checksum` is [`frame_checksum`] over `(kind, req_id, payload)`, so a
+//! bit flip anywhere past the length field is caught; a flip *in* the
+//! length field is caught by the [`MAX_FRAME_PAYLOAD`] bound or by the
+//! checksum of the mis-sliced payload. `req_id` is an opaque client
+//! token echoed verbatim in the reply frame.
+//!
+//! Every malformed input decodes to a typed [`WireError`] — never a
+//! panic: all payload reads are bounds-checked (`ByteReader`), length
+//! prealloc is capped (`seq_len`), and trailing bytes are rejected.
+//! Transports turn a `WireError` into a typed
+//! [`Reply::Error`]`(`[`ErrorCode::BadFrame`]`)` and, when the stream
+//! itself can no longer be trusted (bad magic / checksum), a clean
+//! disconnect.
+
+use freehgc_hetgraph::snapshot::{ByteReader, ByteWriter};
+use freehgc_hetgraph::{CondensedGraph, EdgeTypeId, GraphDelta, NodeTypeId};
+use freehgc_sparse::fx::FxHasher;
+use std::hash::Hasher;
+
+/// Frame magic: "FreeHGC Wire".
+pub const WIRE_MAGIC: [u8; 4] = *b"FHGW";
+/// Bumped on any incompatible change to the frame or payload layout.
+pub const WIRE_VERSION: u16 = 1;
+/// Upper bound on one frame's payload. Nothing the protocol carries
+/// approaches this; its job is to stop a corrupted or hostile length
+/// field from provoking an unbounded allocation.
+pub const MAX_FRAME_PAYLOAD: usize = 64 << 20;
+/// Bytes before the payload: magic 4 + version 2 + kind 1 + req_id 8 +
+/// payload_len 8 + checksum 8.
+pub const FRAME_HEADER_LEN: usize = 4 + 2 + 1 + 8 + 8 + 8;
+
+// Request frame kinds.
+pub const KIND_PING: u8 = 1;
+pub const KIND_CONDENSE: u8 = 2;
+pub const KIND_APPLY_DELTA: u8 = 3;
+pub const KIND_STATS: u8 = 4;
+// Reply frame kinds (high bit set).
+pub const KIND_PONG: u8 = 0x81;
+pub const KIND_CONDENSED: u8 = 0x82;
+pub const KIND_DELTA_APPLIED: u8 = 0x83;
+pub const KIND_STATS_REPLY: u8 = 0x84;
+pub const KIND_ERROR: u8 = 0xFF;
+
+/// Everything that can be wrong with an incoming frame, as data.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WireError {
+    /// First four bytes are not [`WIRE_MAGIC`].
+    BadMagic,
+    /// Version field differs from [`WIRE_VERSION`].
+    BadVersion(u16),
+    /// Declared payload length exceeds [`MAX_FRAME_PAYLOAD`].
+    Oversized(u64),
+    /// Fewer bytes than the header + declared payload require.
+    Truncated,
+    /// Checksum mismatch — the frame was corrupted in flight.
+    BadChecksum,
+    /// Bytes left over after the declared payload (whole-buffer decode
+    /// only; streams naturally carry the next frame there).
+    TrailingBytes,
+    /// The frame kind byte names no known request/reply.
+    UnknownKind(u8),
+    /// The payload failed to decode as its kind's layout.
+    BadPayload(String),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::BadMagic => write!(f, "bad frame magic"),
+            WireError::BadVersion(v) => write!(f, "unsupported wire version {v}"),
+            WireError::Oversized(n) => write!(f, "frame payload of {n} bytes exceeds the cap"),
+            WireError::Truncated => write!(f, "truncated frame"),
+            WireError::BadChecksum => write!(f, "frame checksum mismatch"),
+            WireError::TrailingBytes => write!(f, "trailing bytes after frame"),
+            WireError::UnknownKind(k) => write!(f, "unknown frame kind {k:#04x}"),
+            WireError::BadPayload(why) => write!(f, "malformed payload: {why}"),
+        }
+    }
+}
+
+impl From<freehgc_hetgraph::SnapshotError> for WireError {
+    fn from(e: freehgc_hetgraph::SnapshotError) -> Self {
+        WireError::BadPayload(e.to_string())
+    }
+}
+
+/// Which graph a [`Request::Condense`] targets: a catalog id registered
+/// on the server, or an inline synthetic-dataset spec the server
+/// generates (and caches) on first sight.
+#[derive(Clone, Debug, PartialEq)]
+pub enum GraphRef {
+    /// A graph registered in the server's catalog under this id.
+    Id(String),
+    /// A synthetic dataset spec: [`freehgc_datasets::DatasetKind`] name
+    /// (e.g. `"ACM"`), generator scale, generator seed.
+    Inline { kind: String, scale: f64, seed: u64 },
+}
+
+/// One client request.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Request {
+    /// Liveness probe; answered inline, never queued.
+    Ping,
+    /// Counter snapshot; answered inline, never queued.
+    Stats,
+    /// Condense `graph` with `method` at `ratio` — the serving form of
+    /// `Condenser::condense_shared`. `deadline_ms` (0 = none) bounds the
+    /// whole request, checked at phase boundaries.
+    Condense {
+        graph: GraphRef,
+        method: String,
+        ratio: f64,
+        seed: u64,
+        max_hops: u32,
+        max_paths: u32,
+        deadline_ms: u64,
+    },
+    /// Apply a [`GraphDelta`] to a catalog graph: the catalog entry is
+    /// swapped to the mutated graph and its warm context is seeded from
+    /// the old one through the registry's delta path.
+    ApplyDelta { graph_id: String, delta: GraphDelta },
+}
+
+/// Typed failure reply codes. Stable on the wire (u16).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(u16)]
+pub enum ErrorCode {
+    /// The request frame itself was malformed (any [`WireError`]).
+    BadFrame = 1,
+    /// The frame was fine but a field was invalid (ratio out of range,
+    /// unknown dataset kind, …).
+    BadRequest = 2,
+    /// [`GraphRef::Id`] names nothing in the catalog.
+    UnknownGraph = 3,
+    /// The method string names no registered condenser.
+    UnknownMethod = 4,
+    /// Typed backpressure: the bounded worker queue is full. Retry
+    /// later; nothing was queued.
+    Overloaded = 5,
+    /// The server is draining; no new work is accepted.
+    ShuttingDown = 6,
+    /// The request's deadline passed before a result was ready.
+    DeadlineExceeded = 7,
+    /// The client disconnected (or abandoned the request) and the work
+    /// was skipped at a phase boundary.
+    Cancelled = 8,
+    /// The worker executing this request panicked. Exactly one client
+    /// observes this per panic; coalesced requests retry on a fresh
+    /// worker.
+    WorkerPanic = 9,
+    /// Any other server-side failure.
+    Internal = 10,
+}
+
+impl ErrorCode {
+    fn from_u16(v: u16) -> Option<Self> {
+        Some(match v {
+            1 => ErrorCode::BadFrame,
+            2 => ErrorCode::BadRequest,
+            3 => ErrorCode::UnknownGraph,
+            4 => ErrorCode::UnknownMethod,
+            5 => ErrorCode::Overloaded,
+            6 => ErrorCode::ShuttingDown,
+            7 => ErrorCode::DeadlineExceeded,
+            8 => ErrorCode::Cancelled,
+            9 => ErrorCode::WorkerPanic,
+            10 => ErrorCode::Internal,
+            _ => return None,
+        })
+    }
+}
+
+/// The condensation result as it travels the wire: full provenance
+/// (which original nodes each condensed node came from — bit-exact)
+/// plus the condensed graph's 128-bit content fingerprint and per-type
+/// node counts. The fingerprint covers every byte of the condensed
+/// graph (adjacency, weights, features, labels, split), so two replies
+/// are equal iff the underlying condensed graphs are content-identical
+/// — which is how the bench pins serving output to direct
+/// `condense_shared` bit for bit without shipping whole graphs.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CondensedSummary {
+    /// `HeteroGraph::fingerprint()` of the condensed graph.
+    pub fingerprint: (u64, u64),
+    /// Condensed node count per node type, in schema order.
+    pub node_counts: Vec<u64>,
+    /// Per-type provenance, exactly `CondensedGraph::orig_ids`.
+    pub orig_ids: Vec<Option<Vec<u32>>>,
+}
+
+impl From<&CondensedGraph> for CondensedSummary {
+    fn from(c: &CondensedGraph) -> Self {
+        let fp = c.graph.fingerprint();
+        let node_counts = c
+            .graph
+            .schema()
+            .node_type_ids()
+            .map(|t| c.graph.num_nodes(t) as u64)
+            .collect();
+        CondensedSummary {
+            fingerprint: (fp.0, fp.1),
+            node_counts,
+            orig_ids: c.orig_ids.clone(),
+        }
+    }
+}
+
+/// Serving counters as a reply payload — see `ServeHandle::stats`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StatsReply {
+    pub requests: u64,
+    pub condense_ok: u64,
+    pub fast_path_hits: u64,
+    pub coalesced: u64,
+    pub overloaded: u64,
+    pub shutdown_rejected: u64,
+    pub worker_panics: u64,
+    pub deadline_exceeded: u64,
+    pub cancelled: u64,
+    pub deltas_applied: u64,
+    pub pool_executed: u64,
+    pub registry_contexts: u64,
+    pub registry_hits: u64,
+    pub registry_misses: u64,
+    pub duplicate_computes: u64,
+    pub resident_bytes: u64,
+}
+
+/// One server reply.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Reply {
+    Pong,
+    Condensed(CondensedSummary),
+    DeltaApplied {
+        new_fingerprint: (u64, u64),
+        reused_entries: u64,
+        dropped_entries: u64,
+    },
+    Stats(StatsReply),
+    Error {
+        code: ErrorCode,
+        message: String,
+    },
+}
+
+impl Reply {
+    /// The typed error code, if this reply is an error.
+    pub fn error_code(&self) -> Option<ErrorCode> {
+        match self {
+            Reply::Error { code, .. } => Some(*code),
+            _ => None,
+        }
+    }
+}
+
+/// Fx checksum binding a frame's kind, request id and payload together.
+pub fn frame_checksum(kind: u8, req_id: u64, payload: &[u8]) -> u64 {
+    let mut h = FxHasher::default();
+    h.write_u8(kind);
+    h.write_u64(req_id);
+    h.write_usize(payload.len());
+    h.write(payload);
+    h.finish()
+}
+
+/// Assembles one frame from an already-encoded payload.
+pub fn encode_frame(kind: u8, req_id: u64, payload: &[u8]) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    w.put_bytes(&WIRE_MAGIC);
+    w.put_u16(WIRE_VERSION);
+    w.put_u8(kind);
+    w.put_u64(req_id);
+    w.put_u64(payload.len() as u64);
+    w.put_u64(frame_checksum(kind, req_id, payload));
+    w.put_bytes(payload);
+    w.into_bytes()
+}
+
+/// Parsed frame header: `(kind, req_id, payload_len)`.
+///
+/// Validates magic, version and the payload-length cap — everything
+/// that can be judged before reading the payload. `buf` must hold at
+/// least [`FRAME_HEADER_LEN`] bytes.
+pub fn decode_header(buf: &[u8]) -> Result<(u8, u64, usize), WireError> {
+    if buf.len() < FRAME_HEADER_LEN {
+        return Err(WireError::Truncated);
+    }
+    if buf[..4] != WIRE_MAGIC {
+        return Err(WireError::BadMagic);
+    }
+    let mut r = ByteReader::new(&buf[4..FRAME_HEADER_LEN]);
+    let version = r.u16().map_err(|_| WireError::Truncated)?;
+    if version != WIRE_VERSION {
+        return Err(WireError::BadVersion(version));
+    }
+    let kind = r.u8().map_err(|_| WireError::Truncated)?;
+    let req_id = r.u64().map_err(|_| WireError::Truncated)?;
+    let len = r.u64().map_err(|_| WireError::Truncated)?;
+    if len > MAX_FRAME_PAYLOAD as u64 {
+        return Err(WireError::Oversized(len));
+    }
+    // The checksum is read (and checked) by the payload step; skip here.
+    Ok((kind, req_id, len as usize))
+}
+
+/// Verifies the checksum of a frame whose header already parsed.
+pub fn check_frame(kind: u8, req_id: u64, expected: u64, payload: &[u8]) -> Result<(), WireError> {
+    if frame_checksum(kind, req_id, payload) != expected {
+        return Err(WireError::BadChecksum);
+    }
+    Ok(())
+}
+
+/// Splits one complete frame out of `buf`: returns `(kind, req_id,
+/// payload)`, rejecting trailing bytes — the whole-buffer entry point
+/// the in-process [`ServeHandle`](crate::ServeHandle) uses.
+pub fn decode_frame(buf: &[u8]) -> Result<(u8, u64, &[u8]), WireError> {
+    let (kind, req_id, len) = decode_header(buf)?;
+    let total = FRAME_HEADER_LEN
+        .checked_add(len)
+        .ok_or(WireError::Oversized(len as u64))?;
+    if buf.len() < total {
+        return Err(WireError::Truncated);
+    }
+    if buf.len() > total {
+        return Err(WireError::TrailingBytes);
+    }
+    let expected = u64::from_le_bytes(
+        buf[FRAME_HEADER_LEN - 8..FRAME_HEADER_LEN]
+            .try_into()
+            .unwrap(),
+    );
+    let payload = &buf[FRAME_HEADER_LEN..total];
+    check_frame(kind, req_id, expected, payload)?;
+    Ok((kind, req_id, payload))
+}
+
+fn put_graph_ref(w: &mut ByteWriter, g: &GraphRef) {
+    match g {
+        GraphRef::Id(id) => {
+            w.put_u8(0);
+            w.put_str(id);
+        }
+        GraphRef::Inline { kind, scale, seed } => {
+            w.put_u8(1);
+            w.put_str(kind);
+            w.put_f64(*scale);
+            w.put_u64(*seed);
+        }
+    }
+}
+
+fn get_graph_ref(r: &mut ByteReader<'_>) -> Result<GraphRef, WireError> {
+    Ok(match r.u8()? {
+        0 => GraphRef::Id(r.str()?),
+        1 => GraphRef::Inline {
+            kind: r.str()?,
+            scale: r.f64()?,
+            seed: r.u64()?,
+        },
+        t => return Err(WireError::BadPayload(format!("graph-ref tag {t}"))),
+    })
+}
+
+fn put_delta(w: &mut ByteWriter, delta: &GraphDelta) {
+    let adds: Vec<_> = delta.edge_add_ops().collect();
+    w.put_usize(adds.len());
+    for (e, ops) in adds {
+        w.put_u16(e.0);
+        w.put_usize(ops.len());
+        for &(src, dst, weight) in ops {
+            w.put_u32(src);
+            w.put_u32(dst);
+            w.put_f32(weight);
+        }
+    }
+    let removes: Vec<_> = delta.edge_remove_ops().collect();
+    w.put_usize(removes.len());
+    for (e, ops) in removes {
+        w.put_u16(e.0);
+        w.put_usize(ops.len());
+        for &(src, dst) in ops {
+            w.put_u32(src);
+            w.put_u32(dst);
+        }
+    }
+    let feats: Vec<_> = delta.feature_update_ops().collect();
+    w.put_usize(feats.len());
+    for (t, ops) in feats {
+        w.put_u16(t.0);
+        w.put_usize(ops.len());
+        for (row, values) in ops {
+            w.put_u32(*row);
+            w.put_usize(values.len());
+            w.put_f32_slice(values);
+        }
+    }
+}
+
+fn get_delta(r: &mut ByteReader<'_>) -> Result<GraphDelta, WireError> {
+    let mut delta = GraphDelta::new();
+    let n_add = r.seq_len(8)?;
+    for _ in 0..n_add {
+        let e = EdgeTypeId(r.u16()?);
+        let n = r.seq_len(12)?;
+        for _ in 0..n {
+            let (src, dst, weight) = (r.u32()?, r.u32()?, r.f32()?);
+            delta.add_weighted_edge(e, src, dst, weight);
+        }
+    }
+    let n_rm = r.seq_len(8)?;
+    for _ in 0..n_rm {
+        let e = EdgeTypeId(r.u16()?);
+        let n = r.seq_len(8)?;
+        for _ in 0..n {
+            let (src, dst) = (r.u32()?, r.u32()?);
+            delta.remove_edge(e, src, dst);
+        }
+    }
+    let n_feat = r.seq_len(8)?;
+    for _ in 0..n_feat {
+        let t = NodeTypeId(r.u16()?);
+        let n = r.seq_len(8)?;
+        for _ in 0..n {
+            let row = r.u32()?;
+            let len = r.seq_len(4)?;
+            delta.update_feature_row(t, row, r.f32_vec(len)?);
+        }
+    }
+    Ok(delta)
+}
+
+/// Encodes `req` as one complete frame tagged `req_id`.
+pub fn encode_request(req_id: u64, req: &Request) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    let kind = match req {
+        Request::Ping => KIND_PING,
+        Request::Stats => KIND_STATS,
+        Request::Condense {
+            graph,
+            method,
+            ratio,
+            seed,
+            max_hops,
+            max_paths,
+            deadline_ms,
+        } => {
+            put_graph_ref(&mut w, graph);
+            w.put_str(method);
+            w.put_f64(*ratio);
+            w.put_u64(*seed);
+            w.put_u32(*max_hops);
+            w.put_u32(*max_paths);
+            w.put_u64(*deadline_ms);
+            KIND_CONDENSE
+        }
+        Request::ApplyDelta { graph_id, delta } => {
+            w.put_str(graph_id);
+            put_delta(&mut w, delta);
+            KIND_APPLY_DELTA
+        }
+    };
+    encode_frame(kind, req_id, &w.into_bytes())
+}
+
+/// Decodes one complete request frame into `(req_id, Request)`.
+pub fn decode_request(buf: &[u8]) -> Result<(u64, Request), WireError> {
+    let (kind, req_id, payload) = decode_frame(buf)?;
+    let req = decode_request_payload(kind, payload)?;
+    Ok((req_id, req))
+}
+
+/// Decodes a request payload whose frame was already split off a
+/// stream.
+pub fn decode_request_payload(kind: u8, payload: &[u8]) -> Result<Request, WireError> {
+    let mut r = ByteReader::new(payload);
+    let req = match kind {
+        KIND_PING => Request::Ping,
+        KIND_STATS => Request::Stats,
+        KIND_CONDENSE => Request::Condense {
+            graph: get_graph_ref(&mut r)?,
+            method: r.str()?,
+            ratio: r.f64()?,
+            seed: r.u64()?,
+            max_hops: r.u32()?,
+            max_paths: r.u32()?,
+            deadline_ms: r.u64()?,
+        },
+        KIND_APPLY_DELTA => Request::ApplyDelta {
+            graph_id: r.str()?,
+            delta: get_delta(&mut r)?,
+        },
+        k => return Err(WireError::UnknownKind(k)),
+    };
+    if !r.is_empty() {
+        return Err(WireError::TrailingBytes);
+    }
+    Ok(req)
+}
+
+/// Encodes `reply` as one complete frame echoing `req_id`.
+pub fn encode_reply(req_id: u64, reply: &Reply) -> Vec<u8> {
+    let (kind, payload) = encode_reply_payload(reply);
+    encode_frame(kind, req_id, &payload)
+}
+
+/// The `(kind, payload)` pair of a reply, without framing — what the
+/// bench compares byte-for-byte across transports (the frame itself
+/// differs only by the client-chosen `req_id`).
+pub fn encode_reply_payload(reply: &Reply) -> (u8, Vec<u8>) {
+    let mut w = ByteWriter::new();
+    let kind = match reply {
+        Reply::Pong => KIND_PONG,
+        Reply::Condensed(c) => {
+            w.put_u64(c.fingerprint.0);
+            w.put_u64(c.fingerprint.1);
+            w.put_usize(c.node_counts.len());
+            for &n in &c.node_counts {
+                w.put_u64(n);
+            }
+            w.put_usize(c.orig_ids.len());
+            for ids in &c.orig_ids {
+                match ids {
+                    None => w.put_u8(0),
+                    Some(v) => {
+                        w.put_u8(1);
+                        w.put_usize(v.len());
+                        w.put_u32_slice(v);
+                    }
+                }
+            }
+            KIND_CONDENSED
+        }
+        Reply::DeltaApplied {
+            new_fingerprint,
+            reused_entries,
+            dropped_entries,
+        } => {
+            w.put_u64(new_fingerprint.0);
+            w.put_u64(new_fingerprint.1);
+            w.put_u64(*reused_entries);
+            w.put_u64(*dropped_entries);
+            KIND_DELTA_APPLIED
+        }
+        Reply::Stats(s) => {
+            for v in [
+                s.requests,
+                s.condense_ok,
+                s.fast_path_hits,
+                s.coalesced,
+                s.overloaded,
+                s.shutdown_rejected,
+                s.worker_panics,
+                s.deadline_exceeded,
+                s.cancelled,
+                s.deltas_applied,
+                s.pool_executed,
+                s.registry_contexts,
+                s.registry_hits,
+                s.registry_misses,
+                s.duplicate_computes,
+                s.resident_bytes,
+            ] {
+                w.put_u64(v);
+            }
+            KIND_STATS_REPLY
+        }
+        Reply::Error { code, message } => {
+            w.put_u16(*code as u16);
+            w.put_str(message);
+            KIND_ERROR
+        }
+    };
+    (kind, w.into_bytes())
+}
+
+/// Decodes one complete reply frame into `(req_id, Reply)`.
+pub fn decode_reply(buf: &[u8]) -> Result<(u64, Reply), WireError> {
+    let (kind, req_id, payload) = decode_frame(buf)?;
+    let reply = decode_reply_payload(kind, payload)?;
+    Ok((req_id, reply))
+}
+
+/// Decodes a reply payload whose frame was already split off a stream.
+pub fn decode_reply_payload(kind: u8, payload: &[u8]) -> Result<Reply, WireError> {
+    let mut r = ByteReader::new(payload);
+    let reply = match kind {
+        KIND_PONG => Reply::Pong,
+        KIND_CONDENSED => {
+            let fingerprint = (r.u64()?, r.u64()?);
+            let n_types = r.seq_len(8)?;
+            let mut node_counts = Vec::with_capacity(n_types);
+            for _ in 0..n_types {
+                node_counts.push(r.u64()?);
+            }
+            let n = r.seq_len(1)?;
+            let mut orig_ids = Vec::with_capacity(n);
+            for _ in 0..n {
+                orig_ids.push(match r.u8()? {
+                    0 => None,
+                    1 => {
+                        let len = r.seq_len(4)?;
+                        Some(r.u32_vec(len)?)
+                    }
+                    t => return Err(WireError::BadPayload(format!("orig-ids tag {t}"))),
+                });
+            }
+            Reply::Condensed(CondensedSummary {
+                fingerprint,
+                node_counts,
+                orig_ids,
+            })
+        }
+        KIND_DELTA_APPLIED => Reply::DeltaApplied {
+            new_fingerprint: (r.u64()?, r.u64()?),
+            reused_entries: r.u64()?,
+            dropped_entries: r.u64()?,
+        },
+        KIND_STATS_REPLY => {
+            let mut get = || r.u64();
+            Reply::Stats(StatsReply {
+                requests: get()?,
+                condense_ok: get()?,
+                fast_path_hits: get()?,
+                coalesced: get()?,
+                overloaded: get()?,
+                shutdown_rejected: get()?,
+                worker_panics: get()?,
+                deadline_exceeded: get()?,
+                cancelled: get()?,
+                deltas_applied: get()?,
+                pool_executed: get()?,
+                registry_contexts: get()?,
+                registry_hits: get()?,
+                registry_misses: get()?,
+                duplicate_computes: get()?,
+                resident_bytes: get()?,
+            })
+        }
+        KIND_ERROR => {
+            let raw = r.u16()?;
+            let code = ErrorCode::from_u16(raw)
+                .ok_or_else(|| WireError::BadPayload(format!("error code {raw}")))?;
+            Reply::Error {
+                code,
+                message: r.str()?,
+            }
+        }
+        k => return Err(WireError::UnknownKind(k)),
+    };
+    if !r.is_empty() {
+        return Err(WireError::TrailingBytes);
+    }
+    Ok(reply)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_requests() -> Vec<Request> {
+        let mut delta = GraphDelta::new();
+        delta.add_weighted_edge(EdgeTypeId(0), 1, 2, 0.5);
+        delta.remove_edge(EdgeTypeId(1), 3, 4);
+        delta.update_feature_row(NodeTypeId(1), 5, vec![1.0, -2.0]);
+        vec![
+            Request::Ping,
+            Request::Stats,
+            Request::Condense {
+                graph: GraphRef::Id("acm".into()),
+                method: "FreeHGC".into(),
+                ratio: 0.25,
+                seed: 7,
+                max_hops: 2,
+                max_paths: 12,
+                deadline_ms: 0,
+            },
+            Request::Condense {
+                graph: GraphRef::Inline {
+                    kind: "DBLP".into(),
+                    scale: 0.1,
+                    seed: 3,
+                },
+                method: "Random-HG".into(),
+                ratio: 0.5,
+                seed: 0,
+                max_hops: 3,
+                max_paths: 24,
+                deadline_ms: 1500,
+            },
+            Request::ApplyDelta {
+                graph_id: "acm".into(),
+                delta,
+            },
+        ]
+    }
+
+    fn sample_replies() -> Vec<Reply> {
+        vec![
+            Reply::Pong,
+            Reply::Condensed(CondensedSummary {
+                fingerprint: (1, 2),
+                node_counts: vec![3, 4],
+                orig_ids: vec![Some(vec![0, 2, 5]), None],
+            }),
+            Reply::DeltaApplied {
+                new_fingerprint: (9, 8),
+                reused_entries: 7,
+                dropped_entries: 1,
+            },
+            Reply::Stats(StatsReply {
+                requests: 11,
+                resident_bytes: 1 << 20,
+                ..Default::default()
+            }),
+            Reply::Error {
+                code: ErrorCode::Overloaded,
+                message: "queue full".into(),
+            },
+        ]
+    }
+
+    #[test]
+    fn requests_round_trip() {
+        for (i, req) in sample_requests().into_iter().enumerate() {
+            let frame = encode_request(i as u64, &req);
+            let (rid, back) = decode_request(&frame).unwrap();
+            assert_eq!(rid, i as u64);
+            assert_eq!(back, req);
+        }
+    }
+
+    #[test]
+    fn replies_round_trip() {
+        for (i, reply) in sample_replies().into_iter().enumerate() {
+            let frame = encode_reply(1000 + i as u64, &reply);
+            let (rid, back) = decode_reply(&frame).unwrap();
+            assert_eq!(rid, 1000 + i as u64);
+            assert_eq!(back, reply);
+        }
+    }
+
+    #[test]
+    fn delta_round_trip_reapplies_identically() {
+        // The wire codec must preserve op order (replay semantics).
+        let mut delta = GraphDelta::new();
+        delta.update_feature_row(NodeTypeId(0), 1, vec![1.0]);
+        delta.update_feature_row(NodeTypeId(0), 1, vec![2.0]); // later row wins
+        let frame = encode_request(
+            0,
+            &Request::ApplyDelta {
+                graph_id: "g".into(),
+                delta,
+            },
+        );
+        let (_, back) = decode_request(&frame).unwrap();
+        let Request::ApplyDelta { delta, .. } = back else {
+            panic!("wrong kind");
+        };
+        let ops: Vec<_> = delta.feature_update_ops().collect();
+        assert_eq!(ops.len(), 1);
+        assert_eq!(ops[0].1, &[(1, vec![1.0]), (1, vec![2.0])]);
+    }
+
+    #[test]
+    fn malformed_frames_decode_to_typed_errors() {
+        let good = encode_request(42, &sample_requests()[2]);
+        // Truncated at every prefix length: typed error, never panic.
+        for cut in 0..good.len() {
+            let err = decode_request(&good[..cut]).unwrap_err();
+            assert!(
+                matches!(err, WireError::Truncated | WireError::BadChecksum),
+                "cut at {cut} gave {err:?}"
+            );
+        }
+        // A bit flip anywhere: typed error, never a wrong decode.
+        for i in 0..good.len() {
+            let mut bad = good.clone();
+            bad[i] ^= 0x10;
+            match decode_request(&bad) {
+                Err(_) => {}
+                Ok((rid, req)) => {
+                    // Flips in the req_id field are not integrity-checked
+                    // by themselves… but they are: req_id is in the
+                    // checksum. Nothing may decode successfully.
+                    panic!("bit flip at {i} decoded to ({rid}, {req:?})");
+                }
+            }
+        }
+        // Wrong version.
+        let mut bad = good.clone();
+        bad[4] = 99;
+        assert_eq!(decode_request(&bad).unwrap_err(), WireError::BadVersion(99));
+        // Wrong magic.
+        let mut bad = good.clone();
+        bad[0] = b'X';
+        assert_eq!(decode_request(&bad).unwrap_err(), WireError::BadMagic);
+        // Over-length payload claim.
+        let mut bad = good.clone();
+        bad[15..23].copy_from_slice(&(u64::MAX).to_le_bytes());
+        assert!(matches!(
+            decode_request(&bad).unwrap_err(),
+            WireError::Oversized(_)
+        ));
+        // Trailing garbage after a valid frame.
+        let mut bad = good.clone();
+        bad.push(0);
+        assert_eq!(decode_request(&bad).unwrap_err(), WireError::TrailingBytes);
+    }
+
+    #[test]
+    fn unknown_kinds_are_rejected() {
+        let frame = encode_frame(0x7E, 1, &[]);
+        assert_eq!(
+            decode_request(&frame).unwrap_err(),
+            WireError::UnknownKind(0x7E)
+        );
+        assert_eq!(
+            decode_reply(&frame).unwrap_err(),
+            WireError::UnknownKind(0x7E)
+        );
+    }
+}

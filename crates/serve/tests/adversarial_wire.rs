@@ -1,0 +1,185 @@
+//! Adversarial wire input over real sockets: truncated, bit-flipped,
+//! over-length and wrong-version frames must produce a typed error
+//! reply or a clean disconnect — never a panic, never a hang — and the
+//! server must keep serving well-formed clients afterwards.
+
+use freehgc_datasets::tiny;
+use freehgc_serve::wire::{self, FRAME_HEADER_LEN, KIND_PING};
+use freehgc_serve::{
+    ErrorCode, GraphRef, Reply, Request, ServeClient, ServeConfig, ServeHandle, TcpServer,
+};
+use std::sync::Arc;
+
+fn start_server() -> TcpServer {
+    let handle = ServeHandle::new(ServeConfig {
+        workers: 2,
+        queue_depth: 8,
+        ..Default::default()
+    });
+    handle.register_graph("acm", Arc::new(tiny(1)));
+    TcpServer::bind(handle, "127.0.0.1:0").unwrap()
+}
+
+/// The server's liveness invariant after every adversarial exchange: a
+/// fresh, well-formed client still gets real service.
+fn assert_still_serving(server: &TcpServer) {
+    let mut client = ServeClient::connect(server.addr()).unwrap();
+    assert_eq!(client.call(&Request::Ping).unwrap(), Reply::Pong);
+    let reply = client
+        .call(&Request::Condense {
+            graph: GraphRef::Id("acm".into()),
+            method: "Random-HG".into(),
+            ratio: 0.5,
+            seed: 1,
+            max_hops: 2,
+            max_paths: 32,
+            deadline_ms: 0,
+        })
+        .unwrap();
+    assert!(reply.error_code().is_none(), "got {reply:?}");
+}
+
+fn valid_ping_frame() -> Vec<u8> {
+    wire::encode_request(7, &Request::Ping)
+}
+
+/// Expects a `BadFrame` error reply on `client`, tolerating the server
+/// having chosen a clean disconnect instead (both are in-contract).
+fn expect_bad_frame_or_disconnect(client: &mut ServeClient) {
+    match client.read_reply() {
+        Ok((_, reply)) => assert_eq!(
+            reply.error_code(),
+            Some(ErrorCode::BadFrame),
+            "got {reply:?}"
+        ),
+        Err(e) => assert_eq!(e.kind(), std::io::ErrorKind::UnexpectedEof, "got {e:?}"),
+    }
+}
+
+#[test]
+fn truncated_frame_then_close_is_a_clean_disconnect() {
+    let mut server = start_server();
+    {
+        let mut client = ServeClient::connect(server.addr()).unwrap();
+        let frame = valid_ping_frame();
+        client.send_raw(&frame[..FRAME_HEADER_LEN - 3]).unwrap();
+        // Close with the frame incomplete; the server must just drop
+        // the connection, not stall a worker or panic.
+        drop(client);
+    }
+    assert_still_serving(&server);
+    server.shutdown();
+}
+
+#[test]
+fn wrong_magic_gets_an_error_then_disconnect() {
+    let mut server = start_server();
+    {
+        let mut client = ServeClient::connect(server.addr()).unwrap();
+        let mut frame = valid_ping_frame();
+        frame[0] = b'X';
+        client.send_raw(&frame).unwrap();
+        expect_bad_frame_or_disconnect(&mut client);
+        // The stream is desynchronized; the server must hang up rather
+        // than misparse subsequent bytes.
+        match client.read_reply() {
+            Err(e) => assert_eq!(e.kind(), std::io::ErrorKind::UnexpectedEof),
+            Ok((_, r)) => panic!("expected disconnect, got {r:?}"),
+        }
+    }
+    assert_still_serving(&server);
+    server.shutdown();
+}
+
+#[test]
+fn wrong_version_gets_an_error_then_disconnect() {
+    let mut server = start_server();
+    {
+        let mut client = ServeClient::connect(server.addr()).unwrap();
+        let mut frame = valid_ping_frame();
+        frame[4] = 0x63; // version 99
+        client.send_raw(&frame).unwrap();
+        expect_bad_frame_or_disconnect(&mut client);
+    }
+    assert_still_serving(&server);
+    server.shutdown();
+}
+
+#[test]
+fn oversized_length_claim_is_rejected_without_allocation() {
+    let mut server = start_server();
+    {
+        let mut client = ServeClient::connect(server.addr()).unwrap();
+        let mut frame = valid_ping_frame();
+        // Claim a u64::MAX-byte payload; the server must reject from
+        // the header alone instead of trying to read (or allocate) it.
+        frame[15..23].copy_from_slice(&u64::MAX.to_le_bytes());
+        client.send_raw(&frame).unwrap();
+        expect_bad_frame_or_disconnect(&mut client);
+    }
+    assert_still_serving(&server);
+    server.shutdown();
+}
+
+#[test]
+fn bit_flipped_payload_fails_the_checksum() {
+    let mut server = start_server();
+    {
+        let mut client = ServeClient::connect(server.addr()).unwrap();
+        let mut frame = wire::encode_request(
+            3,
+            &Request::Condense {
+                graph: GraphRef::Id("acm".into()),
+                method: "Random-HG".into(),
+                ratio: 0.5,
+                seed: 1,
+                max_hops: 2,
+                max_paths: 32,
+                deadline_ms: 0,
+            },
+        );
+        let i = FRAME_HEADER_LEN + 5;
+        frame[i] ^= 0x40;
+        client.send_raw(&frame).unwrap();
+        expect_bad_frame_or_disconnect(&mut client);
+    }
+    assert_still_serving(&server);
+    server.shutdown();
+}
+
+#[test]
+fn unknown_kind_and_bad_payload_answer_typed_errors_and_keep_the_connection() {
+    let mut server = start_server();
+    let mut client = ServeClient::connect(server.addr()).unwrap();
+    // Unknown kind: framing is sound, so the connection survives.
+    client.send_raw(&wire::encode_frame(0x7E, 21, &[])).unwrap();
+    let (rid, reply) = client.read_reply().unwrap();
+    assert_eq!(rid, 21, "error reply echoes the request id");
+    assert_eq!(reply.error_code(), Some(ErrorCode::BadFrame));
+    // Bad payload for a known kind (Ping carries no payload): same.
+    client
+        .send_raw(&wire::encode_frame(KIND_PING, 22, &[0xAB]))
+        .unwrap();
+    let (rid, reply) = client.read_reply().unwrap();
+    assert_eq!(rid, 22);
+    assert_eq!(reply.error_code(), Some(ErrorCode::BadFrame));
+    // The very same connection still gets real service.
+    assert_eq!(client.call(&Request::Ping).unwrap(), Reply::Pong);
+    assert_still_serving(&server);
+    server.shutdown();
+}
+
+#[test]
+fn garbage_stream_never_wedges_the_server() {
+    let mut server = start_server();
+    for seed in 0u8..4 {
+        let mut client = ServeClient::connect(server.addr()).unwrap();
+        let garbage: Vec<u8> = (0..256)
+            .map(|i| (i as u8).wrapping_mul(31).wrapping_add(seed))
+            .collect();
+        let _ = client.send_raw(&garbage);
+        expect_bad_frame_or_disconnect(&mut client);
+    }
+    assert_still_serving(&server);
+    server.shutdown();
+}

@@ -1,0 +1,390 @@
+//! End-to-end serving semantics: served replies are bitwise-identical
+//! to direct `condense_shared`, identical in-flight requests coalesce,
+//! overload and shutdown produce typed replies, and the TCP transport
+//! agrees byte-for-byte with the in-process path.
+
+use freehgc_datasets::tiny;
+use freehgc_hetgraph::{CondenseSpec, ContextRegistry, DEFAULT_MAX_PATHS};
+use freehgc_parallel::WorkerPool;
+use freehgc_serve::wire::{self, CondensedSummary};
+use freehgc_serve::{
+    default_methods, ErrorCode, GraphRef, Reply, Request, ServeConfig, ServeHandle, TcpServer,
+};
+use std::sync::{Arc, Barrier};
+use std::time::Duration;
+
+fn condense_req(graph: GraphRef, method: &str, ratio: f64, seed: u64) -> Request {
+    Request::Condense {
+        graph,
+        method: method.to_string(),
+        ratio,
+        seed,
+        max_hops: 2,
+        max_paths: DEFAULT_MAX_PATHS as u32,
+        deadline_ms: 0,
+    }
+}
+
+/// The ground truth a served reply must match bit for bit: a direct
+/// `condense_shared` against a *fresh* registry (proving the serving
+/// path adds nothing and loses nothing).
+fn reference_reply(
+    graph: &Arc<freehgc_hetgraph::HeteroGraph>,
+    method: &str,
+    ratio: f64,
+    seed: u64,
+) -> Reply {
+    let registry = ContextRegistry::new();
+    let methods = default_methods();
+    let condenser = methods
+        .iter()
+        .find(|c| c.name() == method)
+        .expect("method registered");
+    let spec = CondenseSpec::new(ratio).with_seed(seed);
+    let condensed = condenser.condense_shared(&registry, graph, &spec);
+    Reply::Condensed(CondensedSummary::from(&condensed))
+}
+
+fn assert_bitwise_equal(served: &Reply, reference: &Reply, what: &str) {
+    assert_eq!(
+        wire::encode_reply_payload(served),
+        wire::encode_reply_payload(reference),
+        "{what}: served reply differs from direct condense_shared"
+    );
+}
+
+fn wait_until(mut cond: impl FnMut() -> bool) {
+    for _ in 0..4000 {
+        if cond() {
+            return;
+        }
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    panic!("condition not reached within 4s");
+}
+
+#[test]
+fn served_condense_is_bitwise_equal_to_direct() {
+    let handle = ServeHandle::new(ServeConfig::default());
+    let graph = Arc::new(tiny(3));
+    handle.register_graph("acm", Arc::clone(&graph));
+    for method in ["FreeHGC", "Random-HG", "Herding-HG"] {
+        for ratio in [0.25, 0.5] {
+            let req = condense_req(GraphRef::Id("acm".into()), method, ratio, 7);
+            let served = handle.call(&req);
+            let reference = reference_reply(&graph, method, ratio, 7);
+            assert_bitwise_equal(&served, &reference, &format!("{method} r={ratio}"));
+        }
+    }
+    handle.shutdown();
+}
+
+#[test]
+fn warm_repeat_takes_the_fast_path_with_identical_bits() {
+    let handle = ServeHandle::new(ServeConfig::default());
+    let graph = Arc::new(tiny(5));
+    handle.register_graph("acm", Arc::clone(&graph));
+    let req = condense_req(GraphRef::Id("acm".into()), "Random-HG", 0.5, 11);
+    let cold = handle.call(&req);
+    assert_eq!(handle.stats().fast_path_hits, 0, "first request is cold");
+    let warm = handle.call(&req);
+    assert_eq!(
+        handle.stats().fast_path_hits,
+        1,
+        "repeat must answer from the warm registry without the pool"
+    );
+    assert_eq!(
+        wire::encode_reply_payload(&cold),
+        wire::encode_reply_payload(&warm),
+        "warm and cold replies must be identical"
+    );
+    handle.shutdown();
+}
+
+#[test]
+fn inline_specs_condense_and_memoize() {
+    let handle = ServeHandle::new(ServeConfig::default());
+    let spec = GraphRef::Inline {
+        kind: "ACM".into(),
+        scale: 0.08,
+        seed: 3,
+    };
+    let req = condense_req(spec, "Random-HG", 0.5, 1);
+    let first = handle.call(&req);
+    assert!(first.error_code().is_none(), "got {first:?}");
+    let second = handle.call(&req);
+    assert_eq!(handle.stats().fast_path_hits, 1, "inline graph memoized");
+    assert_eq!(
+        wire::encode_reply_payload(&first),
+        wire::encode_reply_payload(&second)
+    );
+    // The same spec generated directly matches bitwise.
+    let graph = Arc::new(freehgc_datasets::generate(
+        freehgc_datasets::DatasetKind::Acm,
+        0.08,
+        3,
+    ));
+    assert_bitwise_equal(
+        &first,
+        &reference_reply(&graph, "Random-HG", 0.5, 1),
+        "inline spec",
+    );
+    handle.shutdown();
+}
+
+#[test]
+fn identical_inflight_requests_coalesce_without_duplicate_computes() {
+    // One worker, blocked: the leader's job sits queued while followers
+    // arrive, so coalescing is guaranteed, not raced.
+    let pool = WorkerPool::new(1, 8);
+    let gate = Arc::new(Barrier::new(2));
+    let blocker = Arc::clone(&gate);
+    pool.submit(Box::new(move || {
+        blocker.wait();
+    }))
+    .unwrap();
+    wait_until(|| pool.queued() == 0); // blocker dispatched
+
+    let handle = ServeHandle::with_pool(ServeConfig::default(), pool);
+    let graph = Arc::new(tiny(9));
+    handle.register_graph("acm", Arc::clone(&graph));
+    let req = condense_req(GraphRef::Id("acm".into()), "Random-HG", 0.25, 2);
+
+    const CLIENTS: usize = 6;
+    let mut clients = Vec::new();
+    for _ in 0..CLIENTS {
+        let handle = handle.clone();
+        let req = req.clone();
+        clients.push(std::thread::spawn(move || handle.call(&req)));
+    }
+    // All but the leader must have joined the one flight before the
+    // worker is released — deterministic, no timing assumptions.
+    wait_until(|| handle.stats().coalesced == (CLIENTS as u64 - 1));
+    gate.wait();
+
+    let replies: Vec<Reply> = clients.into_iter().map(|t| t.join().unwrap()).collect();
+    let reference = reference_reply(&graph, "Random-HG", 0.25, 2);
+    for (i, reply) in replies.iter().enumerate() {
+        assert_bitwise_equal(reply, &reference, &format!("client {i}"));
+    }
+    let stats = handle.stats();
+    assert_eq!(stats.coalesced, CLIENTS as u64 - 1);
+    assert_eq!(
+        stats.duplicate_computes, 0,
+        "coalesced requests must not recompute"
+    );
+    assert_eq!(stats.condense_ok, 1, "exactly one real condensation ran");
+    handle.shutdown();
+}
+
+#[test]
+fn full_queue_yields_typed_overload_and_recovers() {
+    // One worker and a queue of one: block the worker, fill the slot,
+    // and the next cold request must bounce with typed backpressure.
+    let pool = WorkerPool::new(1, 1);
+    let gate = Arc::new(Barrier::new(2));
+    let blocker = Arc::clone(&gate);
+    pool.submit(Box::new(move || {
+        blocker.wait();
+    }))
+    .unwrap();
+    wait_until(|| pool.queued() == 0);
+    pool.submit(Box::new(|| {})).unwrap(); // occupy the only queue slot
+
+    let handle = ServeHandle::with_pool(ServeConfig::default(), pool);
+    let graph = Arc::new(tiny(13));
+    handle.register_graph("acm", Arc::clone(&graph));
+    let req = condense_req(GraphRef::Id("acm".into()), "Random-HG", 0.5, 4);
+    let reply = handle.call(&req);
+    assert_eq!(
+        reply.error_code(),
+        Some(ErrorCode::Overloaded),
+        "got {reply:?}"
+    );
+    assert_eq!(handle.stats().overloaded, 1);
+
+    // Release the worker: the same request must now succeed, bitwise
+    // equal to the direct run — overload sheds load, it breaks nothing.
+    gate.wait();
+    wait_until(|| handle.pool().queued() == 0);
+    let served = handle.call(&req);
+    assert_bitwise_equal(
+        &served,
+        &reference_reply(&graph, "Random-HG", 0.5, 4),
+        "post-overload",
+    );
+    handle.shutdown();
+}
+
+#[test]
+fn deadline_exceeded_is_typed_and_sheds_the_request() {
+    let pool = WorkerPool::new(1, 8);
+    let gate = Arc::new(Barrier::new(2));
+    let blocker = Arc::clone(&gate);
+    pool.submit(Box::new(move || {
+        blocker.wait();
+    }))
+    .unwrap();
+    wait_until(|| pool.queued() == 0);
+
+    let handle = ServeHandle::with_pool(ServeConfig::default(), pool);
+    handle.register_graph("acm", Arc::new(tiny(17)));
+    let req = Request::Condense {
+        graph: GraphRef::Id("acm".into()),
+        method: "Random-HG".into(),
+        ratio: 0.5,
+        seed: 1,
+        max_hops: 2,
+        max_paths: DEFAULT_MAX_PATHS as u32,
+        deadline_ms: 30, // expires while the worker is blocked
+    };
+    let reply = handle.call(&req);
+    assert_eq!(
+        reply.error_code(),
+        Some(ErrorCode::DeadlineExceeded),
+        "got {reply:?}"
+    );
+    assert!(handle.stats().deadline_exceeded >= 1);
+    gate.wait();
+    handle.shutdown();
+}
+
+#[test]
+fn invalid_requests_get_typed_errors() {
+    let handle = ServeHandle::new(ServeConfig::default());
+    handle.register_graph("acm", Arc::new(tiny(1)));
+    let cases = [
+        (
+            condense_req(GraphRef::Id("nope".into()), "Random-HG", 0.5, 0),
+            ErrorCode::UnknownGraph,
+        ),
+        (
+            condense_req(GraphRef::Id("acm".into()), "NoSuchMethod", 0.5, 0),
+            ErrorCode::UnknownMethod,
+        ),
+        (
+            condense_req(GraphRef::Id("acm".into()), "Random-HG", 1.5, 0),
+            ErrorCode::BadRequest,
+        ),
+        (
+            condense_req(GraphRef::Id("acm".into()), "Random-HG", f64::NAN, 0),
+            ErrorCode::BadRequest,
+        ),
+        (
+            Request::Condense {
+                graph: GraphRef::Id("acm".into()),
+                method: "Random-HG".into(),
+                ratio: 0.5,
+                seed: 0,
+                max_hops: 0,
+                max_paths: 1,
+                deadline_ms: 0,
+            },
+            ErrorCode::BadRequest,
+        ),
+        (
+            Request::ApplyDelta {
+                graph_id: "nope".into(),
+                delta: freehgc_hetgraph::GraphDelta::new(),
+            },
+            ErrorCode::UnknownGraph,
+        ),
+    ];
+    for (req, code) in cases {
+        let reply = handle.call(&req);
+        assert_eq!(reply.error_code(), Some(code), "req {req:?} gave {reply:?}");
+    }
+    handle.shutdown();
+}
+
+#[test]
+fn apply_delta_swaps_the_catalog_and_seeds_the_context() {
+    let handle = ServeHandle::new(ServeConfig::default());
+    let graph = Arc::new(tiny(21));
+    handle.register_graph("acm", Arc::clone(&graph));
+    // Warm a context with a method that populates the precompute caches
+    // (FreeHGC enumerates meta-paths and scores influence), so the delta
+    // has survivors to inherit.
+    let warm = condense_req(GraphRef::Id("acm".into()), "FreeHGC", 0.5, 1);
+    assert!(handle.call(&warm).error_code().is_none());
+
+    let mut delta = freehgc_hetgraph::GraphDelta::new();
+    let e = freehgc_hetgraph::EdgeTypeId(0);
+    delta.add_weighted_edge(e, 0, 1, 2.0);
+    let reply = handle.call(&Request::ApplyDelta {
+        graph_id: "acm".into(),
+        delta: delta.clone(),
+    });
+    let Reply::DeltaApplied {
+        new_fingerprint,
+        reused_entries,
+        ..
+    } = reply
+    else {
+        panic!("expected DeltaApplied, got {reply:?}");
+    };
+    // Fingerprint matches an out-of-band application of the same delta.
+    let mut expect = (*graph).clone();
+    expect.apply_delta(&delta);
+    let fp = expect.fingerprint();
+    assert_eq!(new_fingerprint, (fp.0, fp.1));
+    assert!(reused_entries > 0, "delta seeding must inherit survivors");
+    // The catalog now serves the mutated graph: a condense against it
+    // matches a direct run on the mutated value.
+    let served = handle.call(&warm);
+    let reference = reference_reply(&Arc::new(expect), "FreeHGC", 0.5, 1);
+    assert_bitwise_equal(&served, &reference, "post-delta");
+    assert_eq!(handle.stats().deltas_applied, 1);
+    handle.shutdown();
+}
+
+#[test]
+fn shutdown_drains_then_rejects_with_typed_replies() {
+    let handle = ServeHandle::new(ServeConfig::default());
+    let graph = Arc::new(tiny(23));
+    handle.register_graph("acm", Arc::clone(&graph));
+    let req = condense_req(GraphRef::Id("acm".into()), "Random-HG", 0.5, 6);
+    assert!(handle.call(&req).error_code().is_none());
+
+    handle.shutdown();
+    handle.shutdown(); // idempotent
+
+    let rejected = handle.call(&req);
+    assert_eq!(rejected.error_code(), Some(ErrorCode::ShuttingDown));
+    assert!(handle.stats().shutdown_rejected >= 1);
+    // Liveness endpoints still answer during/after drain.
+    assert_eq!(handle.call(&Request::Ping), Reply::Pong);
+    assert!(matches!(handle.call(&Request::Stats), Reply::Stats(_)));
+}
+
+#[test]
+fn tcp_transport_matches_the_inprocess_path_bit_for_bit() {
+    let handle = ServeHandle::new(ServeConfig::default());
+    let graph = Arc::new(tiny(31));
+    handle.register_graph("acm", Arc::clone(&graph));
+    let mut server = TcpServer::bind(handle.clone(), "127.0.0.1:0").unwrap();
+    let mut client = freehgc_serve::ServeClient::connect(server.addr()).unwrap();
+
+    assert_eq!(client.call(&Request::Ping).unwrap(), Reply::Pong);
+
+    let req = condense_req(GraphRef::Id("acm".into()), "FreeHGC", 0.5, 3);
+    let over_tcp = client.call(&req).unwrap();
+    let in_process = handle.call(&req);
+    assert_eq!(
+        wire::encode_reply_payload(&over_tcp),
+        wire::encode_reply_payload(&in_process),
+        "transport must not change a single bit"
+    );
+    assert_bitwise_equal(
+        &over_tcp,
+        &reference_reply(&graph, "FreeHGC", 0.5, 3),
+        "tcp",
+    );
+
+    let stats = client.call(&Request::Stats).unwrap();
+    let Reply::Stats(s) = stats else {
+        panic!("expected stats, got {stats:?}");
+    };
+    assert!(s.requests >= 3);
+    server.shutdown();
+}

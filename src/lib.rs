@@ -22,4 +22,5 @@ pub use freehgc_eval as eval;
 pub use freehgc_hetgraph as hetgraph;
 pub use freehgc_hgnn as hgnn;
 pub use freehgc_parallel as parallel;
+pub use freehgc_serve as serve;
 pub use freehgc_sparse as sparse;

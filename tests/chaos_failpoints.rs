@@ -300,3 +300,170 @@ fn composed_pressure_spike_never_changes_output_bits() {
         );
     });
 }
+
+/// One blocked-pool serving setup shared by the serving drills: a
+/// single worker held at a barrier, so requests queue (and coalesce)
+/// deterministically before any execution happens.
+fn blocked_serve(
+    seed: u64,
+) -> (
+    freehgc::serve::ServeHandle,
+    Arc<std::sync::Barrier>,
+    Arc<freehgc::hetgraph::HeteroGraph>,
+) {
+    use freehgc::parallel::WorkerPool;
+    use freehgc::serve::{ServeConfig, ServeHandle};
+    let pool = WorkerPool::new(1, 8);
+    let gate = Arc::new(std::sync::Barrier::new(2));
+    let blocker = Arc::clone(&gate);
+    pool.submit(Box::new(move || {
+        blocker.wait();
+    }))
+    .unwrap();
+    for _ in 0..4000 {
+        if pool.queued() == 0 {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(1));
+    }
+    let handle = ServeHandle::with_pool(ServeConfig::default(), pool);
+    let g = Arc::new(tiny(seed));
+    handle.register_graph("acm", Arc::clone(&g));
+    (handle, gate, g)
+}
+
+fn serve_condense_req(seed: u64) -> freehgc::serve::Request {
+    freehgc::serve::Request::Condense {
+        graph: freehgc::serve::GraphRef::Id("acm".into()),
+        method: "Random-HG".into(),
+        ratio: 0.5,
+        seed,
+        max_hops: 2,
+        max_paths: 64,
+        deadline_ms: 0,
+    }
+}
+
+/// The fault-free ground truth for [`serve_condense_req`], as reply
+/// payload bytes.
+fn serve_reference_payload(g: &Arc<freehgc::hetgraph::HeteroGraph>, seed: u64) -> (u8, Vec<u8>) {
+    use freehgc::serve::wire;
+    let spec = CondenseSpec::new(0.5).with_seed(seed).with_max_paths(64);
+    let methods = freehgc::serve::default_methods();
+    let c = methods.iter().find(|c| c.name() == "Random-HG").unwrap();
+    let condensed = c.condense_shared(&ContextRegistry::new(), g, &spec);
+    wire::encode_reply_payload(&freehgc::serve::Reply::Condensed(
+        wire::CondensedSummary::from(&condensed),
+    ))
+}
+
+#[test]
+fn serve_worker_panic_errors_exactly_one_client_and_the_rest_serve_bitwise() {
+    drill(|| {
+        use freehgc::eval::ChaosKnobs;
+        use freehgc::serve::{wire, ErrorCode};
+        let (handle, gate, g) = blocked_serve(51);
+        let req = serve_condense_req(7);
+        let reference = serve_reference_payload(&g, 7);
+
+        ChaosKnobs {
+            serve_worker_panics: 1,
+            ..Default::default()
+        }
+        .arm();
+
+        // Six identical requests: one leader (whose pooled job will hit
+        // the injected panic), five coalesced followers.
+        const CLIENTS: usize = 6;
+        let mut clients = Vec::new();
+        for _ in 0..CLIENTS {
+            let handle = handle.clone();
+            let req = req.clone();
+            clients.push(std::thread::spawn(move || handle.call(&req)));
+        }
+        for _ in 0..4000 {
+            if handle.stats().coalesced == CLIENTS as u64 - 1 {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        assert_eq!(handle.stats().coalesced, CLIENTS as u64 - 1);
+        gate.wait(); // release the worker; the panic fires now
+
+        let replies: Vec<_> = clients.into_iter().map(|t| t.join().unwrap()).collect();
+        let panicked: Vec<_> = replies
+            .iter()
+            .filter(|r| r.error_code() == Some(ErrorCode::WorkerPanic))
+            .collect();
+        assert_eq!(
+            panicked.len(),
+            1,
+            "exactly one client observes the injected worker panic: {replies:?}"
+        );
+        assert_eq!(fp::fired(fp::SERVE_WORKER_PANIC), 1, "the fault must fire");
+        for r in replies.iter().filter(|r| r.error_code().is_none()) {
+            assert_eq!(
+                wire::encode_reply_payload(r),
+                reference,
+                "surviving replies must be bitwise-identical to fault-free"
+            );
+        }
+        assert_eq!(
+            replies.iter().filter(|r| r.error_code().is_none()).count(),
+            CLIENTS - 1,
+            "every other client must be re-served successfully"
+        );
+        let stats = handle.stats();
+        assert_eq!(stats.worker_panics, 1, "the panic is counted once");
+        assert_eq!(
+            stats.duplicate_computes, 0,
+            "re-election must not duplicate a completed compute"
+        );
+        assert_eq!(
+            handle.pool().stats().panics,
+            0,
+            "the job converts its own panic; the worker-thread backstop stays untouched"
+        );
+
+        // The pool and registry keep serving: a fresh request is warm
+        // and bitwise-identical.
+        let again = handle.call(&req);
+        assert_eq!(wire::encode_reply_payload(&again), reference);
+        handle.shutdown();
+    });
+}
+
+#[test]
+fn serve_queue_full_injection_is_typed_backpressure_then_full_recovery() {
+    drill(|| {
+        use freehgc::eval::ChaosKnobs;
+        use freehgc::serve::{wire, ErrorCode, ServeConfig, ServeHandle};
+        let handle = ServeHandle::new(ServeConfig::default());
+        let g = Arc::new(tiny(52));
+        handle.register_graph("acm", Arc::clone(&g));
+        let req = serve_condense_req(9);
+        let reference = serve_reference_payload(&g, 9);
+
+        ChaosKnobs {
+            serve_queue_full: 1,
+            ..Default::default()
+        }
+        .arm();
+
+        let bounced = handle.call(&req);
+        assert_eq!(
+            bounced.error_code(),
+            Some(ErrorCode::Overloaded),
+            "injected full queue must surface as typed backpressure: {bounced:?}"
+        );
+        assert_eq!(fp::fired(fp::SERVE_QUEUE_FULL), 1, "the fault must fire");
+        assert_eq!(handle.stats().overloaded, 1);
+
+        // The spike passed (plan exhausted): the same request now
+        // serves, bitwise-identical to the fault-free reference.
+        let served = handle.call(&req);
+        assert_eq!(wire::encode_reply_payload(&served), reference);
+        assert_eq!(handle.stats().overloaded, 1, "no further rejections");
+        handle.shutdown();
+    });
+}
